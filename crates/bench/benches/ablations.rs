@@ -1,0 +1,169 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//! each knob is toggled and a representative workload's *simulated* cost
+//! is reported via a Criterion throughput proxy (host time scales with
+//! simulated work). The printed simulated-cycle deltas are the actual
+//! ablation result; see EXPERIMENTS.md for the recorded numbers.
+
+use cpucache::PrefetchConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optane_core::{Machine, MachineConfig};
+use pmds::{Cceh, ChaseList, FastFair, UpdateStrategy, WriteKind};
+use pmem::{PersistMode, PmemEnv, SimEnv};
+use simbase::SplitMix64;
+use workloads::AccessOrder;
+
+/// Ablation: read-buffer capacity (paper value 64 lines vs halved and
+/// doubled) on the strided-read workload.
+fn read_buffer_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_read_buffer_lines");
+    for lines in [32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(lines), &lines, |b, &lines| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::g1(PrefetchConfig::none(), 1);
+                cfg.pm.dimm.read_buffer_lines = lines;
+                let mut m = Machine::new(cfg);
+                let t = m.spawn(0);
+                let base = m.alloc_pm(16 << 10, 256);
+                for pass in 0..4u64 {
+                    for x in 0..64u64 {
+                        let a = base.add_xplines(x).add_cachelines(pass);
+                        m.load_u64(t, a);
+                        m.clflushopt(t, a);
+                    }
+                }
+                m.telemetry().read_amplification()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: G1 periodic full-line write-back on/off under full-line
+/// nt-stores.
+fn periodic_writeback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_periodic_writeback");
+    for (name, period) in [("on", Some(5000u64)), ("off", None)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &period, |b, period| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::g1(PrefetchConfig::none(), 1);
+                cfg.pm.dimm.writeback_period = *period;
+                let mut m = Machine::new(cfg);
+                let t = m.spawn(0);
+                let base = m.alloc_pm(4 << 10, 256);
+                for round in 0..20u64 {
+                    for x in 0..16u64 {
+                        for cl in 0..4u64 {
+                            m.nt_store(
+                                t,
+                                base.add_xplines(x).add_cachelines(cl),
+                                &round.to_le_bytes(),
+                            );
+                        }
+                    }
+                    m.sfence(t);
+                }
+                m.telemetry().write_amplification()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: eADR vs ADR on strict-persistency chase writes (with eADR no
+/// flushes would be required; here it changes only crash semantics, so the
+/// bench pins that the timing paths stay identical).
+fn eadr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eadr");
+    for (name, eadr) in [("adr", false), ("eadr", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &eadr, |b, &eadr| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::g2(PrefetchConfig::all(), 1);
+                cfg.eadr = eadr;
+                let mut m = Machine::new(cfg);
+                let t = m.spawn(0);
+                let mut env = SimEnv::new(&mut m, t);
+                let list = ChaseList::build(&mut env, 256, AccessOrder::Random, 1);
+                list.lap_write(&mut env, WriteKind::Clwb, PersistMode::Strict, 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: prefetcher configurations on a sequential chase (the benefit
+/// side of prefetching, complementing Figure 6's cost side).
+fn prefetchers_on_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_prefetch_sequential_chase");
+    let configs = [
+        ("none", PrefetchConfig::none()),
+        ("all", PrefetchConfig::all()),
+    ];
+    for (name, pf) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pf, |b, &pf| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineConfig::g1(pf, 1));
+                let t = m.spawn(0);
+                let mut env = SimEnv::new(&mut m, t);
+                // 1 MB sequential chase: beyond the read buffer.
+                let list = ChaseList::build(&mut env, 4096, AccessOrder::Sequential, 2);
+                list.lap_read(&mut env)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: ring-redo-log capacity (reclaim frequency) on B+-tree
+/// inserts.
+fn ring_log_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fastfair_strategy");
+    for strategy in [UpdateStrategy::InPlace, UpdateStrategy::RedoLog] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::all(), 1));
+                    let t = m.spawn(0);
+                    let mut env = SimEnv::new(&mut m, t);
+                    let mut tree = FastFair::create(&mut env, strategy);
+                    let mut keys: Vec<u64> = (1..=800).collect();
+                    SplitMix64::new(3).shuffle(&mut keys);
+                    for &k in &keys {
+                        tree.insert(&mut env, k, k);
+                    }
+                    env.now()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: CCEH probe window (spatial locality on the read buffer).
+fn cceh_insert_cost(c: &mut Criterion) {
+    c.bench_function("ablation_cceh_insert_1dimm_vs_6dimm", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for dimms in [1usize, 6] {
+                let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::all(), dimms));
+                let t = m.spawn(0);
+                let mut env = SimEnv::new(&mut m, t);
+                let mut table = Cceh::create(&mut env, 8);
+                for k in 1..=500u64 {
+                    table.insert(&mut env, k * 0x9E37_79B9 | 1, k);
+                }
+                total += env.now();
+            }
+            total
+        })
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = read_buffer_capacity, periodic_writeback, eadr,
+              prefetchers_on_sequential, ring_log_capacity, cceh_insert_cost
+}
+criterion_main!(ablations);

@@ -1,0 +1,149 @@
+//! One Criterion group per paper table/figure: each benchmark regenerates
+//! a representative point of the corresponding experiment, so `cargo
+//! bench` both times the harness and continuously exercises every
+//! reproduction path. Full-resolution figure regeneration is `repro`'s
+//! job (`cargo run --release -p experiments --bin repro -- all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{
+    e1_read_buffer, e2_prefetch, e3_write_amp, e4_wb_hit, e5_rap, e6_latency, e7_cceh, e8_btree,
+    e9_redirect, table1,
+};
+use optane_core::Generation;
+
+fn fig02_read_buffer(c: &mut Criterion) {
+    c.bench_function("fig02_read_buffer_ra_sweep", |b| {
+        b.iter(|| {
+            e1_read_buffer::run(&e1_read_buffer::E1Params {
+                generation: Generation::G1,
+                wss_points: vec![8 << 10, 24 << 10],
+                rounds: 2,
+            })
+        })
+    });
+}
+
+fn fig03_write_amp(c: &mut Criterion) {
+    c.bench_function("fig03_write_amplification", |b| {
+        b.iter(|| {
+            e3_write_amp::run(&e3_write_amp::E3Params {
+                generation: Generation::G1,
+                wss_points: vec![8 << 10, 24 << 10],
+                rounds: 4,
+            })
+        })
+    });
+}
+
+fn fig04_wb_hit(c: &mut Criterion) {
+    c.bench_function("fig04_write_buffer_hit_ratio", |b| {
+        b.iter(|| {
+            e4_wb_hit::run(&e4_wb_hit::E4Params {
+                wss_points: vec![8 << 10, 20 << 10],
+                writes: 4000,
+            })
+        })
+    });
+}
+
+fn fig06_prefetch(c: &mut Criterion) {
+    c.bench_function("fig06_prefetch_read_ratios", |b| {
+        b.iter(|| {
+            e2_prefetch::run(&e2_prefetch::E2Params {
+                generation: Generation::G1,
+                wss_points: vec![8 << 10, 1 << 20],
+                intra_reps: 2,
+                rounds: 1,
+                max_blocks_per_round: 2048,
+            })
+        })
+    });
+}
+
+fn fig07_rap(c: &mut Criterion) {
+    c.bench_function("fig07_read_after_persist", |b| {
+        b.iter(|| {
+            e5_rap::run(&e5_rap::E5Params {
+                generation: Generation::G1,
+                distances: vec![0, 8],
+                iters: 200,
+            })
+        })
+    });
+}
+
+fn fig08_latency(c: &mut Criterion) {
+    c.bench_function("fig08_chase_latency", |b| {
+        b.iter(|| {
+            e6_latency::run(&e6_latency::E6Params {
+                generation: Generation::G1,
+                wss_points: vec![64 << 10],
+                laps: 1,
+            })
+        })
+    });
+}
+
+fn tab01_cceh_breakdown(c: &mut Criterion) {
+    c.bench_function("tab01_cceh_insert_breakdown", |b| {
+        b.iter(|| {
+            table1::run(&table1::Table1Params {
+                inserts: 2000,
+                cases: vec![(1, 1)],
+                initial_depth: 12,
+            })
+        })
+    });
+}
+
+fn fig10_cceh(c: &mut Criterion) {
+    c.bench_function("fig10_cceh_helper_prefetch", |b| {
+        b.iter(|| {
+            e7_cceh::run(&e7_cceh::E7Params {
+                inserts_per_worker: 1000,
+                workers: vec![1],
+                ..e7_cceh::E7Params::default()
+            })
+        })
+    });
+}
+
+fn fig12_btree(c: &mut Criterion) {
+    c.bench_function("fig12_fastfair_strategies", |b| {
+        b.iter(|| {
+            e8_btree::run(&e8_btree::E8Params {
+                inserts: 2000,
+                threads: vec![1],
+                generations: vec![Generation::G1],
+                dimms: 1,
+            })
+        })
+    });
+}
+
+fn fig13_14_redirect(c: &mut Criterion) {
+    c.bench_function("fig13_14_streaming_redirect", |b| {
+        b.iter(|| {
+            let p = e9_redirect::E9Params {
+                wss_points: vec![4 << 20],
+                visits: 2000,
+                threads: vec![1, 8],
+                visits_per_thread: 500,
+                fig14_wss: 4 << 20,
+                ..e9_redirect::E9Params::default()
+            };
+            let f13 = e9_redirect::run_fig13(&p);
+            let f14 = e9_redirect::run_fig14(&p);
+            (f13, f14)
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig02_read_buffer, fig03_write_amp, fig04_wb_hit, fig06_prefetch,
+              fig07_rap, fig08_latency, tab01_cceh_breakdown, fig10_cceh,
+              fig12_btree, fig13_14_redirect
+}
+criterion_main!(figures);

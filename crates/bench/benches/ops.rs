@@ -1,0 +1,111 @@
+//! Micro-benchmarks of the library itself (host-time performance of the
+//! simulator's hot paths and of the data structures on the untimed host
+//! backend). These guard the simulator's own throughput: experiments
+//! execute hundreds of millions of simulated operations, so regressions
+//! here directly inflate figure-regeneration time.
+
+use cpucache::PrefetchConfig;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optane_core::{Machine, MachineConfig};
+use pmds::{Cceh, FastFair, UpdateStrategy};
+use pmem::{HostEnv, SimEnv};
+
+fn sim_load_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_ops");
+    group.throughput(Throughput::Elements(1));
+    let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::all(), 1));
+    let t = m.spawn(0);
+    let a = m.alloc_pm(64, 64);
+    m.store_u64(t, a, 1);
+    group.bench_function("load_l1_hit", |b| {
+        b.iter(|| m.load_u64(t, a));
+    });
+    group.bench_function("store_l1_hit", |b| {
+        b.iter(|| m.store_u64(t, a, 2));
+    });
+    group.bench_function("clwb_sfence", |b| {
+        b.iter(|| {
+            m.store_u64(t, a, 3);
+            m.clwb(t, a);
+            m.sfence(t);
+        });
+    });
+    group.bench_function("nt_store_sfence", |b| {
+        b.iter(|| {
+            m.nt_store(t, a, &4u64.to_le_bytes());
+            m.sfence(t);
+        });
+    });
+    group.finish();
+}
+
+fn sim_load_miss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_ops_miss");
+    group.throughput(Throughput::Elements(1));
+    let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::all(), 1));
+    let t = m.spawn(0);
+    let base = m.alloc_pm(64 << 20, 256);
+    let mut i = 0u64;
+    group.bench_function("load_media_miss", |b| {
+        b.iter(|| {
+            i = (i + 97) % (1 << 20);
+            m.load_u64(t, base.add_xplines(i))
+        });
+    });
+    group.finish();
+}
+
+fn host_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_structures");
+    group.throughput(Throughput::Elements(1));
+    {
+        let mut env = HostEnv::new();
+        let mut table = Cceh::create(&mut env, 8);
+        let mut k = 0u64;
+        group.bench_function("cceh_insert", |b| {
+            b.iter(|| {
+                k += 1;
+                table.insert(&mut env, k | 1, k);
+            });
+        });
+        group.bench_function("cceh_get", |b| {
+            b.iter(|| table.get(&mut env, (k / 2) | 1));
+        });
+    }
+    {
+        let mut env = HostEnv::new();
+        let mut tree = FastFair::create(&mut env, UpdateStrategy::InPlace);
+        let mut k = 0u64;
+        group.bench_function("fastfair_insert", |b| {
+            b.iter(|| {
+                k += 1;
+                tree.insert(&mut env, k.wrapping_mul(0x9E37_79B9) | 1, k);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn sim_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_structures");
+    group.throughput(Throughput::Elements(1));
+    let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::all(), 1));
+    let t = m.spawn(0);
+    let mut env = SimEnv::new(&mut m, t);
+    let mut table = Cceh::create(&mut env, 10);
+    let mut k = 0u64;
+    group.bench_function("cceh_insert_simulated", |b| {
+        b.iter(|| {
+            k += 1;
+            table.insert(&mut env, k | 1, k);
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = ops;
+    config = Criterion::default().sample_size(20);
+    targets = sim_load_hit, sim_load_miss, host_structures, sim_structures
+}
+criterion_main!(ops);

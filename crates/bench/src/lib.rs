@@ -1,0 +1,6 @@
+//! Criterion benchmark harness crate (see `benches/`).
+//!
+//! - `benches/figures.rs`: one group per paper table/figure;
+//! - `benches/ablations.rs`: design-knob ablations from `DESIGN.md`;
+//! - `benches/ops.rs`: host-time micro-benchmarks of the simulator and
+//!   the data structures.

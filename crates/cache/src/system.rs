@@ -1,0 +1,457 @@
+//! The multi-core cache hierarchy.
+//!
+//! Per-core private L1d and L2 plus a shared L3. The L3 is non-inclusive
+//! and absorbs L2 victims (clean and dirty), like Skylake-and-later server
+//! parts; dirty L3 victims are reported to the caller as memory
+//! write-backs. Stores are write-back/write-allocate: dirtiness rides with
+//! the line as it moves down the hierarchy.
+//!
+//! Cross-core coherence is intentionally simplified: private caches never
+//! see remote invalidations except through explicit flushes, which act on
+//! every core. None of the reproduced figures depends on sub-operation
+//! coherence races (see `DESIGN.md` §4); the flush path is what matters for
+//! persistence semantics and is modelled faithfully, including the G1/G2
+//! `clwb` difference.
+
+use simbase::{Addr, Cycles};
+
+use crate::prefetch::{PrefetchConfig, Prefetchers};
+use crate::setassoc::Cache;
+
+/// Geometry and latency of the cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheParams {
+    /// L1 data cache capacity per core, in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 capacity per core, in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Shared L3 capacity, in bytes.
+    pub l3_bytes: u64,
+    /// L3 associativity.
+    pub l3_ways: usize,
+    /// L1 hit latency.
+    pub l1_latency: Cycles,
+    /// L2 hit latency.
+    pub l2_latency: Cycles,
+    /// L3 hit latency.
+    pub l3_latency: Cycles,
+}
+
+impl Default for CacheParams {
+    fn default() -> Self {
+        // G1 (Cascade Lake) flavoured defaults.
+        CacheParams {
+            l1_bytes: 32 << 10,
+            l1_ways: 8,
+            l2_bytes: 1 << 20,
+            l2_ways: 16,
+            l3_bytes: 27_500 << 10,
+            l3_ways: 11,
+            l1_latency: 4,
+            l2_latency: 14,
+            l3_latency: 48,
+        }
+    }
+}
+
+/// The cache level that served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// Served by the core's L1d.
+    L1,
+    /// Served by the core's L2.
+    L2,
+    /// Served by the shared L3.
+    L3,
+    /// Missed the whole hierarchy; memory must supply the line.
+    Miss,
+}
+
+/// How a flush instruction treats the cached line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushMode {
+    /// `clflushopt`, and `clwb` on G1 parts (the paper observes G1 `clwb`
+    /// evicting the line).
+    Invalidate,
+    /// `clwb` on G2 parts: write back dirty data but retain the line.
+    WriteBackRetain,
+}
+
+/// Result of one demand access.
+#[derive(Debug, Clone)]
+pub struct AccessResult {
+    /// Which level served the access.
+    pub level: HitLevel,
+    /// Dirty lines pushed out of the L3 to memory by this access.
+    pub writebacks: Vec<Addr>,
+    /// Prefetch targets suggested by the core's prefetchers, already
+    /// filtered to lines not resident for this core.
+    pub prefetch: Vec<Addr>,
+}
+
+#[derive(Debug, Clone)]
+struct CoreCaches {
+    l1: Cache,
+    l2: Cache,
+    pf: Prefetchers,
+}
+
+/// One socket's cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheSystem {
+    cores: Vec<CoreCaches>,
+    l3: Cache,
+    params: CacheParams,
+}
+
+impl CacheSystem {
+    /// Creates a hierarchy with `num_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    pub fn new(params: CacheParams, num_cores: usize, pf: PrefetchConfig) -> Self {
+        assert!(num_cores > 0, "need at least one core");
+        let cores = (0..num_cores)
+            .map(|_| CoreCaches {
+                l1: Cache::new(params.l1_bytes, params.l1_ways),
+                l2: Cache::new(params.l2_bytes, params.l2_ways),
+                pf: Prefetchers::new(pf),
+            })
+            .collect();
+        CacheSystem {
+            cores,
+            l3: Cache::new(params.l3_bytes, params.l3_ways),
+            params,
+        }
+    }
+
+    /// Returns the number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Returns the configured parameters.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Returns the hit latency of `level`, or `None` for a miss.
+    pub fn latency_of(&self, level: HitLevel) -> Option<Cycles> {
+        match level {
+            HitLevel::L1 => Some(self.params.l1_latency),
+            HitLevel::L2 => Some(self.params.l2_latency),
+            HitLevel::L3 => Some(self.params.l3_latency),
+            HitLevel::Miss => None,
+        }
+    }
+
+    /// Performs a demand access from `core`.
+    ///
+    /// On a miss (`level == HitLevel::Miss`) the line is assumed to be
+    /// supplied by memory and is filled into L1 and L2. Dirty L3 victims
+    /// displaced by the fills are returned as memory write-backs.
+    pub fn access(&mut self, core: usize, addr: Addr, write: bool) -> AccessResult {
+        let addr = addr.cacheline();
+        let mut writebacks = Vec::new();
+        let level;
+        if self.cores[core].l1.access(addr, write) {
+            level = HitLevel::L1;
+        } else if self.cores[core].l2.access(addr, false) {
+            // Promote into L1; dirtiness of a write rides in L1.
+            self.promote_to_l1(core, addr, write, &mut writebacks);
+            level = HitLevel::L2;
+        } else if self.l3.access(addr, false) {
+            self.fill_private(core, addr, write, &mut writebacks);
+            level = HitLevel::L3;
+        } else {
+            self.fill_private(core, addr, write, &mut writebacks);
+            level = HitLevel::Miss;
+        }
+        let l2_miss = matches!(level, HitLevel::L3 | HitLevel::Miss);
+        let suggestions = self.cores[core].pf.on_demand_access(addr, l2_miss);
+        let prefetch = suggestions
+            .into_iter()
+            .filter(|&a| self.contains(core, a).is_none())
+            .collect();
+        AccessResult {
+            level,
+            writebacks,
+            prefetch,
+        }
+    }
+
+    fn promote_to_l1(&mut self, core: usize, addr: Addr, dirty: bool, wb: &mut Vec<Addr>) {
+        if let Some(ev) = self.cores[core].l1.fill(addr, dirty) {
+            self.insert_l2(core, ev.addr, ev.dirty, wb);
+        }
+    }
+
+    fn insert_l2(&mut self, core: usize, addr: Addr, dirty: bool, wb: &mut Vec<Addr>) {
+        if let Some(ev) = self.cores[core].l2.fill(addr, dirty) {
+            self.insert_l3(ev.addr, ev.dirty, wb);
+        }
+    }
+
+    fn insert_l3(&mut self, addr: Addr, dirty: bool, wb: &mut Vec<Addr>) {
+        if let Some(ev) = self.l3.fill(addr, dirty) {
+            if ev.dirty {
+                wb.push(ev.addr);
+            }
+        }
+    }
+
+    fn fill_private(&mut self, core: usize, addr: Addr, dirty: bool, wb: &mut Vec<Addr>) {
+        self.insert_l2(core, addr, false, wb);
+        self.promote_to_l1(core, addr, dirty, wb);
+    }
+
+    /// Fills a prefetched line into the core's L2 (and records nothing in
+    /// L1: a later demand access promotes it).
+    ///
+    /// Returns dirty L3 victims displaced by the fill.
+    pub fn fill_prefetch(&mut self, core: usize, addr: Addr) -> Vec<Addr> {
+        let mut wb = Vec::new();
+        self.insert_l2(core, addr.cacheline(), false, &mut wb);
+        wb
+    }
+
+    /// Installs a line into the core's private levels without a memory
+    /// fetch (full-cacheline stores, streaming-copy destinations).
+    ///
+    /// Returns dirty L3 victims displaced by the fills.
+    pub fn install(&mut self, core: usize, addr: Addr, dirty: bool) -> Vec<Addr> {
+        let mut wb = Vec::new();
+        self.fill_private(core, addr.cacheline(), dirty, &mut wb);
+        wb
+    }
+
+    /// Flushes `addr` from every core and the L3.
+    ///
+    /// Returns `true` if any copy was dirty (a write-back to memory is
+    /// required).
+    pub fn flush(&mut self, addr: Addr, mode: FlushMode) -> bool {
+        let addr = addr.cacheline();
+        let mut dirty = false;
+        match mode {
+            FlushMode::Invalidate => {
+                for c in &mut self.cores {
+                    dirty |= c.l1.invalidate(addr).unwrap_or(false);
+                    dirty |= c.l2.invalidate(addr).unwrap_or(false);
+                }
+                dirty |= self.l3.invalidate(addr).unwrap_or(false);
+            }
+            FlushMode::WriteBackRetain => {
+                for c in &mut self.cores {
+                    dirty |= c.l1.clean(addr).unwrap_or(false);
+                    dirty |= c.l2.clean(addr).unwrap_or(false);
+                }
+                dirty |= self.l3.clean(addr).unwrap_or(false);
+            }
+        }
+        dirty
+    }
+
+    /// Returns the closest level at which `core` can see `addr`, without
+    /// disturbing LRU state.
+    pub fn contains(&self, core: usize, addr: Addr) -> Option<HitLevel> {
+        let addr = addr.cacheline();
+        if self.cores[core].l1.peek(addr) {
+            Some(HitLevel::L1)
+        } else if self.cores[core].l2.peek(addr) {
+            Some(HitLevel::L2)
+        } else if self.l3.peek(addr) {
+            Some(HitLevel::L3)
+        } else {
+            None
+        }
+    }
+
+    /// Drops every cached line (simulated power failure), returning the
+    /// addresses of lines that held dirty data.
+    pub fn drop_all(&mut self) -> Vec<Addr> {
+        let mut dirty = Vec::new();
+        for c in &mut self.cores {
+            dirty.extend(c.l1.drain_dirty());
+            dirty.extend(c.l2.drain_dirty());
+        }
+        dirty.extend(self.l3.drain_dirty());
+        dirty.sort();
+        dirty.dedup();
+        dirty
+    }
+
+    /// Returns `(l1, l2, l3)` hit/miss pairs aggregated over all cores.
+    pub fn stats(&self) -> [(u64, u64); 3] {
+        let mut l1 = (0, 0);
+        let mut l2 = (0, 0);
+        for c in &self.cores {
+            let s1 = c.l1.stats();
+            l1.0 += s1.0;
+            l1.1 += s1.1;
+            let s2 = c.l2.stats();
+            l2.0 += s2.0;
+            l2.1 += s2.1;
+        }
+        [l1, l2, self.l3.stats()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system(pf: PrefetchConfig) -> CacheSystem {
+        CacheSystem::new(
+            CacheParams {
+                l1_bytes: 256,
+                l1_ways: 2,
+                l2_bytes: 1024,
+                l2_ways: 4,
+                l3_bytes: 4096,
+                l3_ways: 4,
+                l1_latency: 4,
+                l2_latency: 14,
+                l3_latency: 48,
+            },
+            2,
+            pf,
+        )
+    }
+
+    #[test]
+    fn miss_fill_hit_sequence() {
+        let mut s = small_system(PrefetchConfig::none());
+        let r = s.access(0, Addr(0), false);
+        assert_eq!(r.level, HitLevel::Miss);
+        let r = s.access(0, Addr(0), false);
+        assert_eq!(r.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn caches_are_core_private() {
+        let mut s = small_system(PrefetchConfig::none());
+        s.access(0, Addr(0), false);
+        let r = s.access(1, Addr(0), false);
+        assert_eq!(r.level, HitLevel::Miss, "core 1 does not see core 0's L1");
+    }
+
+    #[test]
+    fn dirty_line_written_back_on_l3_eviction() {
+        let mut s = small_system(PrefetchConfig::none());
+        s.access(0, Addr(0), true); // dirty in L1
+                                    // Thrash everything with a long stream of distinct lines.
+        let mut wrote_back = false;
+        for i in 1..400u64 {
+            let r = s.access(0, Addr(i * 64), false);
+            if r.writebacks.contains(&Addr(0)) {
+                wrote_back = true;
+            }
+        }
+        assert!(wrote_back, "dirty line must eventually reach memory");
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut s = small_system(PrefetchConfig::none());
+        s.access(0, Addr(0), false);
+        // L1 has 4 lines (256 B); push line 0 out of L1 but not L2.
+        for i in 1..5u64 {
+            s.access(0, Addr(i * 64), false);
+        }
+        let r = s.access(0, Addr(0), false);
+        assert!(
+            matches!(r.level, HitLevel::L1 | HitLevel::L2),
+            "line survives in L2, got {:?}",
+            r.level
+        );
+        assert_ne!(r.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn flush_invalidate_reports_dirty_and_removes() {
+        let mut s = small_system(PrefetchConfig::none());
+        s.access(0, Addr(0), true);
+        assert!(s.flush(Addr(0), FlushMode::Invalidate));
+        assert_eq!(s.contains(0, Addr(0)), None);
+        // Second flush: nothing left.
+        assert!(!s.flush(Addr(0), FlushMode::Invalidate));
+    }
+
+    #[test]
+    fn flush_retain_keeps_line_clean() {
+        let mut s = small_system(PrefetchConfig::none());
+        s.access(0, Addr(0), true);
+        assert!(s.flush(Addr(0), FlushMode::WriteBackRetain));
+        assert_eq!(s.contains(0, Addr(0)), Some(HitLevel::L1));
+        // Clean now: a second clwb writes back nothing.
+        assert!(!s.flush(Addr(0), FlushMode::WriteBackRetain));
+        let r = s.access(0, Addr(0), false);
+        assert_eq!(r.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn flush_acts_across_cores() {
+        let mut s = small_system(PrefetchConfig::none());
+        s.access(0, Addr(0), true);
+        s.access(1, Addr(0), false);
+        assert!(s.flush(Addr(0), FlushMode::Invalidate));
+        assert_eq!(s.contains(0, Addr(0)), None);
+        assert_eq!(s.contains(1, Addr(0)), None);
+    }
+
+    #[test]
+    fn prefetch_suggestions_are_filtered_to_nonresident() {
+        let mut s = small_system(PrefetchConfig::dcu_only());
+        s.access(0, Addr(0), false);
+        let r = s.access(0, Addr(64), false);
+        assert_eq!(r.prefetch, vec![Addr(128)]);
+        // Fill it; an identical run should not resuggest a resident line.
+        let wb = s.fill_prefetch(0, Addr(128));
+        assert!(wb.is_empty());
+        let r = s.access(0, Addr(128), false);
+        assert!(matches!(r.level, HitLevel::L2));
+        assert_eq!(r.prefetch, vec![Addr(192)]);
+    }
+
+    #[test]
+    fn drop_all_returns_dirty_lines_once() {
+        let mut s = small_system(PrefetchConfig::none());
+        s.access(0, Addr(0), true);
+        s.access(0, Addr(64), false);
+        s.access(1, Addr(128), true);
+        let dirty = s.drop_all();
+        assert_eq!(dirty, vec![Addr(0), Addr(128)]);
+        assert_eq!(s.contains(0, Addr(0)), None);
+        assert_eq!(s.contains(1, Addr(128)), None);
+    }
+
+    #[test]
+    fn working_set_larger_than_l3_misses() {
+        let mut s = small_system(PrefetchConfig::none());
+        // Total hierarchy ≈ 4 KB L3 + privates; use an 16 KB working set.
+        let lines = 256u64;
+        for _ in 0..2 {
+            for i in 0..lines {
+                s.access(0, Addr(i * 64), false);
+            }
+        }
+        let [_, _, l3] = s.stats();
+        assert!(
+            l3.0 < lines / 4,
+            "sequential over-capacity scan should mostly miss L3, hits={}",
+            l3.0
+        );
+    }
+
+    #[test]
+    fn latency_lookup() {
+        let s = small_system(PrefetchConfig::none());
+        assert_eq!(s.latency_of(HitLevel::L1), Some(4));
+        assert_eq!(s.latency_of(HitLevel::Miss), None);
+    }
+}

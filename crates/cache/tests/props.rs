@@ -1,0 +1,169 @@
+//! Property tests for the cache model: the set-associative cache against
+//! a reference model, and hierarchy invariants under random traffic.
+
+use std::collections::HashMap;
+
+use cpucache::{Cache, CacheParams, CacheSystem, FlushMode, PrefetchConfig};
+use proptest::prelude::*;
+use simbase::Addr;
+
+/// Reference model of a set-associative LRU cache.
+struct ModelCache {
+    sets: HashMap<u64, Vec<(u64, bool)>>, // set -> [(line, dirty)] in LRU order
+    num_sets: u64,
+    ways: usize,
+}
+
+impl ModelCache {
+    fn new(capacity_bytes: u64, ways: usize) -> Self {
+        ModelCache {
+            sets: HashMap::new(),
+            num_sets: (capacity_bytes / 64 / ways as u64).max(1),
+            ways,
+        }
+    }
+
+    fn set_of(&self, addr: Addr) -> u64 {
+        (addr.cacheline().0 / 64) % self.num_sets
+    }
+
+    fn access(&mut self, addr: Addr, dirty: bool) -> bool {
+        let line = addr.cacheline().0;
+        let set = self.sets.entry(self.set_of(addr)).or_default();
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            let (l, d) = set.remove(pos);
+            set.push((l, d || dirty));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: Addr, dirty: bool) -> Option<(u64, bool)> {
+        let line = addr.cacheline().0;
+        let ways = self.ways;
+        let set_idx = self.set_of(addr);
+        let set = self.sets.entry(set_idx).or_default();
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            let (l, d) = set.remove(pos);
+            set.push((l, d || dirty));
+            return None;
+        }
+        let evicted = if set.len() >= ways {
+            Some(set.remove(0))
+        } else {
+            None
+        };
+        set.push((line, dirty));
+        evicted
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_lru_model(
+        ops in prop::collection::vec((0u64..64, any::<bool>(), any::<bool>()), 1..300),
+    ) {
+        // 16 lines, 4 ways: small enough to stress eviction constantly.
+        let mut cache = Cache::new(16 * 64, 4);
+        let mut model = ModelCache::new(16 * 64, 4);
+        for (line, dirty, is_fill) in ops {
+            let addr = Addr(line * 64);
+            if is_fill {
+                let got = cache.fill(addr, dirty);
+                let want = model.fill(addr, dirty);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(g), Some((wl, wd))) => {
+                        prop_assert_eq!(g.addr, Addr(wl));
+                        prop_assert_eq!(g.dirty, wd);
+                    }
+                    other => prop_assert!(false, "eviction mismatch: {:?}", other),
+                }
+            } else {
+                prop_assert_eq!(cache.access(addr, dirty), model.access(addr, dirty));
+            }
+        }
+        // Final residency agrees.
+        for line in 0..64u64 {
+            let addr = Addr(line * 64);
+            let model_has = model
+                .sets
+                .get(&model.set_of(addr))
+                .is_some_and(|s| s.iter().any(|&(l, _)| l == line * 64));
+            prop_assert_eq!(cache.peek(addr), model_has, "line {}", line);
+        }
+    }
+
+    #[test]
+    fn hierarchy_never_loses_dirty_data_silently(
+        lines in prop::collection::vec(0u64..4096, 1..400),
+    ) {
+        // Every dirty line must either still be resident somewhere or have
+        // been reported as a memory write-back.
+        let mut sys = CacheSystem::new(
+            CacheParams {
+                l1_bytes: 512,
+                l1_ways: 2,
+                l2_bytes: 2048,
+                l2_ways: 4,
+                l3_bytes: 8192,
+                l3_ways: 4,
+                l1_latency: 4,
+                l2_latency: 14,
+                l3_latency: 48,
+            },
+            1,
+            PrefetchConfig::none(),
+        );
+        let mut written_back: Vec<u64> = Vec::new();
+        let mut dirtied: Vec<u64> = Vec::new();
+        for &line in &lines {
+            let addr = Addr(line * 64);
+            let res = sys.access(0, addr, true);
+            dirtied.push(addr.0);
+            written_back.extend(res.writebacks.iter().map(|a| a.0));
+        }
+        written_back.extend(sys.drop_all().iter().map(|a| a.0));
+        written_back.sort_unstable();
+        written_back.dedup();
+        dirtied.sort_unstable();
+        dirtied.dedup();
+        for d in dirtied {
+            prop_assert!(
+                written_back.binary_search(&d).is_ok(),
+                "dirty line {:#x} vanished",
+                d
+            );
+        }
+    }
+
+    #[test]
+    fn flush_always_empties_the_line(
+        lines in prop::collection::vec(0u64..256, 1..100),
+        flush_line in 0u64..256,
+    ) {
+        let mut sys = CacheSystem::new(CacheParams::default(), 2, PrefetchConfig::all());
+        for (i, &line) in lines.iter().enumerate() {
+            sys.access(i % 2, Addr(line * 64), i % 3 == 0);
+        }
+        sys.flush(Addr(flush_line * 64), FlushMode::Invalidate);
+        prop_assert_eq!(sys.contains(0, Addr(flush_line * 64)), None);
+        prop_assert_eq!(sys.contains(1, Addr(flush_line * 64)), None);
+        // Flushing again reports clean.
+        prop_assert!(!sys.flush(Addr(flush_line * 64), FlushMode::Invalidate));
+    }
+
+    #[test]
+    fn clean_flush_preserves_read_hits(
+        lines in prop::collection::vec(0u64..8, 1..40),
+    ) {
+        let mut sys = CacheSystem::new(CacheParams::default(), 1, PrefetchConfig::none());
+        for &line in &lines {
+            sys.access(0, Addr(line * 64), true);
+            sys.flush(Addr(line * 64), FlushMode::WriteBackRetain);
+            // G2 semantics: the line stays resident after clwb.
+            prop_assert!(sys.contains(0, Addr(line * 64)).is_some());
+        }
+    }
+}

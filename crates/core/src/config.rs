@@ -1,0 +1,269 @@
+//! Machine configurations for the two Optane DCPMM generations.
+//!
+//! The paper evaluates two testbeds (§2.4): a Cascade Lake server with
+//! 100-series (G1) DIMMs and an Ice Lake server with 200-series (G2) DIMMs,
+//! eADR disabled on both. The presets here encode the architectural
+//! differences the paper identifies:
+//!
+//! | property | G1 | G2 |
+//! |---|---|---|
+//! | read buffer | 16 KB | 22 KB (§3.1) |
+//! | write buffer (effective) | 12 KB | 16 KB (§3.2, E4) |
+//! | periodic full-line write-back | ~5000 cycles | disabled (§3.2) |
+//! | `clwb` | invalidates the line | retains the line (§3.5) |
+//! | on-DIMM buffer hit latency | lower | higher (coherence cost, §3.5) |
+//! | L3 | 27.5 MB | 36 MB |
+//!
+//! Absolute cycle constants are calibrated against the paper's figures; the
+//! calibration table lives in `DESIGN.md`.
+
+use cpucache::{CacheParams, FlushMode, PrefetchConfig};
+use imc::{DramParams, PmParams};
+use simbase::Cycles;
+use xpdimm::DimmParams;
+use xpmedia::MediaParams;
+
+/// Optane DCPMM generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Generation {
+    /// 100-series DIMMs on Cascade Lake (the paper's G1 testbed).
+    G1,
+    /// 200-series DIMMs on Ice Lake (the paper's G2 testbed).
+    G2,
+}
+
+impl std::fmt::Display for Generation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Generation::G1 => write!(f, "G1"),
+            Generation::G2 => write!(f, "G2"),
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Which generation this configuration models.
+    pub generation: Generation,
+    /// Cores per socket (each core has two hyperthreads).
+    pub cores_per_socket: usize,
+    /// Cache hierarchy geometry and latencies.
+    pub cache: CacheParams,
+    /// Enabled hardware prefetchers.
+    pub prefetch: PrefetchConfig,
+    /// PM channel (iMC + DIMMs) configuration.
+    pub pm: PmParams,
+    /// DRAM channel configuration.
+    pub dram: DramParams,
+    /// What `clwb` does to the cached line (G1: invalidate; G2: retain).
+    pub clwb_mode: FlushMode,
+    /// Issue cost of a cacheline flush instruction.
+    pub flush_issue: Cycles,
+    /// Issue cost of a non-temporal store.
+    pub ntstore_issue: Cycles,
+    /// Base cost of a fence instruction.
+    pub fence_cost: Cycles,
+    /// Whether loads that are only `sfence`-separated from a flush may
+    /// still be served from the (pre-invalidation) cached copy for a short
+    /// window — the G1 `clwb + sfence` effect in Figure 7 (a)/(c).
+    pub sfence_load_bypass: bool,
+    /// Length of that bypass window, in cycles.
+    pub load_bypass_window: Cycles,
+    /// Added to PM/DRAM read completions for threads on the remote socket.
+    pub remote_read_penalty: Cycles,
+    /// Added to the persist pipeline for remote-socket writes.
+    pub remote_write_penalty: Cycles,
+    /// Per-operation penalty when two hyperthreads share a core.
+    pub ht_penalty: Cycles,
+    /// Extended ADR: CPU caches are inside the persistence domain. The
+    /// paper's testbeds have this disabled; it is modelled for ablation.
+    pub eadr: bool,
+    /// Seed for crash injection.
+    pub crash_seed: u64,
+}
+
+impl MachineConfig {
+    /// The G1 testbed (§2.4) with the given prefetcher setting and DIMM
+    /// population.
+    pub fn g1(prefetch: PrefetchConfig, num_dimms: usize) -> Self {
+        let media = MediaParams {
+            read_latency: 420,
+            ait_miss_penalty: 380,
+            read_banks: 4,
+            write_service: 900,
+            ait_coverage_bytes: 16 << 20,
+            ait_ways: 16,
+        };
+        let dimm = DimmParams {
+            read_buffer_lines: 64,  // 16 KB
+            write_buffer_lines: 48, // 12 KB effective
+            rb_hit_latency: 220,
+            wcb_hit_latency: 180,
+            writeback_period: Some(5000),
+            media,
+            seed: 0x0D1A_0001,
+        };
+        MachineConfig {
+            generation: Generation::G1,
+            cores_per_socket: 20,
+            cache: CacheParams {
+                l1_bytes: 32 << 10,
+                l1_ways: 8,
+                l2_bytes: 1 << 20,
+                l2_ways: 16,
+                l3_bytes: 27_500 << 10,
+                l3_ways: 11,
+                l1_latency: 4,
+                l2_latency: 14,
+                l3_latency: 48,
+            },
+            prefetch,
+            pm: PmParams {
+                num_dimms,
+                interleave_bytes: 4096,
+                wpq_drain_interval: 75,
+                wpq_capacity: 64,
+                persist_pipeline: 2300,
+                drain_visible: 1600,
+                read_queue_latency: 30,
+                write_accept_latency: 230,
+                dimm,
+            },
+            dram: DramParams {
+                load_latency: 230,
+                store_latency: 60,
+                persist_pipeline: 380,
+                channels: 4,
+                transfer_occupancy: 12,
+            },
+            clwb_mode: FlushMode::Invalidate,
+            flush_issue: 120,
+            ntstore_issue: 140,
+            fence_cost: 25,
+            sfence_load_bypass: true,
+            load_bypass_window: 600,
+            remote_read_penalty: 170,
+            remote_write_penalty: 700,
+            ht_penalty: 40,
+            eadr: false,
+            crash_seed: 0xC4A5_0001,
+        }
+    }
+
+    /// The G2 testbed (§2.4): larger buffers, no periodic write-back,
+    /// retaining `clwb`, higher buffer/DRAM latencies (cache-coherence
+    /// cost, §3.5).
+    pub fn g2(prefetch: PrefetchConfig, num_dimms: usize) -> Self {
+        let media = MediaParams {
+            read_latency: 460,
+            ait_miss_penalty: 420,
+            read_banks: 4,
+            write_service: 800,
+            ait_coverage_bytes: 16 << 20,
+            ait_ways: 16,
+        };
+        let dimm = DimmParams {
+            read_buffer_lines: 88,  // 22 KB
+            write_buffer_lines: 64, // 16 KB
+            rb_hit_latency: 300,
+            wcb_hit_latency: 260,
+            writeback_period: None,
+            media,
+            seed: 0x0D1A_0002,
+        };
+        MachineConfig {
+            generation: Generation::G2,
+            cores_per_socket: 12,
+            cache: CacheParams {
+                l1_bytes: 48 << 10,
+                l1_ways: 12,
+                l2_bytes: 1_280 << 10,
+                l2_ways: 20,
+                l3_bytes: 36 << 20,
+                l3_ways: 12,
+                l1_latency: 5,
+                l2_latency: 16,
+                l3_latency: 52,
+            },
+            prefetch,
+            pm: PmParams {
+                num_dimms,
+                interleave_bytes: 4096,
+                wpq_drain_interval: 65,
+                wpq_capacity: 64,
+                persist_pipeline: 2200,
+                drain_visible: 1500,
+                read_queue_latency: 30,
+                write_accept_latency: 220,
+                dimm,
+            },
+            dram: DramParams {
+                load_latency: 260,
+                store_latency: 60,
+                persist_pipeline: 380,
+                channels: 4,
+                transfer_occupancy: 12,
+            },
+            clwb_mode: FlushMode::WriteBackRetain,
+            flush_issue: 130,
+            ntstore_issue: 150,
+            fence_cost: 25,
+            sfence_load_bypass: true,
+            load_bypass_window: 600,
+            remote_read_penalty: 170,
+            remote_write_penalty: 600,
+            ht_penalty: 40,
+            eadr: false,
+            crash_seed: 0xC4A5_0002,
+        }
+    }
+
+    /// Convenience constructor by generation.
+    pub fn for_generation(gen: Generation, prefetch: PrefetchConfig, num_dimms: usize) -> Self {
+        match gen {
+            Generation::G1 => Self::g1(prefetch, num_dimms),
+            Generation::G2 => Self::g2(prefetch, num_dimms),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g1_matches_paper_buffer_sizes() {
+        let c = MachineConfig::g1(PrefetchConfig::none(), 1);
+        assert_eq!(c.pm.dimm.read_buffer_lines * 256, 16 << 10);
+        assert_eq!(c.pm.dimm.write_buffer_lines * 256, 12 << 10);
+        assert!(c.pm.dimm.writeback_period.is_some());
+        assert_eq!(c.clwb_mode, FlushMode::Invalidate);
+    }
+
+    #[test]
+    fn g2_matches_paper_differences() {
+        let c = MachineConfig::g2(PrefetchConfig::none(), 6);
+        assert_eq!(c.pm.dimm.read_buffer_lines * 256, 22 << 10);
+        assert_eq!(c.pm.dimm.write_buffer_lines * 256, 16 << 10);
+        assert!(c.pm.dimm.writeback_period.is_none());
+        assert_eq!(c.clwb_mode, FlushMode::WriteBackRetain);
+        assert_eq!(c.pm.num_dimms, 6);
+        assert!(
+            c.pm.dimm.rb_hit_latency
+                > MachineConfig::g1(PrefetchConfig::none(), 1)
+                    .pm
+                    .dimm
+                    .rb_hit_latency,
+            "G2 buffer hits are slower (coherence cost)"
+        );
+    }
+
+    #[test]
+    fn for_generation_dispatches() {
+        let g1 = MachineConfig::for_generation(Generation::G1, PrefetchConfig::all(), 6);
+        assert_eq!(g1.generation, Generation::G1);
+        let g2 = MachineConfig::for_generation(Generation::G2, PrefetchConfig::all(), 6);
+        assert_eq!(g2.generation, Generation::G2);
+    }
+}

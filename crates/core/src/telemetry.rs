@@ -1,0 +1,124 @@
+//! Machine telemetry: the simulator's `ipmwatch`.
+//!
+//! The paper derives its amplification and read-ratio metrics from two
+//! observation points (§2.4): bytes moved at the iMC boundary and bytes
+//! moved at the 3D-XPoint media boundary. The simulator adds a third —
+//! bytes the *program* actually demanded — which the paper approximates
+//! from its benchmark parameters.
+
+use simbase::{stats::ratio, ByteCounter};
+
+/// A snapshot of all traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Bytes moved between the iMC and the Optane DIMMs (64 B granules).
+    pub imc: ByteCounter,
+    /// Bytes moved between the DIMM controllers and the 3D-XPoint media
+    /// (256 B granules).
+    pub media: ByteCounter,
+    /// Bytes moved on the DRAM channel.
+    pub dram: ByteCounter,
+    /// Bytes demanded by program loads and stores (any granule).
+    pub demand: ByteCounter,
+}
+
+impl TelemetrySnapshot {
+    /// Read amplification: media read bytes over iMC read bytes (§2.4).
+    pub fn read_amplification(&self) -> f64 {
+        ratio(self.media.read, self.imc.read)
+    }
+
+    /// Write amplification: media write bytes over iMC write bytes (§2.4).
+    pub fn write_amplification(&self) -> f64 {
+        ratio(self.media.write, self.imc.write)
+    }
+
+    /// The §3.4 "PM read ratio": media read bytes over program-demanded
+    /// read bytes.
+    pub fn pm_read_ratio(&self) -> f64 {
+        ratio(self.media.read, self.demand.read)
+    }
+
+    /// The §3.4 "iMC read ratio": iMC read bytes over program-demanded
+    /// read bytes.
+    pub fn imc_read_ratio(&self) -> f64 {
+        ratio(self.imc.read, self.demand.read)
+    }
+
+    /// Write-buffer efficiency: fraction of iMC-issued write bytes that
+    /// never reached the media (coalesced on-DIMM).
+    pub fn write_absorption(&self) -> f64 {
+        if self.imc.write == 0 {
+            0.0
+        } else {
+            1.0 - ratio(self.media.write, self.imc.write).min(1.0)
+        }
+    }
+
+    /// Counter-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            imc: self.imc.delta(&earlier.imc),
+            media: self.media.delta(&earlier.media),
+            dram: self.dram.delta(&earlier.dram),
+            demand: self.demand.delta(&earlier.demand),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(
+        imc_r: u64,
+        imc_w: u64,
+        med_r: u64,
+        med_w: u64,
+        dem_r: u64,
+        dem_w: u64,
+    ) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            imc: ByteCounter {
+                read: imc_r,
+                write: imc_w,
+            },
+            media: ByteCounter {
+                read: med_r,
+                write: med_w,
+            },
+            dram: ByteCounter::default(),
+            demand: ByteCounter {
+                read: dem_r,
+                write: dem_w,
+            },
+        }
+    }
+
+    #[test]
+    fn amplification_math() {
+        let s = snap(64, 64, 256, 256, 64, 64);
+        assert_eq!(s.read_amplification(), 4.0);
+        assert_eq!(s.write_amplification(), 4.0);
+        assert_eq!(s.pm_read_ratio(), 4.0);
+        assert_eq!(s.imc_read_ratio(), 1.0);
+    }
+
+    #[test]
+    fn absorption_is_one_minus_wa() {
+        let s = snap(0, 1000, 0, 250, 0, 0);
+        assert!((s.write_absorption() - 0.75).abs() < 1e-9);
+        let none = snap(0, 0, 0, 0, 0, 0);
+        assert_eq!(none.write_absorption(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = snap(100, 200, 300, 400, 500, 600);
+        let b = snap(150, 250, 350, 450, 550, 650);
+        let d = b.delta(&a);
+        assert_eq!(d.imc.read, 50);
+        assert_eq!(d.media.write, 50);
+        assert_eq!(d.demand.write, 50);
+    }
+}

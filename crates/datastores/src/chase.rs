@@ -1,0 +1,251 @@
+//! The §3.6 pointer-chase workload (Figure 8).
+//!
+//! A working set of 256-byte, XPLine-aligned elements linked into a
+//! circular list, traversed by pointer chasing. Each visit optionally
+//! updates one cacheline of the element's pad area — deliberately a
+//! *different* cacheline than the one holding the `next` pointer, so
+//! persisting the data never invalidates the cached pointer (as the paper
+//! takes care to arrange).
+
+use pmem::{PersistMode, PmemEnv};
+use simbase::{Addr, Cycles, XPLINE_BYTES};
+use workloads::{ring_order, AccessOrder};
+
+/// How element updates reach persistence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Cached store followed by `clwb`.
+    Clwb,
+    /// Non-temporal store.
+    NtStore,
+}
+
+/// A circular linked list of 256 B elements in PM.
+#[derive(Debug, Clone)]
+pub struct ChaseList {
+    base: Addr,
+    elements: u64,
+    head: Addr,
+}
+
+impl ChaseList {
+    /// Builds a list of `elements` 256 B elements linked in the given
+    /// order. Construction uses non-temporal stores and a final fence; the
+    /// caller typically resets counters afterwards.
+    pub fn build<E: PmemEnv>(env: &mut E, elements: u64, order: AccessOrder, seed: u64) -> Self {
+        assert!(elements >= 2, "a ring needs at least two elements");
+        let base = env.alloc(elements * XPLINE_BYTES, XPLINE_BYTES);
+        let visit = ring_order(elements, order, seed);
+        for i in 0..elements as usize {
+            let cur = visit[i];
+            let next = visit[(i + 1) % elements as usize];
+            let cur_addr = base.add_xplines(cur);
+            let next_addr = base.add_xplines(next);
+            env.nt_store(cur_addr, &next_addr.0.to_le_bytes());
+        }
+        env.sfence();
+        ChaseList {
+            base,
+            elements,
+            head: base.add_xplines(visit[0]),
+        }
+    }
+
+    /// Returns the number of elements.
+    pub fn elements(&self) -> u64 {
+        self.elements
+    }
+
+    /// Returns the base address of the element region.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Returns the first element in visit order.
+    pub fn head(&self) -> Addr {
+        self.head
+    }
+
+    /// Returns the list's working-set size in bytes.
+    pub fn wss(&self) -> u64 {
+        self.elements * XPLINE_BYTES
+    }
+
+    /// Pure pointer chase: one full lap, no writes. Returns average cycles
+    /// per element.
+    pub fn lap_read<E: PmemEnv>(&self, env: &mut E) -> Cycles {
+        let start = env.now();
+        let mut cur = self.head;
+        for _ in 0..self.elements {
+            cur = Addr(env.load_u64(cur));
+        }
+        debug_assert_eq!(cur, self.head, "ring returns to head");
+        (env.now() - start) / self.elements
+    }
+
+    /// Chase with an update to pad cacheline 1 of each element, persisted
+    /// per `kind` and `mode`. Returns average cycles per element.
+    pub fn lap_write<E: PmemEnv>(
+        &self,
+        env: &mut E,
+        kind: WriteKind,
+        mode: PersistMode,
+        token: u64,
+    ) -> Cycles {
+        let start = env.now();
+        let mut cur = self.head;
+        for _ in 0..self.elements {
+            let next = Addr(env.load_u64(cur));
+            let pad = cur.add_cachelines(1);
+            match kind {
+                WriteKind::Clwb => {
+                    env.store_u64(pad, token);
+                    mode.after_write(env, pad, 8);
+                }
+                WriteKind::NtStore => {
+                    env.nt_store(pad, &token.to_le_bytes());
+                    if mode == PersistMode::Strict {
+                        env.sfence();
+                    }
+                }
+            }
+            cur = next;
+        }
+        mode.end_batch(env);
+        (env.now() - start) / self.elements
+    }
+
+    /// Pure writes: element addresses come from a volatile array (no PM
+    /// reads); full-line stores avoid ownership fetches, as the paper's
+    /// pure-write benchmark does. Returns average cycles per element.
+    pub fn lap_pure_write<E: PmemEnv>(
+        &self,
+        env: &mut E,
+        kind: WriteKind,
+        mode: PersistMode,
+        token: u64,
+    ) -> Cycles {
+        // The address array lives in (host-volatile) memory, mirroring the
+        // paper's DRAM address array.
+        let addrs: Vec<Addr> = {
+            let mut v = Vec::with_capacity(self.elements as usize);
+            let mut cur = self.head;
+            for _ in 0..self.elements {
+                v.push(cur);
+                cur = Addr(env.load_u64(cur));
+            }
+            v
+        };
+        let start = env.now();
+        let mut line = [0u8; 64];
+        line[..8].copy_from_slice(&token.to_le_bytes());
+        for a in &addrs {
+            let pad = a.add_cachelines(1);
+            match kind {
+                WriteKind::Clwb => {
+                    env.store_full_line(pad, &line);
+                    mode.after_write(env, pad, 64);
+                }
+                WriteKind::NtStore => {
+                    env.nt_store(pad, &line);
+                    if mode == PersistMode::Strict {
+                        env.sfence();
+                    }
+                }
+            }
+        }
+        mode.end_batch(env);
+        (env.now() - start) / self.elements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpucache::PrefetchConfig;
+    use optane_core::{Machine, MachineConfig};
+    use pmem::{HostEnv, SimEnv};
+
+    #[test]
+    fn ring_is_closed_and_complete() {
+        let mut env = HostEnv::new();
+        for order in [AccessOrder::Sequential, AccessOrder::Random] {
+            let list = ChaseList::build(&mut env, 64, order, 9);
+            let mut cur = list.head();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..64 {
+                assert!(seen.insert(cur.0), "{order:?}: revisited early");
+                cur = Addr(env.load_u64(cur));
+            }
+            assert_eq!(cur, list.head(), "{order:?}: ring closes");
+        }
+    }
+
+    #[test]
+    fn elements_are_xpline_aligned() {
+        let mut env = HostEnv::new();
+        let list = ChaseList::build(&mut env, 16, AccessOrder::Random, 1);
+        let mut cur = list.head();
+        for _ in 0..16 {
+            assert!(cur.is_xpline_aligned());
+            cur = Addr(env.load_u64(cur));
+        }
+    }
+
+    #[test]
+    fn writes_do_not_corrupt_pointers() {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let list = ChaseList::build(&mut env, 32, AccessOrder::Random, 2);
+        list.lap_write(&mut env, WriteKind::Clwb, PersistMode::Strict, 0xAA);
+        list.lap_write(&mut env, WriteKind::NtStore, PersistMode::Relaxed, 0xBB);
+        // The ring still closes.
+        let mut cur = list.head();
+        for _ in 0..32 {
+            cur = Addr(env.load_u64(cur));
+        }
+        assert_eq!(cur, list.head());
+    }
+
+    #[test]
+    fn small_wss_faster_than_large_wss() {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let small = ChaseList::build(&mut env, 16, AccessOrder::Random, 3);
+        // Warm.
+        small.lap_read(&mut env);
+        let fast = small.lap_read(&mut env);
+        drop(env);
+        let mut m2 = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let t2 = m2.spawn(0);
+        let mut env2 = SimEnv::new(&mut m2, t2);
+        // 64 MB working set: beyond L3 and the AIT cache.
+        let large = ChaseList::build(&mut env2, 64 * 4096, AccessOrder::Random, 3);
+        let slow = large.lap_read(&mut env2);
+        assert!(
+            slow > fast * 10,
+            "media-bound chase ({slow}) must dwarf cached chase ({fast})"
+        );
+    }
+
+    #[test]
+    fn pure_write_latency_is_flat_across_wss() {
+        // The headline §3.6 claim: write latency is consistent regardless
+        // of working-set size.
+        let lat_for = |elements: u64| -> Cycles {
+            let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+            let t = m.spawn(0);
+            let mut env = SimEnv::new(&mut m, t);
+            let list = ChaseList::build(&mut env, elements, AccessOrder::Random, 4);
+            list.lap_pure_write(&mut env, WriteKind::NtStore, PersistMode::Strict, 1)
+        };
+        let small = lat_for(64); // 16 KB
+        let large = lat_for(16 * 1024); // 4 MB
+        assert!(
+            large < small * 3,
+            "write latency should stay flat: small={small}, large={large}"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Persistent data structures used in the paper's case studies (§4).
+//!
+//! - [`cceh`]: Cacheline-Conscious Extendible Hashing (Nam et al., FAST
+//!   '19), the subject of the helper-thread prefetching case study (§4.1,
+//!   Table 1, Figure 10), including the speculative load-only prefetch
+//!   trace.
+//! - [`fastfair`]: the FAST & FAIR B+-tree (Hwang et al., FAST '18) with
+//!   two insertion strategies — the paper's baseline (in-place key shifting
+//!   with a persistence barrier per shift) and the out-of-place redo-log
+//!   optimization (§4.2, Figure 12).
+//! - [`chase`]: the 256-byte-element circular linked list that drives the
+//!   latency study of §3.6 (Figure 8).
+//!
+//! All structures are written against [`pmem::PmemEnv`], so they run both
+//! on the simulator (timed, crash-aware) and on plain host memory for
+//! differential testing.
+
+pub mod cceh;
+pub mod chase;
+pub mod fastfair;
+
+pub use cceh::{Cceh, InsertBreakdown};
+pub use chase::{ChaseList, WriteKind};
+pub use fastfair::{FastFair, UpdateStrategy};

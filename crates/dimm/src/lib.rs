@@ -1,0 +1,34 @@
+//! On-DIMM buffering: the subsystem the paper reverse-engineers.
+//!
+//! An Optane DIMM bridges the 64 B cacheline world of the CPU and the 256 B
+//! XPLine world of the 3D-XPoint media with two small, *separately managed*
+//! buffers (§3.1–§3.3 of the paper):
+//!
+//! - a **read buffer** ([`read_buffer::ReadBuffer`]): 16 KB (G1) / 22 KB
+//!   (G2), FIFO eviction, *exclusive* with respect to the CPU caches — a
+//!   cacheline is dropped from the buffer the moment it is delivered
+//!   upstream, which is why read amplification never falls below 1 even for
+//!   tiny working sets (Figure 2);
+//! - a **write-combining buffer** ([`write_buffer::WriteBuffer`]): ~12 KB
+//!   effective (G1) / 16 KB (G2), random eviction (the graceful hit-ratio
+//!   decay of Figure 4), merging sub-XPLine writes to curb write
+//!   amplification (Figure 3). On G1, fully written XPLines are flushed to
+//!   the media periodically (~5000 cycles); partially written lines are
+//!   retained until evicted, paying a read-modify-write at eviction.
+//!
+//! XPLines migrate between the two buffers: a write that hits the read
+//! buffer updates it in place and moves the line to the write buffer,
+//! skipping the expensive "read" of a read-modify-write (§3.3) — the
+//! mechanism behind the paper's helper-thread prefetching case study.
+//!
+//! [`DimmController`] composes the two buffers with the
+//! [`xpmedia::XpMedia`] timing model and exposes the cacheline-granularity
+//! read/write interface the iMC drives over DDR-T.
+
+pub mod controller;
+pub mod read_buffer;
+pub mod write_buffer;
+
+pub use controller::{DimmController, DimmParams, DimmStats, ReadSource};
+pub use read_buffer::ReadBuffer;
+pub use write_buffer::{EvictKind, WriteBuffer};

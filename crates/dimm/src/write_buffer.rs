@@ -1,0 +1,363 @@
+//! The on-DIMM write-combining buffer.
+//!
+//! Findings from §3.2 of the paper encoded here:
+//!
+//! - effective capacity is 12–16 KB (we use 48 XPLines on G1, 64 on G2);
+//! - sub-XPLine writes *coalesce*: repeated writes to a buffered XPLine hit
+//!   the buffer and generate no media traffic, so write amplification is 0
+//!   while the working set fits (Figure 3);
+//! - eviction is **random**, giving the graceful hit-ratio decay of
+//!   Figure 4 (contrast with the read buffer's sharp FIFO cliff);
+//! - evicting a *partially* written XPLine requires a read-modify-write
+//!   (one media read plus one media write); evicting a fully written or
+//!   read-buffer-backed XPLine needs only the media write;
+//! - on G1, fully written XPLines are written back to the media
+//!   periodically (~every 5000 cycles), which is why 256 B writes see write
+//!   amplification 1 even for tiny working sets; G2 disables the periodic
+//!   write-back.
+
+use simbase::{Addr, Cycles, SplitMix64, CACHELINES_PER_XPLINE};
+
+/// One write-buffer slot.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteEntry {
+    /// XPLine-aligned address.
+    pub xpline: Addr,
+    /// Per-cacheline written bits.
+    pub written: u8,
+    /// `true` if the unwritten cachelines are already present on the DIMM
+    /// (the line migrated from the read buffer), so eviction does not need
+    /// the "read" of a read-modify-write.
+    pub backed: bool,
+    /// Time of the most recent write to this entry.
+    pub last_write: Cycles,
+}
+
+const FULL_MASK: u8 = (1 << CACHELINES_PER_XPLINE) - 1;
+
+impl WriteEntry {
+    /// Returns `true` if all four cachelines have been written.
+    pub fn fully_written(&self) -> bool {
+        self.written == FULL_MASK
+    }
+
+    /// Returns `true` if eviction can skip the RMW read.
+    pub fn write_only_evict(&self) -> bool {
+        self.fully_written() || self.backed
+    }
+}
+
+/// What kind of media traffic an eviction generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictKind {
+    /// Fully written (or read-buffer-backed) line: one media write.
+    WriteOnly,
+    /// Partially written line: media read (RMW) plus media write.
+    ReadModifyWrite,
+}
+
+/// Outcome of recording a write in the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// `true` if the write coalesced into an existing entry.
+    pub hit: bool,
+    /// Eviction performed to make room, if any.
+    pub evicted: Option<(Addr, EvictKind)>,
+}
+
+/// Random-eviction write-combining buffer.
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    entries: Vec<WriteEntry>,
+    capacity: usize,
+    rng: SplitMix64,
+    hits: u64,
+    misses: u64,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer holding `capacity_lines` XPLines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_lines` is zero.
+    pub fn new(capacity_lines: usize, seed: u64) -> Self {
+        assert!(capacity_lines > 0, "write buffer capacity must be positive");
+        WriteBuffer {
+            entries: Vec::with_capacity(capacity_lines),
+            capacity: capacity_lines,
+            rng: SplitMix64::new(seed),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Records a 64 B write to `addr` at time `now`.
+    ///
+    /// Coalesces into an existing entry when possible; otherwise allocates
+    /// a slot, evicting a random victim if the buffer is full.
+    pub fn write(&mut self, now: Cycles, addr: Addr) -> WriteOutcome {
+        let xpline = addr.xpline();
+        let bit = 1u8 << addr.cacheline_in_xpline();
+        if let Some(e) = self.entries.iter_mut().find(|e| e.xpline == xpline) {
+            e.written |= bit;
+            e.last_write = now;
+            self.hits += 1;
+            return WriteOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+        self.misses += 1;
+        let evicted = if self.entries.len() >= self.capacity {
+            let victim = self.rng.gen_range(self.entries.len() as u64) as usize;
+            let e = self.entries.swap_remove(victim);
+            let kind = if e.write_only_evict() {
+                EvictKind::WriteOnly
+            } else {
+                EvictKind::ReadModifyWrite
+            };
+            Some((e.xpline, kind))
+        } else {
+            None
+        };
+        self.entries.push(WriteEntry {
+            xpline,
+            written: bit,
+            backed: false,
+            last_write: now,
+        });
+        WriteOutcome {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Installs an XPLine migrated from the read buffer, with the cacheline
+    /// at `addr` written and the rest backed by the buffered line.
+    ///
+    /// If the XPLine already has a write-buffer entry, the migration merely
+    /// marks it backed. Returns an eviction, if one was needed.
+    pub fn install_backed(&mut self, now: Cycles, addr: Addr) -> Option<(Addr, EvictKind)> {
+        let xpline = addr.xpline();
+        let bit = 1u8 << addr.cacheline_in_xpline();
+        if let Some(e) = self.entries.iter_mut().find(|e| e.xpline == xpline) {
+            e.written |= bit;
+            e.backed = true;
+            e.last_write = now;
+            self.hits += 1;
+            return None;
+        }
+        self.hits += 1; // The write itself hit on-DIMM state (the read buffer).
+        let evicted = if self.entries.len() >= self.capacity {
+            let victim = self.rng.gen_range(self.entries.len() as u64) as usize;
+            let e = self.entries.swap_remove(victim);
+            let kind = if e.write_only_evict() {
+                EvictKind::WriteOnly
+            } else {
+                EvictKind::ReadModifyWrite
+            };
+            Some((e.xpline, kind))
+        } else {
+            None
+        };
+        self.entries.push(WriteEntry {
+            xpline,
+            written: bit,
+            backed: true,
+            last_write: now,
+        });
+        evicted
+    }
+
+    /// Returns `true` if the cacheline at `addr` can be served from the
+    /// buffer (it was written, or its XPLine is backed).
+    pub fn serves_read(&self, addr: Addr) -> bool {
+        let xpline = addr.xpline();
+        let bit = 1u8 << addr.cacheline_in_xpline();
+        self.entries
+            .iter()
+            .find(|e| e.xpline == xpline)
+            .is_some_and(|e| e.backed || e.written & bit != 0)
+    }
+
+    /// Returns `true` if the XPLine containing `addr` has an entry.
+    pub fn contains_xpline(&self, addr: Addr) -> bool {
+        let xpline = addr.xpline();
+        self.entries.iter().any(|e| e.xpline == xpline)
+    }
+
+    /// Removes and returns every entry with its eviction kind (power-fail
+    /// ADR flush).
+    pub fn drain_all(&mut self) -> Vec<(Addr, EvictKind)> {
+        self.entries
+            .drain(..)
+            .map(|e| {
+                let kind = if e.write_only_evict() {
+                    EvictKind::WriteOnly
+                } else {
+                    EvictKind::ReadModifyWrite
+                };
+                (e.xpline, kind)
+            })
+            .collect()
+    }
+
+    /// Removes and returns fully written entries older than `threshold`
+    /// (the G1 periodic write-back sweep).
+    pub fn sweep_full_lines(&mut self, threshold: Cycles) -> Vec<Addr> {
+        let mut flushed = Vec::new();
+        self.entries.retain(|e| {
+            if e.fully_written() && e.last_write <= threshold {
+                flushed.push(e.xpline);
+                false
+            } else {
+                true
+            }
+        });
+        flushed
+    }
+
+    /// Returns the number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the configured capacity in XPLines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns `(hits, misses)` observed so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Clears contents and statistics (the RNG stream continues).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wb(cap: usize) -> WriteBuffer {
+        WriteBuffer::new(cap, 0x5EED)
+    }
+
+    #[test]
+    fn writes_coalesce() {
+        let mut b = wb(4);
+        let o1 = b.write(0, Addr(0));
+        assert!(!o1.hit);
+        let o2 = b.write(1, Addr(64));
+        assert!(o2.hit, "sibling cacheline coalesces");
+        let o3 = b.write(2, Addr(0));
+        assert!(o3.hit, "rewrite coalesces");
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn full_buffer_evicts_randomly() {
+        let mut b = wb(2);
+        b.write(0, Addr(0));
+        b.write(0, Addr(256));
+        let o = b.write(0, Addr(512));
+        let (victim, kind) = o.evicted.expect("eviction required");
+        assert!(victim == Addr(0) || victim == Addr(256));
+        assert_eq!(kind, EvictKind::ReadModifyWrite); // single-cacheline entries
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn fully_written_line_evicts_without_rmw() {
+        let mut b = wb(1);
+        for cl in 0..4u64 {
+            b.write(0, Addr(cl * 64));
+        }
+        let o = b.write(0, Addr(256));
+        assert_eq!(o.evicted, Some((Addr(0), EvictKind::WriteOnly)));
+    }
+
+    #[test]
+    fn backed_line_evicts_without_rmw() {
+        let mut b = wb(1);
+        b.install_backed(0, Addr(64));
+        let o = b.write(0, Addr(256));
+        assert_eq!(o.evicted, Some((Addr(0), EvictKind::WriteOnly)));
+    }
+
+    #[test]
+    fn backed_entries_serve_reads() {
+        let mut b = wb(2);
+        b.install_backed(0, Addr(0));
+        assert!(b.serves_read(Addr(0)));
+        assert!(b.serves_read(Addr(128)), "backing covers unwritten lines");
+        b.write(0, Addr(256));
+        assert!(b.serves_read(Addr(256)));
+        assert!(
+            !b.serves_read(Addr(320)),
+            "unwritten line of an unbacked entry needs the media"
+        );
+    }
+
+    #[test]
+    fn sweep_flushes_only_old_full_lines() {
+        let mut b = wb(4);
+        for cl in 0..4u64 {
+            b.write(100, Addr(cl * 64)); // full line, last write at 100
+        }
+        b.write(100, Addr(256)); // partial line
+        for cl in 0..4u64 {
+            b.write(9000, Addr(512 + cl * 64)); // full line, too recent
+        }
+        let flushed = b.sweep_full_lines(5000);
+        assert_eq!(flushed, vec![Addr(0)]);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn hit_ratio_decays_gracefully_beyond_capacity() {
+        // Random partial writes over twice the capacity: random eviction
+        // keeps the hit ratio near capacity/wss instead of collapsing to 0
+        // (Figure 4).
+        let cap = 64;
+        let mut b = wb(cap);
+        let wss_lines = 2 * cap as u64;
+        let mut rng = SplitMix64::new(99);
+        // Warm up.
+        for _ in 0..10_000 {
+            let line = rng.gen_range(wss_lines);
+            b.write(0, Addr(line * 256));
+        }
+        let (h0, m0) = b.stats();
+        for _ in 0..20_000 {
+            let line = rng.gen_range(wss_lines);
+            b.write(0, Addr(line * 256));
+        }
+        let (h1, m1) = b.stats();
+        let hit_ratio = (h1 - h0) as f64 / ((h1 - h0) + (m1 - m0)) as f64;
+        assert!(
+            (0.3..0.7).contains(&hit_ratio),
+            "expected graceful decay near cap/wss = 0.5, got {hit_ratio}"
+        );
+    }
+
+    #[test]
+    fn install_backed_merges_with_existing_entry() {
+        let mut b = wb(2);
+        b.write(0, Addr(0));
+        b.install_backed(1, Addr(64));
+        assert_eq!(b.len(), 1);
+        assert!(b.serves_read(Addr(128)), "merged entry is backed");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the on-DIMM buffers: capacity bounds, exclusivity,
+//! coalescing, and traffic accounting under random access streams.
+
+use proptest::prelude::*;
+use simbase::{Addr, XPLINE_BYTES};
+use xpdimm::{
+    read_buffer::RbLookup, DimmController, DimmParams, ReadBuffer, ReadSource, WriteBuffer,
+};
+use xpmedia::MediaParams;
+
+fn dimm(writeback: bool) -> DimmController {
+    DimmController::new(DimmParams {
+        read_buffer_lines: 8,
+        write_buffer_lines: 6,
+        rb_hit_latency: 200,
+        wcb_hit_latency: 150,
+        writeback_period: writeback.then_some(5000),
+        media: MediaParams {
+            ait_coverage_bytes: 1 << 20,
+            ..MediaParams::default()
+        },
+        seed: 42,
+    })
+}
+
+proptest! {
+    #[test]
+    fn read_buffer_occupancy_never_exceeds_capacity(
+        addrs in prop::collection::vec(0u64..64, 1..300),
+        cap in 1usize..16,
+    ) {
+        let mut rb = ReadBuffer::new(cap);
+        for a in addrs {
+            let addr = Addr(a * 64);
+            if rb.lookup_consume(addr) == RbLookup::Miss {
+                rb.fill_and_consume(addr);
+            }
+            prop_assert!(rb.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn read_buffer_exclusivity_consume_once(
+        cachelines in prop::collection::vec(0u64..32, 1..200),
+    ) {
+        // Any cacheline can hit at most once between two fills of its
+        // XPLine: delivered lines leave the buffer.
+        let mut rb = ReadBuffer::new(64); // never capacity-evicts here
+        let mut available: std::collections::HashSet<u64> = Default::default();
+        for cl in cachelines {
+            let addr = Addr(cl * 64);
+            match rb.lookup_consume(addr) {
+                RbLookup::Hit => {
+                    prop_assert!(available.remove(&cl), "hit on unavailable line {cl}");
+                }
+                RbLookup::Miss => {
+                    rb.fill_and_consume(addr);
+                    // The fill makes the three siblings available and
+                    // consumes the demanded line.
+                    let xp = (cl / 4) * 4;
+                    for s in xp..xp + 4 {
+                        available.insert(s);
+                    }
+                    available.remove(&cl);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_buffer_occupancy_and_coalescing(
+        writes in prop::collection::vec(0u64..48, 1..400),
+        cap in 1usize..12,
+    ) {
+        let mut wb = WriteBuffer::new(cap, 7);
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for cl in writes {
+            let addr = Addr(cl * 64);
+            let xp = addr.xpline().0;
+            let out = wb.write(0, addr);
+            prop_assert_eq!(out.hit, resident.contains(&xp), "coalescing mismatch");
+            if let Some((victim, _)) = out.evicted {
+                prop_assert!(resident.remove(&victim.0), "evicted non-resident");
+            }
+            resident.insert(xp);
+            prop_assert!(wb.len() <= cap);
+            prop_assert_eq!(wb.len(), resident.len());
+        }
+    }
+
+    #[test]
+    fn small_partial_write_sets_never_touch_media(
+        writes in prop::collection::vec((0u64..5, 0u64..3), 1..300),
+    ) {
+        // 5 XPLines, partial writes only, no periodic write-back: a G2-ish
+        // DIMM must absorb everything in its 6-line buffer.
+        let mut d = dimm(false);
+        let mut now = 0;
+        for (xp, cl) in writes {
+            d.write_cacheline(now, Addr(xp * XPLINE_BYTES + cl * 64));
+            now += 100;
+        }
+        prop_assert_eq!(d.media_counters().write, 0);
+        prop_assert_eq!(d.stats().rmw_reads, 0);
+    }
+
+    #[test]
+    fn media_read_traffic_matches_miss_count(
+        reads in prop::collection::vec(0u64..128, 1..300),
+    ) {
+        let mut d = dimm(false);
+        let mut now = 0;
+        let mut media_fetches = 0u64;
+        for cl in reads {
+            let (done, src) = d.read_cacheline(now, Addr(cl * 64));
+            if src == ReadSource::Media {
+                media_fetches += 1;
+            }
+            now = done;
+        }
+        prop_assert_eq!(d.media_counters().read, media_fetches * XPLINE_BYTES);
+    }
+
+    #[test]
+    fn mixed_traffic_time_monotone_and_accounted(
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..300),
+    ) {
+        let mut d = dimm(true);
+        let mut now = 0u64;
+        for (cl, is_write) in ops {
+            let addr = Addr(cl * 64);
+            let done = if is_write {
+                d.write_cacheline(now, addr)
+            } else {
+                d.read_cacheline(now, addr).0
+            };
+            prop_assert!(done > now, "operations take time");
+            now = done;
+        }
+        let s = d.stats();
+        // Accounting identity: media writes = (evictions + periodic
+        // write-backs) * XPLine.
+        prop_assert_eq!(
+            s.media.write,
+            (s.evictions + s.periodic_writebacks) * XPLINE_BYTES
+        );
+        // RMW reads are a subset of media reads.
+        prop_assert!(s.rmw_reads * XPLINE_BYTES <= s.media.read);
+    }
+}

@@ -1,0 +1,230 @@
+//! `repro`: regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [e0|e1|..|e9|table1|mixes|all] [--full] [--out DIR] [--gen g1|g2|both]
+//! ```
+//!
+//! Prints each figure as an aligned table and writes a CSV per panel into
+//! the output directory (default `results/`). `--full` runs closer to
+//! paper scale (larger working sets and op counts; minutes instead of
+//! seconds).
+
+use std::fs;
+use std::path::PathBuf;
+
+use experiments::common::log_sweep;
+use experiments::common::ExpResult;
+use experiments::e0_bandwidth;
+use experiments::ext_mixes;
+use experiments::{
+    e1_read_buffer, e2_prefetch, e3_write_amp, e4_wb_hit, e5_rap, e6_latency, e7_cceh, e8_btree,
+    e9_redirect, table1,
+};
+use optane_core::Generation;
+
+struct Options {
+    which: Vec<String>,
+    full: bool,
+    out: PathBuf,
+    gens: Vec<Generation>,
+}
+
+fn parse_args() -> Options {
+    let mut which = Vec::new();
+    let mut full = false;
+    let mut out = PathBuf::from("results");
+    let mut gens = vec![Generation::G1, Generation::G2];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--gen" => {
+                let g = args.next().unwrap_or_default();
+                gens = match g.as_str() {
+                    "g1" | "G1" => vec![Generation::G1],
+                    "g2" | "G2" => vec![Generation::G2],
+                    "both" => vec![Generation::G1, Generation::G2],
+                    other => {
+                        eprintln!("unknown generation: {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "-h" | "--help" => {
+                println!(
+                    "usage: repro [e0|e1|..|e9|table1|mixes|all] \
+                     [--full] [--out DIR] [--gen g1|g2|both]"
+                );
+                std::process::exit(0);
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    Options {
+        which,
+        full,
+        out,
+        gens,
+    }
+}
+
+fn emit(out_dir: &std::path::Path, results: &[ExpResult]) {
+    for r in results {
+        println!("{}", r.to_table());
+        let slug: String = r
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect::<String>()
+            .to_lowercase();
+        let path = out_dir.join(format!("{slug}.csv"));
+        if let Err(e) = fs::write(&path, r.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Err(e) = fs::create_dir_all(&opts.out) {
+        eprintln!("cannot create {}: {e}", opts.out.display());
+        std::process::exit(1);
+    }
+    let run_all = opts.which.iter().any(|w| w == "all");
+    let wants = |name: &str| run_all || opts.which.iter().any(|w| w == name);
+    let max_wss: u64 = if opts.full { 1 << 30 } else { 64 << 20 };
+    let t_start = std::time::Instant::now();
+
+    if wants("e0") {
+        for &gen in &opts.gens {
+            let r = e0_bandwidth::run(&e0_bandwidth::E0Params {
+                generation: gen,
+                blocks_per_thread: if opts.full { 50_000 } else { 10_000 },
+                ..Default::default()
+            });
+            emit(&opts.out, &[r]);
+        }
+    }
+    if wants("e1") {
+        for &gen in &opts.gens {
+            let r = e1_read_buffer::run(&e1_read_buffer::E1Params {
+                generation: gen,
+                ..Default::default()
+            });
+            emit(&opts.out, &[r]);
+        }
+    }
+    if wants("e2") {
+        for &gen in &opts.gens {
+            let r = e2_prefetch::run(&e2_prefetch::E2Params {
+                generation: gen,
+                wss_points: log_sweep(4 << 10, max_wss, 1),
+                ..Default::default()
+            });
+            emit(&opts.out, &r);
+        }
+    }
+    if wants("e3") {
+        for &gen in &opts.gens {
+            let r = e3_write_amp::run(&e3_write_amp::E3Params {
+                generation: gen,
+                ..Default::default()
+            });
+            emit(&opts.out, &[r]);
+        }
+    }
+    if wants("e4") {
+        let r = e4_wb_hit::run(&e4_wb_hit::E4Params::default());
+        emit(&opts.out, &[r]);
+    }
+    if wants("e5") {
+        for &gen in &opts.gens {
+            let r = e5_rap::run(&e5_rap::E5Params {
+                generation: gen,
+                iters: if opts.full { 20_000 } else { 3000 },
+                ..Default::default()
+            });
+            emit(&opts.out, &r);
+        }
+    }
+    if wants("e6") {
+        for &gen in &opts.gens {
+            let r = e6_latency::run(&e6_latency::E6Params {
+                generation: gen,
+                wss_points: log_sweep(4 << 10, max_wss, 1),
+                ..Default::default()
+            });
+            emit(&opts.out, &r);
+        }
+    }
+    if wants("table1") {
+        let r = table1::run(&table1::Table1Params {
+            inserts: if opts.full { 2_000_000 } else { 100_000 },
+            ..Default::default()
+        });
+        println!("# Table 1: time breakdown of key insertion in CCEH (G1)");
+        println!("{r}");
+        let _ = fs::write(opts.out.join("table1.txt"), format!("{r}"));
+    }
+    if wants("e7") {
+        let r = e7_cceh::run(&e7_cceh::E7Params {
+            inserts_per_worker: if opts.full { 200_000 } else { 20_000 },
+            ..Default::default()
+        });
+        emit(&opts.out, &r);
+    }
+    if wants("e8") {
+        let r = e8_btree::run(&e8_btree::E8Params {
+            inserts: if opts.full { 400_000 } else { 40_000 },
+            generations: opts.gens.clone(),
+            ..Default::default()
+        });
+        emit(&opts.out, &r);
+    }
+    if wants("mixes") {
+        for &gen in &opts.gens {
+            let r = ext_mixes::run(&ext_mixes::MixParams {
+                generation: gen,
+                records: if opts.full { 500_000 } else { 50_000 },
+                ops: if opts.full { 500_000 } else { 50_000 },
+                ..Default::default()
+            });
+            emit(&opts.out, &[r]);
+        }
+    }
+    if wants("e9") {
+        for &gen in &opts.gens {
+            let threads = match gen {
+                Generation::G1 => vec![1, 2, 4, 8, 12, 16],
+                Generation::G2 => vec![1, 2, 4, 8, 12, 16, 20, 24],
+            };
+            let p = e9_redirect::E9Params {
+                generation: gen,
+                wss_points: log_sweep(4 << 10, max_wss, 1),
+                visits: if opts.full { 200_000 } else { 40_000 },
+                threads,
+                ..Default::default()
+            };
+            let f13 = e9_redirect::run_fig13(&p);
+            emit(&opts.out, &[f13]);
+            let f14 = e9_redirect::run_fig14(&p);
+            emit(&opts.out, &f14);
+        }
+    }
+    eprintln!(
+        "done in {:.1}s; CSVs in {}",
+        t_start.elapsed().as_secs_f64(),
+        opts.out.display()
+    );
+}

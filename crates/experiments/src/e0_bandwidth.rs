@@ -1,0 +1,131 @@
+//! E0 / §2.2: the "known performance characteristics" the paper builds
+//! on, reproduced as a substrate validation: maximal read bandwidth is
+//! about 3x maximal write bandwidth, and write bandwidth stops scaling at
+//! a small thread count while read bandwidth scales further.
+
+use cpucache::PrefetchConfig;
+use optane_core::{Generation, Machine, MachineConfig, ThreadId};
+use simbase::XPLINE_BYTES;
+
+use crate::common::{Curve, ExpResult};
+
+/// Parameters for E0.
+#[derive(Debug, Clone)]
+pub struct E0Params {
+    /// Which generation to model.
+    pub generation: Generation,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// XPLine accesses per thread per point.
+    pub blocks_per_thread: u64,
+    /// DIMM population.
+    pub dimms: usize,
+    /// Clock frequency for GB/s conversion.
+    pub ghz: f64,
+}
+
+impl Default for E0Params {
+    fn default() -> Self {
+        E0Params {
+            generation: Generation::G1,
+            threads: vec![1, 2, 4, 8, 12, 16],
+            blocks_per_thread: 10_000,
+            dimms: 1,
+            ghz: 2.1,
+        }
+    }
+}
+
+/// Runs E0: sequential read and nt-store write bandwidth vs. threads.
+pub fn run(params: &E0Params) -> ExpResult {
+    let mut result = ExpResult::new(
+        format!(
+            "E0 / §2.2: bandwidth scaling ({}, {} DIMM)",
+            params.generation, params.dimms
+        ),
+        "threads",
+        "GB/s",
+    );
+    let mut read = Curve::new("sequential read");
+    let mut write = Curve::new("nt-store write");
+    for &threads in &params.threads {
+        read.push(threads as f64, measure(params, threads, false));
+        write.push(threads as f64, measure(params, threads, true));
+    }
+    result.curves = vec![read, write];
+    result
+}
+
+fn measure(params: &E0Params, threads: usize, write: bool) -> f64 {
+    let cfg = MachineConfig::for_generation(params.generation, PrefetchConfig::all(), params.dimms);
+    let mut m = Machine::new(cfg);
+    let tids: Vec<ThreadId> = (0..threads).map(|_| m.spawn(0)).collect();
+    // Each thread streams over its own region so the caches and buffers
+    // behave as in a bandwidth benchmark.
+    let regions: Vec<_> = (0..threads)
+        .map(|_| m.alloc_pm(params.blocks_per_thread * XPLINE_BYTES, 4096))
+        .collect();
+    let data = [0x5Au8; 64];
+    for b in 0..params.blocks_per_thread {
+        for w in 0..threads {
+            let block = regions[w].add_xplines(b);
+            if write {
+                for cl in 0..4u64 {
+                    m.nt_store(tids[w], block.add_cachelines(cl), &data);
+                }
+                if b % 16 == 0 {
+                    m.sfence(tids[w]);
+                }
+            } else {
+                for cl in 0..4u64 {
+                    m.load_u64(tids[w], block.add_cachelines(cl));
+                }
+                for cl in 0..4u64 {
+                    m.clflushopt(tids[w], block.add_cachelines(cl));
+                }
+            }
+        }
+    }
+    for &t in &tids {
+        m.sfence(t);
+    }
+    let makespan = tids.iter().map(|&t| m.now(t)).max().expect("threads") as f64;
+    let bytes = (params.blocks_per_thread * threads as u64 * XPLINE_BYTES) as f64;
+    bytes / makespan * params.ghz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_asymmetry_and_saturation() {
+        let r = run(&E0Params {
+            threads: vec![1, 4, 8, 16],
+            blocks_per_thread: 2000,
+            ..E0Params::default()
+        });
+        let read = r.curve("sequential read").unwrap();
+        let write = r.curve("nt-store write").unwrap();
+        // §2.2: max read bandwidth ≈ 3x max write bandwidth.
+        let ratio = read.y_max() / write.y_max();
+        assert!(
+            (1.8..5.0).contains(&ratio),
+            "read/write bandwidth ratio ≈ 3, got {ratio:.2}"
+        );
+        // Write bandwidth saturates at a small thread count.
+        let w4 = write.y_at(4.0).unwrap();
+        let w16 = write.y_at(16.0).unwrap();
+        assert!(
+            w16 < w4 * 1.25,
+            "write does not scale past ~4 threads: {w4:.2} -> {w16:.2}"
+        );
+        // Read keeps scaling further than write does.
+        let r1 = read.y_at(1.0).unwrap();
+        let r16 = read.y_at(16.0).unwrap();
+        assert!(
+            r16 > r1 * 1.5,
+            "read scales with threads: {r1:.2} -> {r16:.2}"
+        );
+    }
+}

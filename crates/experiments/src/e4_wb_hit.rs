@@ -1,0 +1,108 @@
+//! E4 / Figure 4: write-buffer hit ratio under random partial writes.
+//!
+//! Random single-cacheline nt-stores over a working-set sweep. The hit
+//! ratio decays *gracefully* past capacity — the signature of random
+//! eviction (contrast the read buffer's FIFO cliff in E1). G1's effective
+//! capacity is ~12 KB; G2's turning point is later (16 KB).
+
+use cpucache::PrefetchConfig;
+use optane_core::{Generation, Machine, MachineConfig};
+use simbase::{SplitMix64, XPLINE_BYTES};
+
+use crate::common::{Curve, ExpResult};
+
+/// Parameters for E4.
+#[derive(Debug, Clone)]
+pub struct E4Params {
+    /// Working-set sizes to sweep.
+    pub wss_points: Vec<u64>,
+    /// Measured writes per point (after warm-up).
+    pub writes: u64,
+}
+
+impl Default for E4Params {
+    fn default() -> Self {
+        E4Params {
+            wss_points: (1..=32).map(|k| k << 10).collect(),
+            writes: 30_000,
+        }
+    }
+}
+
+/// Runs E4: one curve per generation.
+pub fn run(params: &E4Params) -> ExpResult {
+    let mut result = ExpResult::new(
+        "E4 / Figure 4: write buffer hit ratio",
+        "WSS(bytes)",
+        "buffer hit ratio",
+    );
+    for gen in [Generation::G1, Generation::G2] {
+        let mut curve = Curve::new(format!("{gen} Optane"));
+        for &wss in &params.wss_points {
+            curve.push(wss as f64, measure_point(gen, wss, params.writes));
+        }
+        result.curves.push(curve);
+    }
+    result
+}
+
+fn measure_point(gen: Generation, wss: u64, writes: u64) -> f64 {
+    let cfg = MachineConfig::for_generation(gen, PrefetchConfig::none(), 1);
+    let mut m = Machine::new(cfg);
+    let t = m.spawn(0);
+    let base = m.alloc_pm(wss, XPLINE_BYTES);
+    let xplines = wss / XPLINE_BYTES;
+    let data = [0x5Au8; 64];
+    let mut rng = SplitMix64::new(0xE4 ^ wss);
+    let mut do_writes = |m: &mut Machine, n: u64| {
+        for _ in 0..n {
+            let x = rng.gen_range(xplines);
+            m.nt_store(t, base.add_xplines(x), &data);
+        }
+        m.sfence(t);
+    };
+    // Warm up to steady state.
+    do_writes(&mut m, writes / 2);
+    let before = m.dimm_stats()[0].write_buffer;
+    do_writes(&mut m, writes);
+    let after = m.dimm_stats()[0].write_buffer;
+    let hits = after.0 - before.0;
+    let misses = after.1 - before.1;
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_decays_gracefully_and_g2_turns_later() {
+        let r = run(&E4Params {
+            wss_points: vec![8 << 10, 14 << 10, 24 << 10, 32 << 10],
+            writes: 8000,
+        });
+        let g1 = r.curve("G1 Optane").unwrap();
+        let g2 = r.curve("G2 Optane").unwrap();
+        // Below capacity: ~1.0 for both.
+        assert!(g1.y_at((8 << 10) as f64).unwrap() > 0.95);
+        assert!(g2.y_at((8 << 10) as f64).unwrap() > 0.95);
+        // At 14 KB G1 (12 KB) has started dropping, G2 (16 KB) has not.
+        let g1_14 = g1.y_at((14 << 10) as f64).unwrap();
+        let g2_14 = g2.y_at((14 << 10) as f64).unwrap();
+        assert!(g1_14 < 0.97, "G1 past capacity at 14KB: {g1_14}");
+        assert!(g2_14 > 0.95, "G2 still within capacity at 14KB: {g2_14}");
+        // Graceful decay, not a cliff: at 2x capacity the ratio is near
+        // capacity/wss, well above zero.
+        let g1_24 = g1.y_at((24 << 10) as f64).unwrap();
+        assert!(
+            (0.3..0.75).contains(&g1_24),
+            "graceful decay at 2x capacity: {g1_24}"
+        );
+        // G2 stays above G1 throughout the tail.
+        assert!(g2.y_at((32 << 10) as f64).unwrap() > g1.y_at((32 << 10) as f64).unwrap());
+    }
+}

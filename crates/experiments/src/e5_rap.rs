@@ -1,0 +1,264 @@
+//! E5 / Figure 7: read-after-persist (RAP) latency vs. distance.
+//!
+//! The paper's Algorithm 1: persist one cacheline (store+`clwb` or
+//! nt-store, then a fence), then read a cacheline persisted `distance`
+//! iterations earlier. Average per-iteration cycles are reported as the
+//! distance grows (claim C5):
+//!
+//! - G1 PM, `clwb`+`mfence`: ~10x latency at small distances, decaying as
+//!   the persist pipeline drains;
+//! - G1 PM, `clwb`+`sfence`: fast at distance ≤ 1 (loads bypass the
+//!   not-yet-visible flush), a jump at distance ~2, then convergence;
+//! - nt-store: long RAP on both generations;
+//! - G2 `clwb`: flat (the line stays in the cache);
+//! - DRAM: the same shapes compressed to a ~2x gap;
+//! - remote NUMA: everything shifted up.
+
+use cpucache::PrefetchConfig;
+use optane_core::{Generation, Machine, MachineConfig, MemRegion, ThreadId};
+use simbase::{Addr, CACHELINE_BYTES};
+
+use crate::common::{Curve, ExpResult};
+
+/// Persist instruction variants of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RapVariant {
+    /// `mov` + `clwb` + `mfence`.
+    ClwbMfence,
+    /// `mov` + `clwb` + `sfence`.
+    ClwbSfence,
+    /// nt-store + `mfence`.
+    NtStoreMfence,
+}
+
+impl RapVariant {
+    fn label(&self, region: MemRegion) -> String {
+        let mem = match region {
+            MemRegion::Pm => "PM",
+            MemRegion::Dram => "DRAM",
+        };
+        match self {
+            RapVariant::ClwbMfence => format!("{mem}+clwb+mfence"),
+            RapVariant::ClwbSfence => format!("{mem}+clwb+sfence"),
+            RapVariant::NtStoreMfence => format!("{mem}+nt-store+mfence"),
+        }
+    }
+}
+
+/// Parameters for E5.
+#[derive(Debug, Clone)]
+pub struct E5Params {
+    /// Which generation to model.
+    pub generation: Generation,
+    /// RAP distances (cachelines) to sweep.
+    pub distances: Vec<u64>,
+    /// Iterations per distance point.
+    pub iters: u64,
+}
+
+impl Default for E5Params {
+    fn default() -> Self {
+        E5Params {
+            generation: Generation::G1,
+            distances: (0..=40).step_by(2).collect(),
+            iters: 3000,
+        }
+    }
+}
+
+/// Runs E5: four panels (local/remote x PM/DRAM) per generation.
+pub fn run(params: &E5Params) -> Vec<ExpResult> {
+    let mut out = Vec::new();
+    for (locality, socket) in [("local", 0usize), ("remote", 1usize)] {
+        for region in [MemRegion::Pm, MemRegion::Dram] {
+            let mem = match region {
+                MemRegion::Pm => "PM",
+                MemRegion::Dram => "DRAM",
+            };
+            let mut result = ExpResult::new(
+                format!(
+                    "E5 / Figure 7: RAP on {locality} {mem} ({})",
+                    params.generation
+                ),
+                "distance(cachelines)",
+                "cycles per iteration",
+            );
+            let variants: &[RapVariant] = match region {
+                MemRegion::Pm => &[
+                    RapVariant::ClwbMfence,
+                    RapVariant::ClwbSfence,
+                    RapVariant::NtStoreMfence,
+                ],
+                MemRegion::Dram => &[RapVariant::ClwbMfence, RapVariant::ClwbSfence],
+            };
+            for &variant in variants {
+                let mut curve = Curve::new(variant.label(region));
+                for &d in &params.distances {
+                    let lat = measure_point(params, socket, region, variant, d);
+                    curve.push(d as f64, lat);
+                }
+                result.curves.push(curve);
+            }
+            out.push(result);
+        }
+    }
+    out
+}
+
+fn measure_point(
+    params: &E5Params,
+    socket: usize,
+    region: MemRegion,
+    variant: RapVariant,
+    distance: u64,
+) -> f64 {
+    let cfg = MachineConfig::for_generation(params.generation, PrefetchConfig::none(), 1);
+    let mut m = Machine::new(cfg);
+    let t = m.spawn(socket);
+    let wss: u64 = 4 << 10; // Algorithm 1 uses a 4 KB working set.
+    let base = match region {
+        MemRegion::Pm => m.alloc_pm(wss, CACHELINE_BYTES),
+        MemRegion::Dram => m.alloc_dram(wss, CACHELINE_BYTES),
+    };
+    // Warm pass: touch and persist everything once so steady state begins
+    // immediately.
+    for i in 0..wss / CACHELINE_BYTES {
+        iteration(&mut m, t, base, wss, i * CACHELINE_BYTES, distance, variant);
+    }
+    let start = m.now(t);
+    for i in 0..params.iters {
+        let offset = (i * CACHELINE_BYTES) % wss;
+        iteration(&mut m, t, base, wss, offset, distance, variant);
+    }
+    (m.now(t) - start) as f64 / params.iters as f64
+}
+
+/// One iteration of the paper's Algorithm 1.
+fn iteration(
+    m: &mut Machine,
+    t: ThreadId,
+    base: Addr,
+    wss: u64,
+    offset: u64,
+    distance: u64,
+    variant: RapVariant,
+) {
+    let addr = base.add(offset);
+    match variant {
+        RapVariant::ClwbMfence => {
+            m.store_u64(t, addr, 0);
+            m.clwb(t, addr);
+            m.mfence(t);
+        }
+        RapVariant::ClwbSfence => {
+            m.store_u64(t, addr, 0);
+            m.clwb(t, addr);
+            m.sfence(t);
+        }
+        RapVariant::NtStoreMfence => {
+            m.nt_store(t, addr, &0u64.to_le_bytes());
+            m.mfence(t);
+        }
+    }
+    let back = base.add((offset + wss - distance * CACHELINE_BYTES) % wss);
+    m.load_u64(t, back);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel<'a>(results: &'a [ExpResult], name_contains: &str) -> &'a ExpResult {
+        results
+            .iter()
+            .find(|r| r.name.contains(name_contains))
+            .expect("panel exists")
+    }
+
+    fn quick(gen: Generation, distances: Vec<u64>) -> Vec<ExpResult> {
+        run(&E5Params {
+            generation: gen,
+            distances,
+            iters: 400,
+        })
+    }
+
+    #[test]
+    fn g1_clwb_mfence_rap_decays_with_distance() {
+        let r = quick(Generation::G1, vec![0, 2, 40]);
+        let pm = panel(&r, "local PM");
+        let c = pm.curve("PM+clwb+mfence").unwrap();
+        let d0 = c.y_at(0.0).unwrap();
+        let d40 = c.y_at(40.0).unwrap();
+        assert!(d0 > 2000.0, "near-distance RAP is huge: {d0}");
+        assert!(
+            d40 < d0 / 2.5,
+            "distance drains the pipeline: {d40} vs {d0}"
+        );
+    }
+
+    #[test]
+    fn g1_sfence_is_fast_at_small_distance_then_jumps() {
+        let r = quick(Generation::G1, vec![0, 2, 40]);
+        let pm = panel(&r, "local PM");
+        let c = pm.curve("PM+clwb+sfence").unwrap();
+        let d0 = c.y_at(0.0).unwrap();
+        let d2 = c.y_at(2.0).unwrap();
+        assert!(d0 < 600.0, "bypass keeps distance 0 fast: {d0}");
+        assert!(
+            d2 > d0 + 50.0,
+            "jump just past the bypass window: {d2} vs {d0}"
+        );
+        let mfence0 = pm.curve("PM+clwb+mfence").unwrap().y_at(0.0).unwrap();
+        assert!(d2 < mfence0 / 2.0, "sfence waits only for the drain");
+    }
+
+    #[test]
+    fn g2_fixes_clwb_but_not_ntstore() {
+        let r = quick(Generation::G2, vec![0, 40]);
+        let pm = panel(&r, "local PM");
+        let clwb = pm.curve("PM+clwb+mfence").unwrap();
+        let nt = pm.curve("PM+nt-store+mfence").unwrap();
+        let spread = clwb.y_max() - clwb.y_min();
+        assert!(
+            spread < 200.0,
+            "G2 clwb keeps the line cached, curve flat: spread {spread}"
+        );
+        assert!(
+            nt.y_at(0.0).unwrap() > 2000.0,
+            "nt-store RAP persists on G2"
+        );
+    }
+
+    #[test]
+    fn dram_gap_is_much_smaller_than_pm() {
+        let r = quick(Generation::G1, vec![0]);
+        let pm = panel(&r, "local PM")
+            .curve("PM+clwb+mfence")
+            .unwrap()
+            .y_at(0.0)
+            .unwrap();
+        let dram = panel(&r, "local DRAM")
+            .curve("DRAM+clwb+mfence")
+            .unwrap()
+            .y_at(0.0)
+            .unwrap();
+        assert!(pm > dram * 2.0, "PM RAP dwarfs DRAM RAP: {pm} vs {dram}");
+    }
+
+    #[test]
+    fn remote_is_slower_than_local() {
+        let r = quick(Generation::G1, vec![0]);
+        let local = panel(&r, "local PM")
+            .curve("PM+clwb+mfence")
+            .unwrap()
+            .y_at(0.0)
+            .unwrap();
+        let remote = panel(&r, "remote PM")
+            .curve("PM+clwb+mfence")
+            .unwrap()
+            .y_at(0.0)
+            .unwrap();
+        assert!(remote > local, "NUMA penalty: {remote} vs {local}");
+    }
+}

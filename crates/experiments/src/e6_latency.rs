@@ -1,0 +1,231 @@
+//! E6 / Figure 8: user-perceived latency through the whole hierarchy.
+//!
+//! The 256 B-element pointer-chase workload of §3.6, swept over working-set
+//! sizes. Three panels (claim C6):
+//!
+//! (a) writes under strict persistency (barrier per element),
+//! (b) writes under relaxed persistency (one fence per lap),
+//! (c) pure reads vs. pure writes — read latency explodes past the
+//!     LLC/AIT knee while write latency stays flat thanks to the
+//!     asynchronous DDR-T pipeline.
+
+use cpucache::PrefetchConfig;
+use optane_core::{Generation, Machine, MachineConfig};
+use pmds::{ChaseList, WriteKind};
+use pmem::{PersistMode, SimEnv};
+use simbase::XPLINE_BYTES;
+use workloads::AccessOrder;
+
+use crate::common::{log_sweep, Curve, ExpResult};
+
+/// Parameters for E6.
+#[derive(Debug, Clone)]
+pub struct E6Params {
+    /// Which generation to model.
+    pub generation: Generation,
+    /// Working-set sizes to sweep.
+    pub wss_points: Vec<u64>,
+    /// Measured laps per point (after one warm lap).
+    pub laps: u64,
+}
+
+impl Default for E6Params {
+    fn default() -> Self {
+        E6Params {
+            generation: Generation::G1,
+            wss_points: log_sweep(4 << 10, 64 << 20, 1),
+            laps: 2,
+        }
+    }
+}
+
+fn machine(gen: Generation) -> Machine {
+    Machine::new(MachineConfig::for_generation(gen, PrefetchConfig::all(), 1))
+}
+
+/// Which measurement a panel-(a)/(b) curve performs.
+fn write_curves() -> [(&'static str, AccessOrder, WriteKind); 4] {
+    [
+        ("seq_clwb", AccessOrder::Sequential, WriteKind::Clwb),
+        ("rand_clwb", AccessOrder::Random, WriteKind::Clwb),
+        ("seq_nt-store", AccessOrder::Sequential, WriteKind::NtStore),
+        ("rand_nt-store", AccessOrder::Random, WriteKind::NtStore),
+    ]
+}
+
+/// Runs E6: panels (a) strict, (b) relaxed, (c) pure read/write breakdown.
+pub fn run(params: &E6Params) -> Vec<ExpResult> {
+    let mut out = Vec::new();
+    for (panel, mode) in [
+        ("(a) write with strict persistency", PersistMode::Strict),
+        ("(b) write with relaxed persistency", PersistMode::Relaxed),
+    ] {
+        let mut result = ExpResult::new(
+            format!("E6 / Figure 8 {panel} ({})", params.generation),
+            "WSS(bytes)",
+            "cycles per element",
+        );
+        for (label, order, kind) in write_curves() {
+            let mut curve = Curve::new(label);
+            for &wss in &params.wss_points {
+                curve.push(wss as f64, chase_write(params, wss, order, kind, mode));
+            }
+            result.curves.push(curve);
+        }
+        out.push(result);
+    }
+    // Panel (c): pure reads and pure writes.
+    let mut result = ExpResult::new(
+        format!(
+            "E6 / Figure 8 (c) latency breakdown of pure reads and writes ({})",
+            params.generation
+        ),
+        "WSS(bytes)",
+        "cycles per element",
+    );
+    for (label, order) in [
+        ("seq_rd", AccessOrder::Sequential),
+        ("rand_rd", AccessOrder::Random),
+    ] {
+        let mut curve = Curve::new(label);
+        for &wss in &params.wss_points {
+            curve.push(wss as f64, chase_read(params, wss, order));
+        }
+        result.curves.push(curve);
+    }
+    for (label, order, kind) in [
+        ("seq_clwb", AccessOrder::Sequential, WriteKind::Clwb),
+        ("rand_clwb", AccessOrder::Random, WriteKind::Clwb),
+        ("seq_nt-store", AccessOrder::Sequential, WriteKind::NtStore),
+        ("rand_nt-store", AccessOrder::Random, WriteKind::NtStore),
+    ] {
+        let mut curve = Curve::new(label);
+        for &wss in &params.wss_points {
+            curve.push(wss as f64, pure_write(params, wss, order, kind));
+        }
+        result.curves.push(curve);
+    }
+    out.push(result);
+    out
+}
+
+fn elements_of(wss: u64) -> u64 {
+    (wss / XPLINE_BYTES).max(2)
+}
+
+fn chase_write(
+    params: &E6Params,
+    wss: u64,
+    order: AccessOrder,
+    kind: WriteKind,
+    mode: PersistMode,
+) -> f64 {
+    let mut m = machine(params.generation);
+    let t = m.spawn(0);
+    let mut env = SimEnv::new(&mut m, t);
+    let list = ChaseList::build(&mut env, elements_of(wss), order, 0xE6);
+    list.lap_write(&mut env, kind, mode, 1); // warm
+    let mut total = 0;
+    for lap in 0..params.laps {
+        total += list.lap_write(&mut env, kind, mode, lap + 2);
+    }
+    total as f64 / params.laps as f64
+}
+
+fn chase_read(params: &E6Params, wss: u64, order: AccessOrder) -> f64 {
+    let mut m = machine(params.generation);
+    let t = m.spawn(0);
+    let mut env = SimEnv::new(&mut m, t);
+    let list = ChaseList::build(&mut env, elements_of(wss), order, 0xE6);
+    list.lap_read(&mut env); // warm
+    let mut total = 0;
+    for _ in 0..params.laps {
+        total += list.lap_read(&mut env);
+    }
+    total as f64 / params.laps as f64
+}
+
+fn pure_write(params: &E6Params, wss: u64, order: AccessOrder, kind: WriteKind) -> f64 {
+    let mut m = machine(params.generation);
+    let t = m.spawn(0);
+    let mut env = SimEnv::new(&mut m, t);
+    let list = ChaseList::build(&mut env, elements_of(wss), order, 0xE6);
+    list.lap_pure_write(&mut env, kind, PersistMode::Strict, 1); // warm
+    let mut total = 0;
+    for lap in 0..params.laps {
+        total += list.lap_pure_write(&mut env, kind, PersistMode::Strict, lap + 2);
+    }
+    total as f64 / params.laps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(wss: Vec<u64>) -> Vec<ExpResult> {
+        run(&E6Params {
+            generation: Generation::G1,
+            wss_points: wss,
+            laps: 2,
+        })
+    }
+
+    #[test]
+    fn read_latency_explodes_past_llc_while_write_stays_flat() {
+        let r = quick(vec![64 << 10, 64 << 20]);
+        let breakdown = &r[2];
+        let rd = breakdown.curve("rand_rd").unwrap();
+        let small_rd = rd.y_at((64 << 10) as f64).unwrap();
+        let big_rd = rd.y_at((64 << 20) as f64).unwrap();
+        assert!(
+            big_rd > small_rd * 5.0,
+            "random read latency jumps past caches: {small_rd} -> {big_rd}"
+        );
+        let wr = breakdown.curve("rand_nt-store").unwrap();
+        let spread = wr.y_max() / wr.y_min().max(1.0);
+        assert!(
+            spread < 3.0,
+            "pure write latency is flat across WSS: spread {spread}"
+        );
+        assert!(
+            big_rd > wr.y_at((64 << 20) as f64).unwrap() * 2.0,
+            "reads dominate writes at large WSS"
+        );
+    }
+
+    #[test]
+    fn relaxed_is_cheaper_than_strict_for_writes() {
+        let r = quick(vec![1 << 20]);
+        let strict = r[0]
+            .curve("rand_clwb")
+            .unwrap()
+            .y_at((1 << 20) as f64)
+            .unwrap();
+        let relaxed = r[1]
+            .curve("rand_clwb")
+            .unwrap()
+            .y_at((1 << 20) as f64)
+            .unwrap();
+        assert!(relaxed < strict, "relaxed < strict: {relaxed} vs {strict}");
+    }
+
+    #[test]
+    fn sequential_beats_random_beyond_llc() {
+        let r = quick(vec![64 << 20]);
+        let breakdown = &r[2];
+        let seq = breakdown
+            .curve("seq_rd")
+            .unwrap()
+            .y_at((64 << 20) as f64)
+            .unwrap();
+        let rand = breakdown
+            .curve("rand_rd")
+            .unwrap()
+            .y_at((64 << 20) as f64)
+            .unwrap();
+        assert!(
+            seq < rand * 0.8,
+            "prefetch makes sequential chase faster: {seq} vs {rand}"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! E9 / Figures 13 & 14: avoiding misprefetch with streaming copies.
+//!
+//! XPLine-aligned random blocks with all CPU prefetchers enabled. The
+//! baseline reads blocks with ordinary loads (prefetchers run past every
+//! block boundary, wasting media bandwidth); the optimization (the paper's
+//! Algorithm 2) copies each XPLine into a DRAM buffer with streaming SIMD
+//! loads that never train the prefetchers, then reads the buffer.
+//!
+//! Figure 13: read ratios vs. working-set size — the optimization pins the
+//! media ratio back to ~1. Figure 14: latency and bandwidth vs. thread
+//! count — the copy costs latency at low thread counts, but once the
+//! media banks saturate, the reclaimed misprefetch bandwidth wins
+//! (crossover around 12 threads, claim C9).
+
+use cpucache::PrefetchConfig;
+use optane_core::{Generation, Machine, MachineConfig, ThreadId};
+use simbase::{Addr, SplitMix64, XPLINE_BYTES};
+
+use crate::common::{log_sweep, Curve, ExpResult};
+
+/// Parameters for E9.
+#[derive(Debug, Clone)]
+pub struct E9Params {
+    /// Which generation to model.
+    pub generation: Generation,
+    /// Working-set sweep for Figure 13.
+    pub wss_points: Vec<u64>,
+    /// Block visits per measurement point (Figure 13, single thread).
+    pub visits: u64,
+    /// Fixed working set for Figure 14.
+    pub fig14_wss: u64,
+    /// Thread counts for Figure 14.
+    pub threads: Vec<usize>,
+    /// Block visits per thread for Figure 14.
+    pub visits_per_thread: u64,
+    /// DIMM population.
+    pub dimms: usize,
+    /// Clock frequency for GB/s conversion.
+    pub ghz: f64,
+}
+
+impl Default for E9Params {
+    fn default() -> Self {
+        E9Params {
+            generation: Generation::G1,
+            wss_points: log_sweep(4 << 10, 64 << 20, 1),
+            visits: 40_000,
+            fig14_wss: 32 << 20,
+            threads: vec![1, 2, 4, 8, 12, 16],
+            visits_per_thread: 8_000,
+            dimms: 1,
+            ghz: 2.1,
+        }
+    }
+}
+
+/// Access mode for one block visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Ordinary loads (prefetchers active).
+    Plain,
+    /// Streaming copy into a DRAM buffer (Algorithm 2).
+    Redirect,
+}
+
+/// Visits one 256 B block and returns nothing; timing lands on the
+/// thread's clock, counters on the machine.
+fn visit_block(m: &mut Machine, t: ThreadId, block: Addr, dram_buf: Addr, mode: Mode) {
+    match mode {
+        Mode::Plain => {
+            for cl in 0..4u64 {
+                m.load_u64(t, block.add_cachelines(cl));
+            }
+            for cl in 0..4u64 {
+                m.clflushopt(t, block.add_cachelines(cl));
+            }
+            m.sfence(t);
+        }
+        Mode::Redirect => {
+            m.copy_xpline_streaming(t, block, dram_buf);
+            for cl in 0..4u64 {
+                m.load_u64(t, dram_buf.add_cachelines(cl));
+            }
+        }
+    }
+}
+
+/// Runs the Figure 13 sweep: read ratios vs. WSS.
+pub fn run_fig13(params: &E9Params) -> ExpResult {
+    let mut result = ExpResult::new(
+        format!(
+            "E9 / Figure 13: misprefetch reduction ({})",
+            params.generation
+        ),
+        "WSS(bytes)",
+        "read ratio",
+    );
+    let mut imc_pf = Curve::new("iMC with prefetching");
+    let mut pm_pf = Curve::new("PM with prefetching");
+    let mut pm_opt = Curve::new("Optimized PM");
+    for &wss in &params.wss_points {
+        let (pm, imc) = measure_ratio(params, wss, Mode::Plain);
+        let (pm_o, _) = measure_ratio(params, wss, Mode::Redirect);
+        imc_pf.push(wss as f64, imc);
+        pm_pf.push(wss as f64, pm);
+        pm_opt.push(wss as f64, pm_o);
+    }
+    result.curves = vec![imc_pf, pm_pf, pm_opt];
+    result
+}
+
+fn measure_ratio(params: &E9Params, wss: u64, mode: Mode) -> (f64, f64) {
+    let cfg = MachineConfig::for_generation(params.generation, PrefetchConfig::all(), params.dimms);
+    let mut m = Machine::new(cfg);
+    let t = m.spawn(0);
+    let base = m.alloc_pm(wss, XPLINE_BYTES);
+    let dram_buf = m.alloc_dram(XPLINE_BYTES, XPLINE_BYTES);
+    let blocks = wss / XPLINE_BYTES;
+    let mut rng = SplitMix64::new(0xE9 ^ wss);
+    // Warm-up.
+    for _ in 0..(params.visits / 4).min(blocks) {
+        let b = base.add_xplines(rng.gen_range(blocks));
+        visit_block(&mut m, t, b, dram_buf, mode);
+    }
+    let before = m.telemetry();
+    for _ in 0..params.visits {
+        let b = base.add_xplines(rng.gen_range(blocks));
+        visit_block(&mut m, t, b, dram_buf, mode);
+    }
+    let d = m.telemetry().delta(&before);
+    let demanded = (params.visits * XPLINE_BYTES) as f64;
+    (d.media.read as f64 / demanded, d.imc.read as f64 / demanded)
+}
+
+/// Runs the Figure 14 sweep: latency and throughput vs. thread count.
+///
+/// Returns `[latency, throughput]` panels.
+pub fn run_fig14(params: &E9Params) -> Vec<ExpResult> {
+    let mut lat = ExpResult::new(
+        format!("E9 / Figure 14: latency ({})", params.generation),
+        "threads",
+        "cycles per block",
+    );
+    let mut thr = ExpResult::new(
+        format!("E9 / Figure 14: throughput ({})", params.generation),
+        "threads",
+        "GB/s",
+    );
+    for (label, mode) in [
+        ("with prefetching", Mode::Plain),
+        ("optimized", Mode::Redirect),
+    ] {
+        let mut lat_curve = Curve::new(label);
+        let mut thr_curve = Curve::new(label);
+        for &threads in &params.threads {
+            let (latency, gbps) = measure_threads(params, threads, mode);
+            lat_curve.push(threads as f64, latency);
+            thr_curve.push(threads as f64, gbps);
+        }
+        lat.curves.push(lat_curve);
+        thr.curves.push(thr_curve);
+    }
+    vec![lat, thr]
+}
+
+fn measure_threads(params: &E9Params, threads: usize, mode: Mode) -> (f64, f64) {
+    let cfg = MachineConfig::for_generation(params.generation, PrefetchConfig::all(), params.dimms);
+    let mut m = Machine::new(cfg);
+    let tids: Vec<ThreadId> = (0..threads).map(|_| m.spawn(0)).collect();
+    let base = m.alloc_pm(params.fig14_wss, XPLINE_BYTES);
+    let bufs: Vec<Addr> = (0..threads)
+        .map(|_| m.alloc_dram(XPLINE_BYTES, XPLINE_BYTES))
+        .collect();
+    let blocks = params.fig14_wss / XPLINE_BYTES;
+    let mut rngs: Vec<SplitMix64> = (0..threads)
+        .map(|w| SplitMix64::new(0xF14 ^ w as u64))
+        .collect();
+    let mut total_cycles = 0u64;
+    for _ in 0..params.visits_per_thread {
+        for w in 0..threads {
+            let b = base.add_xplines(rngs[w].gen_range(blocks));
+            let t0 = m.now(tids[w]);
+            visit_block(&mut m, tids[w], b, bufs[w], mode);
+            total_cycles += m.now(tids[w]) - t0;
+        }
+    }
+    let ops = params.visits_per_thread * threads as u64;
+    let latency = total_cycles as f64 / ops as f64;
+    let makespan = tids.iter().map(|&t| m.now(t)).max().expect("threads") as f64;
+    let bytes = (ops * XPLINE_BYTES) as f64;
+    let gbps = bytes / makespan * params.ghz; // B/cycle * Gcycle/s = GB/s
+    (latency, gbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redirection_removes_media_waste() {
+        let p = E9Params {
+            wss_points: vec![4 << 20],
+            visits: 6000,
+            ..E9Params::default()
+        };
+        let r = run_fig13(&p);
+        let pm = r
+            .curve("PM with prefetching")
+            .unwrap()
+            .y_at((4 << 20) as f64)
+            .unwrap();
+        let opt = r
+            .curve("Optimized PM")
+            .unwrap()
+            .y_at((4 << 20) as f64)
+            .unwrap();
+        assert!(pm > 1.4, "baseline wastes media bandwidth: {pm}");
+        assert!(opt < 1.15, "redirection pins the ratio to ~1: {opt}");
+    }
+
+    #[test]
+    fn crossover_appears_with_threads() {
+        let p = E9Params {
+            threads: vec![1, 16],
+            visits_per_thread: 2500,
+            fig14_wss: 8 << 20,
+            ..E9Params::default()
+        };
+        let r = run_fig14(&p);
+        let lat = &r[0];
+        let base1 = lat.curve("with prefetching").unwrap().y_at(1.0).unwrap();
+        let opt1 = lat.curve("optimized").unwrap().y_at(1.0).unwrap();
+        assert!(
+            opt1 > base1,
+            "single-thread: the copy costs latency: {opt1} vs {base1}"
+        );
+        let thr = &r[1];
+        let base16 = thr.curve("with prefetching").unwrap().y_at(16.0).unwrap();
+        let opt16 = thr.curve("optimized").unwrap().y_at(16.0).unwrap();
+        assert!(
+            opt16 > base16,
+            "at high thread count the optimization wins: {opt16} vs {base16}"
+        );
+    }
+}

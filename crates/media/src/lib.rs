@@ -1,0 +1,29 @@
+//! 3D-XPoint media model for the simulated Optane DIMM.
+//!
+//! The media is the bottom of the hierarchy the paper studies. Three of its
+//! properties drive the paper's findings and are modelled here:
+//!
+//! 1. **256-byte access granularity.** Every media transaction moves one
+//!    XPLine, regardless of how few bytes the iMC asked for. The
+//!    [`XpMedia`] counters tap traffic at this boundary; the ratio between
+//!    them and the iMC counters is the paper's read/write amplification.
+//! 2. **Limited internal concurrency.** A DIMM services only a handful of
+//!    concurrent media reads (modelled as a [`simbase::ServerPool`]) and
+//!    drains writes at a fixed, slow rate. This is why write bandwidth
+//!    saturates at small thread counts (§2.2 of the paper).
+//! 3. **Address indirection.** Optane remaps XPLines through an address
+//!    indirection table (AIT) for wear levelling; the on-DIMM AIT cache
+//!    covers roughly 16 MB, and overflowing it adds a large latency step —
+//!    the 16 MB knee in Figure 8 (§3.6).
+//!
+//! The crate also provides [`SparseStore`], the byte-addressable functional
+//! backing store used as the machine's persistent image (what survives a
+//! simulated power failure).
+
+pub mod ait;
+pub mod media;
+pub mod store;
+
+pub use ait::AitCache;
+pub use media::{MediaParams, XpMedia};
+pub use store::SparseStore;

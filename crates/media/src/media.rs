@@ -1,0 +1,215 @@
+//! Timing and counter model of one DIMM's 3D-XPoint media.
+
+use simbase::{Addr, ByteCounter, Cycles, Server, ServerPool, XPLINE_BYTES};
+
+use crate::ait::AitCache;
+
+/// Timing parameters for the media of one DIMM.
+///
+/// Values are calibrated against the paper's reported latencies; see the
+/// calibration table in `DESIGN.md`.
+#[derive(Debug, Clone)]
+pub struct MediaParams {
+    /// Latency of one XPLine read when the AIT entry is cached.
+    pub read_latency: Cycles,
+    /// Additional latency when the AIT cache misses.
+    pub ait_miss_penalty: Cycles,
+    /// Number of concurrent media reads the DIMM can service.
+    pub read_banks: usize,
+    /// Service time of one XPLine write at the media.
+    pub write_service: Cycles,
+    /// Address coverage of the on-DIMM AIT cache, in bytes.
+    pub ait_coverage_bytes: u64,
+    /// Associativity of the AIT cache.
+    pub ait_ways: usize,
+}
+
+impl Default for MediaParams {
+    fn default() -> Self {
+        // G1-flavoured defaults; the machine configuration layer overrides
+        // these per generation.
+        MediaParams {
+            read_latency: 420,
+            ait_miss_penalty: 380,
+            read_banks: 4,
+            write_service: 900,
+            ait_coverage_bytes: 16 << 20,
+            ait_ways: 16,
+        }
+    }
+}
+
+/// The 3D-XPoint media of one DIMM: timing, occupancy, and byte counters.
+///
+/// The media is purely a timing/counter model; functional bytes live in the
+/// machine-level persistent image ([`crate::SparseStore`]). All transfers
+/// are whole XPLines — the granularity mismatch with 64 B cachelines is
+/// applied by the on-DIMM controller above this layer.
+#[derive(Debug, Clone)]
+pub struct XpMedia {
+    params: MediaParams,
+    ait: AitCache,
+    read_banks: ServerPool,
+    write_port: Server,
+    counters: ByteCounter,
+}
+
+impl XpMedia {
+    /// Creates a media model with the given parameters.
+    pub fn new(params: MediaParams) -> Self {
+        let ait = AitCache::new(params.ait_coverage_bytes, params.ait_ways);
+        let read_banks = ServerPool::new(params.read_banks);
+        XpMedia {
+            params,
+            ait,
+            read_banks,
+            write_port: Server::new(),
+            counters: ByteCounter::new(),
+        }
+    }
+
+    /// Reads one XPLine from the media.
+    ///
+    /// `addr` may be any address within the XPLine. Returns the completion
+    /// time of the read as observed by the requester.
+    pub fn read_xpline(&mut self, now: Cycles, addr: Addr) -> Cycles {
+        self.counters.add_read(XPLINE_BYTES);
+        let mut service = self.params.read_latency;
+        if !self.ait.access(addr.xpline()) {
+            service += self.params.ait_miss_penalty;
+        }
+        self.read_banks.request(now, service)
+    }
+
+    /// Writes one XPLine to the media.
+    ///
+    /// Returns the completion time at the media. Callers decide whether the
+    /// requester waits for it (the DDR-T protocol usually does not).
+    pub fn write_xpline(&mut self, now: Cycles, addr: Addr) -> Cycles {
+        self.counters.add_write(XPLINE_BYTES);
+        let mut service = self.params.write_service;
+        if !self.ait.access(addr.xpline()) {
+            service += self.params.ait_miss_penalty;
+        }
+        self.write_port.request(now, service)
+    }
+
+    /// Returns the media-boundary byte counters (the `ipmwatch` media view).
+    pub fn counters(&self) -> ByteCounter {
+        self.counters
+    }
+
+    /// Returns AIT cache `(hits, misses)`.
+    pub fn ait_stats(&self) -> (u64, u64) {
+        self.ait.stats()
+    }
+
+    /// Returns the configured parameters.
+    pub fn params(&self) -> &MediaParams {
+        self.params_ref()
+    }
+
+    fn params_ref(&self) -> &MediaParams {
+        &self.params
+    }
+
+    /// Resets counters and occupancy (AIT contents survive, like a real
+    /// DIMM between benchmark runs; use [`XpMedia::reset_all`] for a cold
+    /// restart).
+    pub fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    /// Resets everything: counters, bank occupancy, and AIT contents.
+    pub fn reset_all(&mut self) {
+        self.counters.reset();
+        self.read_banks.reset();
+        self.write_port.reset();
+        self.ait.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn media() -> XpMedia {
+        XpMedia::new(MediaParams {
+            read_latency: 400,
+            ait_miss_penalty: 300,
+            read_banks: 2,
+            write_service: 900,
+            ait_coverage_bytes: 1 << 20,
+            ait_ways: 16,
+        })
+    }
+
+    #[test]
+    fn read_counts_whole_xpline() {
+        let mut m = media();
+        m.read_xpline(0, Addr(64));
+        assert_eq!(m.counters().read, 256);
+        assert_eq!(m.counters().write, 0);
+    }
+
+    #[test]
+    fn write_counts_whole_xpline() {
+        let mut m = media();
+        m.write_xpline(0, Addr(0));
+        assert_eq!(m.counters().write, 256);
+    }
+
+    #[test]
+    fn first_read_pays_ait_miss() {
+        let mut m = media();
+        let t1 = m.read_xpline(0, Addr(0));
+        assert_eq!(t1, 700); // 400 + 300 AIT miss
+                             // Different XPLine in the same AIT granule: hit.
+        let t2 = m.read_xpline(1000, Addr(256));
+        assert_eq!(t2, 1400);
+    }
+
+    #[test]
+    fn read_concurrency_is_limited() {
+        let mut m = media();
+        // Warm the AIT granule so the three reads below are uniform.
+        m.read_xpline(0, Addr(0));
+        let a = m.read_xpline(10_000, Addr(0));
+        let b = m.read_xpline(10_000, Addr(256));
+        let c = m.read_xpline(10_000, Addr(512));
+        assert_eq!(a, 10_400);
+        assert_eq!(b, 10_400);
+        // Third concurrent read queues behind one of the two banks.
+        assert_eq!(c, 10_800);
+    }
+
+    #[test]
+    fn writes_serialize_on_the_write_port() {
+        let mut m = media();
+        m.read_xpline(0, Addr(0)); // warm AIT
+        let a = m.write_xpline(10_000, Addr(0));
+        let b = m.write_xpline(10_000, Addr(64));
+        assert_eq!(a, 10_900);
+        assert_eq!(b, 11_800);
+    }
+
+    #[test]
+    fn reset_counters_preserves_ait() {
+        let mut m = media();
+        m.read_xpline(0, Addr(0));
+        m.reset_counters();
+        assert_eq!(m.counters().read, 0);
+        // AIT still warm.
+        let t = m.read_xpline(100_000, Addr(0));
+        assert_eq!(t, 100_400);
+    }
+
+    #[test]
+    fn reset_all_cools_ait() {
+        let mut m = media();
+        m.read_xpline(0, Addr(0));
+        m.reset_all();
+        let t = m.read_xpline(0, Addr(0));
+        assert_eq!(t, 700);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the media model: counter accounting, AIT
+//! consistency, and the sparse store as a byte-array model.
+
+use proptest::prelude::*;
+use simbase::{Addr, XPLINE_BYTES};
+use xpmedia::{AitCache, MediaParams, SparseStore, XpMedia};
+
+proptest! {
+    #[test]
+    fn media_counters_account_every_transaction(
+        ops in prop::collection::vec((0u64..4096, any::<bool>()), 1..200),
+    ) {
+        let mut m = XpMedia::new(MediaParams::default());
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut now = 0;
+        for (xp, is_write) in ops {
+            let addr = Addr(xp * XPLINE_BYTES);
+            if is_write {
+                now = m.write_xpline(now, addr);
+                writes += 1;
+            } else {
+                now = m.read_xpline(now, addr);
+                reads += 1;
+            }
+        }
+        prop_assert_eq!(m.counters().read, reads * XPLINE_BYTES);
+        prop_assert_eq!(m.counters().write, writes * XPLINE_BYTES);
+        let (h, miss) = m.ait_stats();
+        prop_assert_eq!(h + miss, reads + writes, "every transaction consults the AIT");
+    }
+
+    #[test]
+    fn media_completions_never_precede_service(
+        xps in prop::collection::vec(0u64..64, 1..100),
+    ) {
+        let params = MediaParams::default();
+        let min_service = params.read_latency;
+        let mut m = XpMedia::new(params);
+        for (i, xp) in xps.iter().enumerate() {
+            let now = (i as u64) * 10;
+            let done = m.read_xpline(now, Addr(xp * XPLINE_BYTES));
+            prop_assert!(done >= now + min_service);
+        }
+    }
+
+    #[test]
+    fn ait_within_coverage_converges_to_hits(
+        granules in prop::collection::vec(0u64..32, 10..200),
+    ) {
+        // 32 granules x 4 KB = 128 KB, well within 1 MB coverage: after
+        // one touch, a granule never misses again.
+        let mut ait = AitCache::new(1 << 20, 16);
+        let mut touched = std::collections::HashSet::new();
+        for g in granules {
+            let hit = ait.access(Addr(g * 4096));
+            prop_assert_eq!(hit, touched.contains(&g), "granule {}", g);
+            touched.insert(g);
+        }
+    }
+
+    #[test]
+    fn sparse_store_matches_vec_model(
+        writes in prop::collection::vec((0usize..2000, prop::collection::vec(any::<u8>(), 1..64)), 1..60),
+    ) {
+        let mut store = SparseStore::new();
+        let mut model = vec![0u8; 4096];
+        for (off, data) in writes {
+            let off = off.min(4096 - data.len());
+            store.write(Addr(off as u64), &data);
+            model[off..off + data.len()].copy_from_slice(&data);
+        }
+        let mut got = vec![0u8; 4096];
+        store.read(Addr(0), &mut got);
+        prop_assert_eq!(got, model);
+    }
+}

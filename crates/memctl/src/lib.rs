@@ -1,0 +1,26 @@
+//! Integrated memory controller (iMC) models.
+//!
+//! The iMC is where the paper's two protocols part ways:
+//!
+//! - **DDR-T (Optane)** is *asynchronous for writes*: a store, cacheline
+//!   write-back, or non-temporal store completes — from the CPU's point of
+//!   view — when it is accepted into the per-DIMM write pending queue
+//!   (WPQ), which sits inside the ADR power-fail-protected domain. Reaching
+//!   the on-DIMM buffers and the media happens later. Fences therefore
+//!   guarantee *acceptance* (persistence), not *completion*, and a read
+//!   issued right after a persist to the same line must wait out the
+//!   in-flight write — the read-after-persist effect of Figure 7.
+//! - **DDR4 (DRAM)** is synchronous and has none of the granularity
+//!   mismatch, serving as the paper's comparison substrate.
+//!
+//! [`PmController`] owns the simulated Optane DIMMs, interleaves addresses
+//! across them (4 KB granularity, as the evaluated AppDirect namespaces
+//! do), taps traffic at the iMC boundary (the second `ipmwatch`
+//! observation point), and models WPQ acceptance, drain, and the persist
+//! pipeline. [`DramController`] models the DRAM channel.
+
+pub mod dram;
+pub mod pm;
+
+pub use dram::{DramController, DramParams};
+pub use pm::{PersistWait, PmController, PmParams, PmWriteTicket};

@@ -1,0 +1,96 @@
+//! Property tests for the iMC models: interleaving stability, persist
+//! pipeline ordering, and counter accounting.
+
+use imc::{DramController, DramParams, PersistWait, PmController, PmParams};
+use proptest::prelude::*;
+use simbase::{Addr, CACHELINE_BYTES};
+
+proptest! {
+    #[test]
+    fn interleaving_is_stable_and_block_aligned(
+        addrs in prop::collection::vec(any::<u64>(), 1..100),
+        dimms in 1usize..7,
+    ) {
+        let c = PmController::new(PmParams {
+            num_dimms: dimms,
+            ..PmParams::default()
+        });
+        for a in addrs {
+            let d = c.dimm_of(Addr(a));
+            prop_assert!(d < dimms);
+            // Every address in the same 4 KB block maps to the same DIMM.
+            let block_start = a & !4095;
+            prop_assert_eq!(c.dimm_of(Addr(block_start)), d);
+            prop_assert_eq!(c.dimm_of(Addr(block_start + 4095)), d);
+        }
+    }
+
+    #[test]
+    fn write_tickets_are_ordered(
+        lines in prop::collection::vec(0u64..256, 1..100),
+    ) {
+        let mut c = PmController::new(PmParams::default());
+        let mut now = 0;
+        for cl in lines {
+            let t = c.write(now, Addr(cl * CACHELINE_BYTES));
+            prop_assert!(t.accept >= now, "no time travel");
+            prop_assert!(t.drained > t.accept, "buffer visibility after acceptance");
+            prop_assert!(t.readable_at > t.drained, "full persist after visibility");
+            now = t.accept;
+        }
+    }
+
+    #[test]
+    fn reads_respect_the_persist_pipeline(
+        cl in 0u64..64,
+        gap in 0u64..5000,
+    ) {
+        let mut c = PmController::new(PmParams::default());
+        let addr = Addr(cl * CACHELINE_BYTES);
+        let t = c.write(0, addr);
+        let (full, _) = c.read(t.accept + gap, addr, PersistWait::Full);
+        prop_assert!(full >= t.readable_at, "Full waits out the pipeline");
+        let mut c2 = PmController::new(PmParams::default());
+        let t2 = c2.write(0, addr);
+        let (drain, _) = c2.read(t2.accept + gap, addr, PersistWait::Drain);
+        prop_assert!(drain >= t2.drained, "Drain waits for buffer visibility");
+        prop_assert!(drain <= full, "Drain is never slower than Full");
+    }
+
+    #[test]
+    fn imc_counters_track_requests(
+        ops in prop::collection::vec((0u64..512, any::<bool>()), 1..150),
+    ) {
+        let mut c = PmController::new(PmParams::default());
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for (i, (cl, is_write)) in ops.iter().enumerate() {
+            let addr = Addr(cl * CACHELINE_BYTES);
+            if *is_write {
+                c.write(i as u64 * 10, addr);
+                writes += 1;
+            } else {
+                c.read(i as u64 * 10, addr, PersistWait::Full);
+                reads += 1;
+            }
+        }
+        prop_assert_eq!(c.imc_counters().read, reads * CACHELINE_BYTES);
+        prop_assert_eq!(c.imc_counters().write, writes * CACHELINE_BYTES);
+        // Media never reads fewer bytes than... media reads are 256 B per
+        // miss, so media.read is a multiple of 256.
+        prop_assert_eq!(c.media_counters().read % 256, 0);
+    }
+
+    #[test]
+    fn dram_reads_after_writes_see_short_stalls(
+        cl in 0u64..64,
+    ) {
+        let mut d = DramController::new(DramParams::default());
+        let addr = Addr(cl * CACHELINE_BYTES);
+        let (accept, readable) = d.write(0, addr);
+        let done = d.read(accept, addr);
+        prop_assert!(done >= readable);
+        // The DRAM persist window is far below the PM one.
+        prop_assert!(readable - accept < PmParams::default().persist_pipeline / 2);
+    }
+}

@@ -1,0 +1,352 @@
+//! The memory-environment abstraction.
+//!
+//! Data structures in this project are written against [`PmemEnv`] rather
+//! than against the machine directly, for two reasons:
+//!
+//! 1. the same structure code runs on the simulator (timed, crash-aware)
+//!    and on plain host memory (fast, untimed) — the test suites compare
+//!    the two for functional equivalence;
+//! 2. a structure operation executed by a simulated thread is expressed as
+//!    a short-lived [`SimEnv`] borrowing the machine, which is how
+//!    multi-threaded experiments interleave operations.
+
+use optane_core::{Machine, ThreadId};
+use simbase::{Addr, Cycles};
+use xpmedia::SparseStore;
+
+/// Memory operations available to persistent data structures.
+pub trait PmemEnv {
+    /// Loads `buf.len()` bytes from `addr`.
+    fn load(&mut self, addr: Addr, buf: &mut [u8]);
+
+    /// Stores `data` at `addr` through the cache hierarchy.
+    fn store(&mut self, addr: Addr, data: &[u8]);
+
+    /// Stores a full aligned cacheline without an ownership read.
+    fn store_full_line(&mut self, addr: Addr, data: &[u8; 64]);
+
+    /// Non-temporal (cache-bypassing) store.
+    fn nt_store(&mut self, addr: Addr, data: &[u8]);
+
+    /// Cacheline write-back (`clwb`).
+    fn clwb(&mut self, addr: Addr);
+
+    /// Cacheline flush-and-invalidate (`clflushopt`).
+    fn clflushopt(&mut self, addr: Addr);
+
+    /// Legacy ordered `clflush`; defaults to `clflushopt` semantics on
+    /// backends without an ordering cost.
+    fn clflush(&mut self, addr: Addr) {
+        self.clflushopt(addr);
+    }
+
+    /// Store fence.
+    fn sfence(&mut self);
+
+    /// Full fence.
+    fn mfence(&mut self);
+
+    /// Allocates persistent memory.
+    fn alloc(&mut self, len: u64, align: u64) -> Addr;
+
+    /// Allocates volatile (DRAM) memory.
+    fn alloc_volatile(&mut self, len: u64, align: u64) -> Addr;
+
+    /// Accounts `cycles` of pure computation.
+    fn compute(&mut self, cycles: Cycles);
+
+    /// Returns the current simulated time (0 on untimed backends).
+    fn now(&self) -> Cycles;
+
+    // ----- convenience -------------------------------------------------
+
+    /// Loads a little-endian `u64`.
+    fn load_u64(&mut self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.load(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Stores a little-endian `u64`.
+    fn store_u64(&mut self, addr: Addr, value: u64) {
+        self.store(addr, &value.to_le_bytes());
+    }
+
+    /// Loads two independent `u64`s with memory-level parallelism where
+    /// the backend supports it (see `Machine::load_pair`). The default is
+    /// sequential.
+    fn load_u64_pair(&mut self, a: Addr, b: Addr) -> (u64, u64) {
+        (self.load_u64(a), self.load_u64(b))
+    }
+
+    /// Persists `[addr, addr + len)`: `clwb` every covered cacheline, then
+    /// `sfence` — the paper's standard persistence barrier.
+    fn persist(&mut self, addr: Addr, len: u64) {
+        for cl in simbase::addr::cachelines_covering(addr, len) {
+            self.clwb(cl);
+        }
+        self.sfence();
+    }
+}
+
+/// Simulator-backed environment: one simulated hardware thread's view of
+/// the machine.
+pub struct SimEnv<'a> {
+    machine: &'a mut Machine,
+    tid: ThreadId,
+    volatile_backing: bool,
+}
+
+impl<'a> SimEnv<'a> {
+    /// Wraps `machine` for operations issued by `tid`.
+    pub fn new(machine: &'a mut Machine, tid: ThreadId) -> Self {
+        SimEnv {
+            machine,
+            tid,
+            volatile_backing: false,
+        }
+    }
+
+    /// Like [`SimEnv::new`], but `alloc` hands out DRAM instead of PM —
+    /// used to run a "persistent" structure on DRAM for comparison, with
+    /// all persistence instructions retained (the paper's DRAM CCEH
+    /// baseline in §4.1).
+    pub fn volatile_backed(machine: &'a mut Machine, tid: ThreadId) -> Self {
+        SimEnv {
+            machine,
+            tid,
+            volatile_backing: true,
+        }
+    }
+
+    /// Returns the thread this environment issues operations as.
+    pub fn thread(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// Returns the underlying machine.
+    pub fn machine(&mut self) -> &mut Machine {
+        self.machine
+    }
+}
+
+impl PmemEnv for SimEnv<'_> {
+    fn load(&mut self, addr: Addr, buf: &mut [u8]) {
+        self.machine.load(self.tid, addr, buf);
+    }
+
+    fn store(&mut self, addr: Addr, data: &[u8]) {
+        self.machine.store(self.tid, addr, data);
+    }
+
+    fn store_full_line(&mut self, addr: Addr, data: &[u8; 64]) {
+        self.machine.store_full_cacheline(self.tid, addr, data);
+    }
+
+    fn nt_store(&mut self, addr: Addr, data: &[u8]) {
+        self.machine.nt_store(self.tid, addr, data);
+    }
+
+    fn clwb(&mut self, addr: Addr) {
+        self.machine.clwb(self.tid, addr);
+    }
+
+    fn clflushopt(&mut self, addr: Addr) {
+        self.machine.clflushopt(self.tid, addr);
+    }
+
+    fn clflush(&mut self, addr: Addr) {
+        self.machine.clflush(self.tid, addr);
+    }
+
+    fn sfence(&mut self) {
+        self.machine.sfence(self.tid);
+    }
+
+    fn mfence(&mut self) {
+        self.machine.mfence(self.tid);
+    }
+
+    fn alloc(&mut self, len: u64, align: u64) -> Addr {
+        if self.volatile_backing {
+            self.machine.alloc_dram(len, align)
+        } else {
+            self.machine.alloc_pm(len, align)
+        }
+    }
+
+    fn alloc_volatile(&mut self, len: u64, align: u64) -> Addr {
+        self.machine.alloc_dram(len, align)
+    }
+
+    fn compute(&mut self, cycles: Cycles) {
+        self.machine.advance(self.tid, cycles);
+    }
+
+    fn now(&self) -> Cycles {
+        self.machine.now(self.tid)
+    }
+
+    fn load_u64_pair(&mut self, a: Addr, b: Addr) -> (u64, u64) {
+        let mut ba = [0u8; 8];
+        let mut bb = [0u8; 8];
+        self.machine.load_pair(self.tid, a, b, &mut ba, &mut bb);
+        (u64::from_le_bytes(ba), u64::from_le_bytes(bb))
+    }
+}
+
+/// Plain-host environment: untimed, crash-free, used for differential
+/// testing of data-structure logic.
+#[derive(Debug, Default)]
+pub struct HostEnv {
+    mem: SparseStore,
+    volatile: SparseStore,
+    next_pm: u64,
+    next_dram: u64,
+}
+
+/// Host-env PM allocations start here (mirrors the machine's layout).
+const HOST_PM_BASE: u64 = 0x0000_1000_0000_0000;
+/// Host-env volatile allocations start here.
+const HOST_DRAM_BASE: u64 = 0x0000_2000_0000_0000;
+
+impl HostEnv {
+    /// Creates an empty host environment.
+    pub fn new() -> Self {
+        HostEnv {
+            mem: SparseStore::new(),
+            volatile: SparseStore::new(),
+            next_pm: HOST_PM_BASE,
+            next_dram: HOST_DRAM_BASE,
+        }
+    }
+
+    fn backing(&mut self, addr: Addr) -> &mut SparseStore {
+        if addr.0 >= HOST_DRAM_BASE {
+            &mut self.volatile
+        } else {
+            &mut self.mem
+        }
+    }
+}
+
+impl PmemEnv for HostEnv {
+    fn load(&mut self, addr: Addr, buf: &mut [u8]) {
+        if addr.0 >= HOST_DRAM_BASE {
+            self.volatile.read(addr, buf);
+        } else {
+            self.mem.read(addr, buf);
+        }
+    }
+
+    fn store(&mut self, addr: Addr, data: &[u8]) {
+        self.backing(addr).write(addr, data);
+    }
+
+    fn store_full_line(&mut self, addr: Addr, data: &[u8; 64]) {
+        self.backing(addr).write(addr, data);
+    }
+
+    fn nt_store(&mut self, addr: Addr, data: &[u8]) {
+        self.backing(addr).write(addr, data);
+    }
+
+    fn clwb(&mut self, _addr: Addr) {}
+
+    fn clflushopt(&mut self, _addr: Addr) {}
+
+    fn sfence(&mut self) {}
+
+    fn mfence(&mut self) {}
+
+    fn alloc(&mut self, len: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.next_pm = (self.next_pm + align - 1) & !(align - 1);
+        let a = Addr(self.next_pm);
+        self.next_pm += len;
+        a
+    }
+
+    fn alloc_volatile(&mut self, len: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.next_dram = (self.next_dram + align - 1) & !(align - 1);
+        let a = Addr(self.next_dram);
+        self.next_dram += len;
+        a
+    }
+
+    fn compute(&mut self, _cycles: Cycles) {}
+
+    fn now(&self) -> Cycles {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpucache::PrefetchConfig;
+    use optane_core::MachineConfig;
+
+    #[test]
+    fn host_env_round_trip() {
+        let mut env = HostEnv::new();
+        let a = env.alloc(64, 64);
+        env.store_u64(a, 99);
+        assert_eq!(env.load_u64(a), 99);
+        let v = env.alloc_volatile(64, 64);
+        env.store_u64(v, 7);
+        assert_eq!(env.load_u64(v), 7);
+        assert_ne!(a, v);
+    }
+
+    #[test]
+    fn sim_env_round_trip_and_time() {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let a = env.alloc(64, 64);
+        env.store_u64(a, 123);
+        env.persist(a, 8);
+        assert_eq!(env.load_u64(a), 123);
+        assert!(env.now() > 0);
+    }
+
+    #[test]
+    fn differential_smoke() {
+        // The same little program produces the same memory contents on
+        // both backends.
+        fn program<E: PmemEnv>(env: &mut E) -> (Addr, Vec<u64>) {
+            let base = env.alloc(1024, 256);
+            for i in 0..16u64 {
+                env.store_u64(base.add(i * 8), i * i);
+            }
+            env.persist(base, 128);
+            let out = (0..16u64).map(|i| env.load_u64(base.add(i * 8))).collect();
+            (base, out)
+        }
+        let mut host = HostEnv::new();
+        let (_, host_vals) = program(&mut host);
+        let mut m = Machine::new(MachineConfig::g2(PrefetchConfig::all(), 6));
+        let t = m.spawn(0);
+        let mut sim = SimEnv::new(&mut m, t);
+        let (_, sim_vals) = program(&mut sim);
+        assert_eq!(host_vals, sim_vals);
+    }
+
+    #[test]
+    fn persist_covers_straddling_ranges() {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let a = env.alloc(256, 64);
+        // Write 16 bytes straddling a cacheline boundary and persist.
+        env.store(a.add(56), &[0xAB; 16]);
+        env.persist(a.add(56), 16);
+        drop(env);
+        m.power_fail(optane_core::CrashPolicy::LoseUnflushed);
+        let mut buf = [0u8; 16];
+        m.peek(a.add(56), &mut buf);
+        assert_eq!(buf, [0xAB; 16], "both touched cachelines were persisted");
+    }
+}

@@ -1,0 +1,25 @@
+//! Persistent-memory programming layer.
+//!
+//! This crate is what a downstream user programs against: it wraps the raw
+//! machine operations in the vocabulary of persistent-memory software —
+//! pools, persist barriers, persistency models, and write-ahead logs.
+//!
+//! - [`env::PmemEnv`] abstracts memory access so the same data-structure
+//!   code runs on the cycle-accounted simulator ([`env::SimEnv`]) and on
+//!   plain host memory ([`env::HostEnv`]) for differential testing.
+//! - [`persist`] provides persist barriers and the strict/relaxed
+//!   persistency models compared in §3.6 of the paper.
+//! - [`pool`] provides a crash-recoverable region allocator with a named
+//!   root, in the spirit of `libpmemobj`.
+//! - [`log`] provides redo and undo logs with commit records and recovery,
+//!   used by the B+-tree case study (§4.2).
+
+pub mod env;
+pub mod log;
+pub mod persist;
+pub mod pool;
+
+pub use env::{HostEnv, PmemEnv, SimEnv};
+pub use log::{RedoLog, RingRedoLog, UndoLog};
+pub use persist::{persist_range, persist_range_unfenced, EpochPersist, PersistMode};
+pub use pool::PmPool;

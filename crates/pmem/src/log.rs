@@ -1,0 +1,754 @@
+//! Redo and undo write-ahead logs.
+//!
+//! The paper's B+-tree case study (§4.2) redirects in-place cacheline
+//! updates into an *out-of-place redo log*: each update is appended as a
+//! one-cacheline log entry (address, length, payload), persisted
+//! immediately, and the batch is made atomic by an 8-byte commit flag. A
+//! DRAM-side mirror of the entries lets the writeback read the payloads
+//! without touching the just-persisted PM cachelines — the whole point of
+//! the optimization is never to read a recently persisted line.
+//!
+//! [`UndoLog`] is the complementary primitive (record old values, roll back
+//! on crash), provided for completeness and used by tests and examples.
+//!
+//! Both logs keep entries one per cacheline, as the paper describes, with
+//! payloads up to 48 bytes (larger writes are split by the caller or via
+//! [`RedoLog::append_large`]).
+
+use simbase::{Addr, CACHELINE_BYTES};
+
+use crate::env::PmemEnv;
+
+/// Maximum payload of a single one-cacheline log entry.
+pub const MAX_ENTRY_PAYLOAD: usize = 48;
+
+const OFF_FLAG: u64 = 0;
+const OFF_COUNT: u64 = 8;
+/// Entries start one cacheline in.
+const OFF_ENTRIES: u64 = 64;
+
+/// Flag value marking a committed redo log / an active undo log.
+const FLAG_SET: u64 = 0x4C4F_4721; // "LOG!"
+
+fn entry_addr(base: Addr, i: u64) -> Addr {
+    base.add(OFF_ENTRIES + i * CACHELINE_BYTES)
+}
+
+/// Encodes one entry into a cacheline image.
+fn encode_entry(target: Addr, payload: &[u8]) -> [u8; 64] {
+    debug_assert!(payload.len() <= MAX_ENTRY_PAYLOAD);
+    let mut line = [0u8; 64];
+    line[0..8].copy_from_slice(&target.0.to_le_bytes());
+    line[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    line[16..16 + payload.len()].copy_from_slice(payload);
+    line
+}
+
+/// Decodes an entry cacheline into `(target, payload)`.
+fn decode_entry(line: &[u8; 64]) -> (Addr, Vec<u8>) {
+    let target = Addr(u64::from_le_bytes(line[0..8].try_into().expect("8 bytes")));
+    let len = u64::from_le_bytes(line[8..16].try_into().expect("8 bytes")) as usize;
+    let len = len.min(MAX_ENTRY_PAYLOAD);
+    (target, line[16..16 + len].to_vec())
+}
+
+/// An out-of-place redo log with a commit record.
+///
+/// # Examples
+///
+/// ```
+/// use pmem::{HostEnv, PmemEnv, RedoLog};
+///
+/// let mut env = HostEnv::new();
+/// let target = env.alloc(64, 64);
+/// let mut log = RedoLog::create(&mut env, 8);
+/// log.begin(&mut env);
+/// log.append(&mut env, target, &42u64.to_le_bytes());
+/// log.commit(&mut env);
+/// log.apply_and_retire(&mut env);
+/// assert_eq!(env.load_u64(target), 42);
+/// ```
+#[derive(Debug)]
+pub struct RedoLog {
+    base: Addr,
+    capacity: u64,
+    count: u64,
+    /// DRAM-side mirror of the current batch (volatile by construction).
+    mirror: Vec<(Addr, Vec<u8>)>,
+}
+
+impl RedoLog {
+    /// Allocates a log with room for `capacity` entries.
+    pub fn create<E: PmemEnv>(env: &mut E, capacity: u64) -> Self {
+        let base = env.alloc(OFF_ENTRIES + capacity * CACHELINE_BYTES, CACHELINE_BYTES);
+        env.store_u64(base.add(OFF_FLAG), 0);
+        env.store_u64(base.add(OFF_COUNT), 0);
+        env.persist(base, 16);
+        RedoLog {
+            base,
+            capacity,
+            count: 0,
+            mirror: Vec::new(),
+        }
+    }
+
+    /// Returns the log's base address (for reattaching after a crash).
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Returns the number of entries in the open batch.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if the open batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Opens a new batch (the previous batch must have been applied).
+    pub fn begin<E: PmemEnv>(&mut self, env: &mut E) {
+        env.store_u64(self.base.add(OFF_FLAG), 0);
+        env.persist(self.base.add(OFF_FLAG), 8);
+        self.count = 0;
+        self.mirror.clear();
+    }
+
+    /// Appends one update (`payload.len() <= MAX_ENTRY_PAYLOAD`) and
+    /// persists the entry immediately, as the paper's scheme does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is too large or the log is full.
+    pub fn append<E: PmemEnv>(&mut self, env: &mut E, target: Addr, payload: &[u8]) {
+        assert!(
+            payload.len() <= MAX_ENTRY_PAYLOAD,
+            "payload exceeds one-cacheline entry"
+        );
+        assert!(self.count < self.capacity, "redo log is full");
+        let line = encode_entry(target, payload);
+        let slot = entry_addr(self.base, self.count);
+        env.store_full_line(slot, &line);
+        env.persist(slot, CACHELINE_BYTES);
+        self.mirror.push((target, payload.to_vec()));
+        self.count += 1;
+    }
+
+    /// Appends an arbitrarily long update by splitting it into entries.
+    pub fn append_large<E: PmemEnv>(&mut self, env: &mut E, target: Addr, payload: &[u8]) {
+        for (i, chunk) in payload.chunks(MAX_ENTRY_PAYLOAD).enumerate() {
+            self.append(env, target.add((i * MAX_ENTRY_PAYLOAD) as u64), chunk);
+        }
+    }
+
+    /// Commits the batch: persists the entry count and sets the commit
+    /// flag with an 8-byte atomic write.
+    pub fn commit<E: PmemEnv>(&mut self, env: &mut E) {
+        env.store_u64(self.base.add(OFF_COUNT), self.count);
+        env.persist(self.base.add(OFF_COUNT), 8);
+        env.store_u64(self.base.add(OFF_FLAG), FLAG_SET);
+        env.persist(self.base.add(OFF_FLAG), 8);
+    }
+
+    /// Applies the committed batch to its targets from the DRAM mirror
+    /// (plain stores), flushes the touched cachelines once, and retires
+    /// the log.
+    ///
+    /// The paper's sketch clears the flag right after the writeback; we
+    /// additionally flush the targets first, because reclaiming the log
+    /// while the written-back lines are still volatile would lose them in
+    /// a crash. The flush happens once per batch (after all updates), so
+    /// the §4.2 property that matters — never *reading* a recently
+    /// persisted cacheline — is preserved.
+    pub fn apply_and_retire<E: PmemEnv>(&mut self, env: &mut E) {
+        let updates = std::mem::take(&mut self.mirror);
+        let mut touched: Vec<Addr> = Vec::with_capacity(updates.len());
+        for (target, payload) in &updates {
+            env.store(*target, payload);
+            let cl = target.cacheline();
+            if touched.last() != Some(&cl) {
+                touched.push(cl);
+            }
+        }
+        touched.dedup();
+        for cl in touched {
+            env.clwb(cl);
+        }
+        env.sfence();
+        env.store_u64(self.base.add(OFF_FLAG), 0);
+        env.persist(self.base.add(OFF_FLAG), 8);
+        self.count = 0;
+    }
+
+    /// Crash recovery: if a committed batch is present at `base`, replays
+    /// it (with persistence) and retires the log.
+    ///
+    /// Returns the number of entries replayed.
+    pub fn recover<E: PmemEnv>(env: &mut E, base: Addr) -> u64 {
+        if env.load_u64(base.add(OFF_FLAG)) != FLAG_SET {
+            return 0;
+        }
+        let count = env.load_u64(base.add(OFF_COUNT));
+        for i in 0..count {
+            let mut line = [0u8; 64];
+            env.load(entry_addr(base, i), &mut line);
+            let (target, payload) = decode_entry(&line);
+            env.store(target, &payload);
+            env.persist(target, payload.len() as u64);
+        }
+        env.store_u64(base.add(OFF_FLAG), 0);
+        env.persist(base.add(OFF_FLAG), 8);
+        count
+    }
+}
+
+/// A ring-structured redo log with *deferred reclamation*.
+///
+/// The plain [`RedoLog`] must make its targets durable before retiring a
+/// batch, which on G1 parts means invalidating the very cachelines the
+/// next operation will read — reintroducing the read-after-persist problem
+/// the §4.2 optimization exists to avoid. `RingRedoLog` instead keeps
+/// committed batches in a ring and defers the target flush until log space
+/// is reclaimed, amortizing it over many operations (and usually hitting
+/// lines that natural cache evictions have already persisted).
+///
+/// Entry layout (one cacheline each): `[0]` sequence+1, `[8]` kind
+/// (update/commit), `[16]` target, `[24]` length, `[32..]` payload
+/// (≤ 32 bytes). The header cacheline persists `start_seq`, the oldest
+/// live sequence number. Recovery replays contiguous entries from
+/// `start_seq` up to the last commit marker.
+#[derive(Debug)]
+pub struct RingRedoLog {
+    base: Addr,
+    capacity: u64,
+    next_seq: u64,
+    start_seq: u64,
+    /// Sequence just past the last commit marker.
+    last_committed: u64,
+    /// Target cachelines of the current (uncommitted) batch.
+    current_lines: Vec<Addr>,
+    /// Target cachelines of committed-but-unreclaimed batches.
+    committed_lines: Vec<Addr>,
+}
+
+/// Maximum payload of one ring entry.
+pub const MAX_RING_PAYLOAD: usize = 32;
+
+const RING_KIND_UPDATE: u64 = 1;
+const RING_KIND_COMMIT: u64 = 2;
+const RING_MAGIC: u64 = 0x5249_4E47_4C4F_4721; // "RINGLOG!"
+
+impl RingRedoLog {
+    /// Allocates a ring with room for `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is smaller than 8 entries.
+    pub fn create<E: PmemEnv>(env: &mut E, capacity: u64) -> Self {
+        assert!(capacity >= 8, "ring capacity too small");
+        let base = env.alloc(OFF_ENTRIES + capacity * CACHELINE_BYTES, CACHELINE_BYTES);
+        env.store_u64(base, RING_MAGIC);
+        env.store_u64(base.add(8), 0); // start_seq
+        env.store_u64(base.add(16), capacity);
+        env.persist(base, 24);
+        RingRedoLog {
+            base,
+            capacity,
+            next_seq: 0,
+            start_seq: 0,
+            last_committed: 0,
+            current_lines: Vec::new(),
+            committed_lines: Vec::new(),
+        }
+    }
+
+    /// Returns the ring's base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    fn slot(&self, seq: u64) -> Addr {
+        self.base
+            .add(OFF_ENTRIES + (seq % self.capacity) * CACHELINE_BYTES)
+    }
+
+    fn write_entry<E: PmemEnv>(&mut self, env: &mut E, kind: u64, target: Addr, payload: &[u8]) {
+        let mut line = [0u8; 64];
+        line[0..8].copy_from_slice(&(self.next_seq + 1).to_le_bytes());
+        line[8..16].copy_from_slice(&kind.to_le_bytes());
+        line[16..24].copy_from_slice(&target.0.to_le_bytes());
+        line[24..32].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        line[32..32 + payload.len()].copy_from_slice(payload);
+        let slot = self.slot(self.next_seq);
+        env.store_full_line(slot, &line);
+        env.persist(slot, CACHELINE_BYTES);
+        self.next_seq += 1;
+    }
+
+    /// Appends one update to the current batch, persisting the entry
+    /// immediately (as the paper's scheme does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_RING_PAYLOAD`].
+    pub fn append_update<E: PmemEnv>(&mut self, env: &mut E, target: Addr, payload: &[u8]) {
+        assert!(payload.len() <= MAX_RING_PAYLOAD, "ring payload too large");
+        self.maybe_reclaim(env);
+        self.write_entry(env, RING_KIND_UPDATE, target, payload);
+        let cl = target.cacheline();
+        if self.current_lines.last() != Some(&cl) {
+            self.current_lines.push(cl);
+        }
+    }
+
+    /// Commits the current batch with a one-cacheline commit marker.
+    pub fn commit<E: PmemEnv>(&mut self, env: &mut E) {
+        self.maybe_reclaim(env);
+        self.write_entry(env, RING_KIND_COMMIT, Addr(0), &[]);
+        self.last_committed = self.next_seq;
+        self.committed_lines.append(&mut self.current_lines);
+    }
+
+    /// Reclaims log space if the ring is nearly full: flushes every target
+    /// cacheline of committed batches (making their plain-store writebacks
+    /// durable), then advances the persistent `start_seq`.
+    fn maybe_reclaim<E: PmemEnv>(&mut self, env: &mut E) {
+        if self.next_seq - self.start_seq < self.capacity - 4 {
+            return;
+        }
+        self.reclaim(env);
+        assert!(
+            self.next_seq - self.start_seq < self.capacity - 4,
+            "a single batch exceeds the ring capacity"
+        );
+    }
+
+    /// Forces reclamation (checkpoint): flush committed targets, advance
+    /// `start_seq`.
+    pub fn reclaim<E: PmemEnv>(&mut self, env: &mut E) {
+        let mut lines = std::mem::take(&mut self.committed_lines);
+        lines.sort();
+        lines.dedup();
+        for cl in lines {
+            env.clwb(cl);
+        }
+        env.sfence();
+        env.store_u64(self.base.add(8), self.last_committed);
+        env.persist(self.base.add(8), 8);
+        self.start_seq = self.last_committed;
+    }
+
+    /// Crash recovery: replays all committed batches in the ring at
+    /// `base`, persisting their targets, and resets the ring.
+    ///
+    /// Returns the number of update entries replayed.
+    pub fn recover<E: PmemEnv>(env: &mut E, base: Addr) -> u64 {
+        if env.load_u64(base) != RING_MAGIC {
+            return 0;
+        }
+        let start_seq = env.load_u64(base.add(8));
+        let capacity = env.load_u64(base.add(16));
+        if capacity == 0 {
+            return 0;
+        }
+        let mut applied = 0u64;
+        let mut batch: Vec<(Addr, Vec<u8>)> = Vec::new();
+        let mut seq = start_seq;
+        loop {
+            let slot = base.add(OFF_ENTRIES + (seq % capacity) * CACHELINE_BYTES);
+            let mut line = [0u8; 64];
+            env.load(slot, &mut line);
+            let tag = u64::from_le_bytes(line[0..8].try_into().expect("8 bytes"));
+            if tag != seq + 1 {
+                break; // end of contiguous entries
+            }
+            let kind = u64::from_le_bytes(line[8..16].try_into().expect("8 bytes"));
+            if kind == RING_KIND_COMMIT {
+                for (target, payload) in batch.drain(..) {
+                    env.store(target, &payload);
+                    env.persist(target, payload.len() as u64);
+                    applied += 1;
+                }
+            } else if kind == RING_KIND_UPDATE {
+                let target = Addr(u64::from_le_bytes(
+                    line[16..24].try_into().expect("8 bytes"),
+                ));
+                let len = (u64::from_le_bytes(line[24..32].try_into().expect("8 bytes")) as usize)
+                    .min(MAX_RING_PAYLOAD);
+                batch.push((target, line[32..32 + len].to_vec()));
+            } else {
+                break; // corrupt entry: stop conservatively
+            }
+            seq += 1;
+            if seq - start_seq >= capacity {
+                break;
+            }
+        }
+        // Retire everything (uncommitted tail entries are discarded).
+        env.store_u64(base.add(8), seq);
+        env.persist(base.add(8), 8);
+        applied
+    }
+}
+
+/// An undo log: records old values before in-place updates and rolls them
+/// back if the transaction did not commit.
+#[derive(Debug)]
+pub struct UndoLog {
+    base: Addr,
+    capacity: u64,
+    count: u64,
+}
+
+impl UndoLog {
+    /// Allocates a log with room for `capacity` entries.
+    pub fn create<E: PmemEnv>(env: &mut E, capacity: u64) -> Self {
+        let base = env.alloc(OFF_ENTRIES + capacity * CACHELINE_BYTES, CACHELINE_BYTES);
+        env.store_u64(base.add(OFF_FLAG), 0);
+        env.store_u64(base.add(OFF_COUNT), 0);
+        env.persist(base, 16);
+        UndoLog {
+            base,
+            capacity,
+            count: 0,
+        }
+    }
+
+    /// Returns the log's base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Opens a transaction: marks the log active.
+    pub fn begin<E: PmemEnv>(&mut self, env: &mut E) {
+        self.count = 0;
+        env.store_u64(self.base.add(OFF_COUNT), 0);
+        env.persist(self.base.add(OFF_COUNT), 8);
+        env.store_u64(self.base.add(OFF_FLAG), FLAG_SET);
+        env.persist(self.base.add(OFF_FLAG), 8);
+    }
+
+    /// Records the current contents of `[target, target + len)` before the
+    /// caller overwrites it. `len <= MAX_ENTRY_PAYLOAD`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is too large or the log is full.
+    pub fn record<E: PmemEnv>(&mut self, env: &mut E, target: Addr, len: usize) {
+        assert!(len <= MAX_ENTRY_PAYLOAD, "undo entry too large");
+        assert!(self.count < self.capacity, "undo log is full");
+        let mut old = vec![0u8; len];
+        env.load(target, &mut old);
+        let line = encode_entry(target, &old);
+        let slot = entry_addr(self.base, self.count);
+        env.store_full_line(slot, &line);
+        env.persist(slot, CACHELINE_BYTES);
+        self.count += 1;
+        env.store_u64(self.base.add(OFF_COUNT), self.count);
+        env.persist(self.base.add(OFF_COUNT), 8);
+    }
+
+    /// Commits: the caller's updates are durable, discard the log.
+    pub fn commit<E: PmemEnv>(&mut self, env: &mut E) {
+        env.store_u64(self.base.add(OFF_FLAG), 0);
+        env.persist(self.base.add(OFF_FLAG), 8);
+        self.count = 0;
+    }
+
+    /// Crash recovery: if an active (uncommitted) transaction is present
+    /// at `base`, rolls its targets back in reverse order.
+    ///
+    /// Returns the number of entries rolled back.
+    pub fn recover<E: PmemEnv>(env: &mut E, base: Addr) -> u64 {
+        if env.load_u64(base.add(OFF_FLAG)) != FLAG_SET {
+            return 0;
+        }
+        let count = env.load_u64(base.add(OFF_COUNT));
+        for i in (0..count).rev() {
+            let mut line = [0u8; 64];
+            env.load(entry_addr(base, i), &mut line);
+            let (target, payload) = decode_entry(&line);
+            env.store(target, &payload);
+            env.persist(target, payload.len() as u64);
+        }
+        env.store_u64(base.add(OFF_FLAG), 0);
+        env.persist(base.add(OFF_FLAG), 8);
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{HostEnv, SimEnv};
+    use cpucache::PrefetchConfig;
+    use optane_core::{CrashPolicy, Machine, MachineConfig};
+
+    fn sim() -> Machine {
+        Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1))
+    }
+
+    #[test]
+    fn redo_normal_path_applies_updates() {
+        let mut env = HostEnv::new();
+        let target = env.alloc(256, 64);
+        let mut log = RedoLog::create(&mut env, 16);
+        log.begin(&mut env);
+        log.append(&mut env, target, &7u64.to_le_bytes());
+        log.append(&mut env, target.add(64), &9u64.to_le_bytes());
+        log.commit(&mut env);
+        log.apply_and_retire(&mut env);
+        assert_eq!(env.load_u64(target), 7);
+        assert_eq!(env.load_u64(target.add(64)), 9);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn redo_recovers_committed_batch_after_crash() {
+        let mut m = sim();
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let target = env.alloc(64, 64);
+        let mut log = RedoLog::create(&mut env, 4);
+        let base = log.base();
+        log.begin(&mut env);
+        log.append(&mut env, target, &42u64.to_le_bytes());
+        log.commit(&mut env);
+        // Crash before the writeback: the target was never written.
+        drop(env);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        assert_eq!(m.peek_u64(target), 0);
+        let mut env = SimEnv::new(&mut m, t);
+        let replayed = RedoLog::recover(&mut env, base);
+        assert_eq!(replayed, 1);
+        drop(env);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        assert_eq!(m.peek_u64(target), 42, "recovery replays with persistence");
+    }
+
+    #[test]
+    fn redo_uncommitted_batch_is_ignored() {
+        let mut m = sim();
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let target = env.alloc(64, 64);
+        let mut log = RedoLog::create(&mut env, 4);
+        let base = log.base();
+        log.begin(&mut env);
+        log.append(&mut env, target, &42u64.to_le_bytes());
+        // No commit.
+        drop(env);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        let mut env = SimEnv::new(&mut m, t);
+        assert_eq!(RedoLog::recover(&mut env, base), 0);
+        assert_eq!(env.load_u64(target), 0);
+    }
+
+    #[test]
+    fn redo_recovery_is_idempotent() {
+        let mut env = HostEnv::new();
+        let target = env.alloc(64, 64);
+        let mut log = RedoLog::create(&mut env, 4);
+        log.begin(&mut env);
+        log.append(&mut env, target, &5u64.to_le_bytes());
+        log.commit(&mut env);
+        assert_eq!(RedoLog::recover(&mut env, log.base()), 1);
+        assert_eq!(RedoLog::recover(&mut env, log.base()), 0, "flag cleared");
+        assert_eq!(env.load_u64(target), 5);
+    }
+
+    #[test]
+    fn redo_append_large_splits() {
+        let mut env = HostEnv::new();
+        let target = env.alloc(256, 64);
+        let mut log = RedoLog::create(&mut env, 16);
+        log.begin(&mut env);
+        let payload: Vec<u8> = (0..120).collect();
+        log.append_large(&mut env, target, &payload);
+        assert_eq!(log.len(), 3); // 48 + 48 + 24
+        log.commit(&mut env);
+        log.apply_and_retire(&mut env);
+        let mut got = vec![0u8; 120];
+        env.load(target, &mut got);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "redo log is full")]
+    fn redo_overflow_panics() {
+        let mut env = HostEnv::new();
+        let target = env.alloc(64, 64);
+        let mut log = RedoLog::create(&mut env, 1);
+        log.begin(&mut env);
+        log.append(&mut env, target, &[1]);
+        log.append(&mut env, target, &[2]);
+    }
+
+    #[test]
+    fn undo_rolls_back_uncommitted_transaction() {
+        let mut m = sim();
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let target = env.alloc(64, 64);
+        env.store_u64(target, 100);
+        env.persist(target, 8);
+        let mut log = UndoLog::create(&mut env, 4);
+        let base = log.base();
+        log.begin(&mut env);
+        log.record(&mut env, target, 8);
+        // In-place update, persisted — then crash before commit.
+        env.store_u64(target, 999);
+        env.persist(target, 8);
+        drop(env);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        let mut env = SimEnv::new(&mut m, t);
+        assert_eq!(env.load_u64(target), 999, "update was persisted");
+        assert_eq!(UndoLog::recover(&mut env, base), 1);
+        assert_eq!(env.load_u64(target), 100, "rolled back");
+    }
+
+    #[test]
+    fn undo_committed_transaction_stays() {
+        let mut env = HostEnv::new();
+        let target = env.alloc(64, 64);
+        env.store_u64(target, 1);
+        let mut log = UndoLog::create(&mut env, 4);
+        log.begin(&mut env);
+        log.record(&mut env, target, 8);
+        env.store_u64(target, 2);
+        log.commit(&mut env);
+        assert_eq!(UndoLog::recover(&mut env, log.base()), 0);
+        assert_eq!(env.load_u64(target), 2);
+    }
+
+    #[test]
+    fn undo_rollback_is_in_reverse_order() {
+        let mut env = HostEnv::new();
+        let target = env.alloc(64, 64);
+        env.store_u64(target, 1);
+        let mut log = UndoLog::create(&mut env, 4);
+        log.begin(&mut env);
+        log.record(&mut env, target, 8); // old = 1
+        env.store_u64(target, 2);
+        log.record(&mut env, target, 8); // old = 2
+        env.store_u64(target, 3);
+        // Reverse rollback must restore 1, not 2.
+        assert_eq!(UndoLog::recover(&mut env, log.base()), 2);
+        assert_eq!(env.load_u64(target), 1);
+    }
+
+    #[test]
+    fn ring_normal_path_with_writeback() {
+        let mut env = HostEnv::new();
+        let target = env.alloc(256, 64);
+        let mut ring = RingRedoLog::create(&mut env, 16);
+        for batch in 0..3u64 {
+            for i in 0..2u64 {
+                let v = batch * 10 + i;
+                ring.append_update(&mut env, target.add_cachelines(i), &v.to_le_bytes());
+            }
+            ring.commit(&mut env);
+            for i in 0..2u64 {
+                env.store_u64(target.add_cachelines(i), batch * 10 + i);
+            }
+        }
+        assert_eq!(env.load_u64(target), 20);
+        assert_eq!(env.load_u64(target.add_cachelines(1)), 21);
+    }
+
+    #[test]
+    fn ring_recovers_committed_batches_after_crash() {
+        let mut m = sim();
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let target = env.alloc(256, 64);
+        let mut ring = RingRedoLog::create(&mut env, 16);
+        let base = ring.base();
+        // Two committed batches, writebacks never flushed, plus an
+        // uncommitted tail that must be discarded.
+        for batch in 0..2u64 {
+            ring.append_update(&mut env, target, &(batch + 1).to_le_bytes());
+            ring.append_update(
+                &mut env,
+                target.add_cachelines(1),
+                &(batch + 100).to_le_bytes(),
+            );
+            ring.commit(&mut env);
+            // Plain, unflushed writebacks (lost in the crash).
+            env.store_u64(target, batch + 1);
+            env.store_u64(target.add_cachelines(1), batch + 100);
+        }
+        ring.append_update(&mut env, target, &999u64.to_le_bytes()); // torn
+        drop(env);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        let mut env = SimEnv::new(&mut m, t);
+        let applied = RingRedoLog::recover(&mut env, base);
+        assert_eq!(applied, 4, "both committed batches replay in order");
+        assert_eq!(env.load_u64(target), 2, "latest committed value wins");
+        assert_eq!(env.load_u64(target.add_cachelines(1)), 101);
+        drop(env);
+        // Replayed values are durable.
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        assert_eq!(m.peek_u64(target), 2);
+    }
+
+    #[test]
+    fn ring_reclaim_makes_writebacks_durable() {
+        let mut m = sim();
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let target = env.alloc(64, 64);
+        let mut ring = RingRedoLog::create(&mut env, 16);
+        ring.append_update(&mut env, target, &7u64.to_le_bytes());
+        ring.commit(&mut env);
+        env.store_u64(target, 7);
+        ring.reclaim(&mut env);
+        let base = ring.base();
+        drop(env);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        let mut env = SimEnv::new(&mut m, t);
+        assert_eq!(
+            RingRedoLog::recover(&mut env, base),
+            0,
+            "reclaimed batches are gone from the log"
+        );
+        assert_eq!(env.load_u64(target), 7, "reclaim flushed the writeback");
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_working() {
+        let mut env = HostEnv::new();
+        let target = env.alloc(64, 64);
+        let mut ring = RingRedoLog::create(&mut env, 8);
+        // Far more batches than the ring holds: automatic reclamation
+        // must kick in and the log must never corrupt itself.
+        for v in 0..50u64 {
+            ring.append_update(&mut env, target, &v.to_le_bytes());
+            ring.commit(&mut env);
+            env.store_u64(target, v);
+        }
+        assert_eq!(env.load_u64(target), 49);
+        // Recovery after graceful operation replays at most the tail.
+        let base = ring.base();
+        let replayed = RingRedoLog::recover(&mut env, base);
+        assert!(replayed <= 8);
+        assert_eq!(env.load_u64(target), 49);
+    }
+
+    #[test]
+    fn ring_recover_on_garbage_is_a_noop() {
+        let mut env = HostEnv::new();
+        let junk = env.alloc(4096, 64);
+        assert_eq!(RingRedoLog::recover(&mut env, junk), 0);
+    }
+
+    #[test]
+    fn entry_encoding_round_trips() {
+        let payload: Vec<u8> = (0..48).collect();
+        let line = encode_entry(Addr(0xABCD), &payload);
+        let (target, got) = decode_entry(&line);
+        assert_eq!(target, Addr(0xABCD));
+        assert_eq!(got, payload);
+    }
+}

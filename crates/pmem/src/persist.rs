@@ -1,0 +1,268 @@
+//! Persist barriers and persistency models.
+//!
+//! §3.6 of the paper compares the two ends of the persistency-model
+//! spectrum: *strict* (every store is immediately followed by a
+//! flush-and-fence) and *relaxed* (stores and flushes proceed unordered and
+//! a single fence closes a whole batch). [`PersistMode`] lets workload code
+//! switch between them with one parameter.
+
+use simbase::{addr::cachelines_covering, Addr};
+
+use crate::env::PmemEnv;
+
+/// Which persistency model a workload runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistMode {
+    /// A persistence barrier (flush + fence) after every write.
+    Strict,
+    /// Flushes are issued but the fence is deferred to the end of the
+    /// batch (the paper's most relaxed comparison point).
+    Relaxed,
+}
+
+impl PersistMode {
+    /// Applies the per-write part of the model: always flush; fence only
+    /// under [`PersistMode::Strict`].
+    pub fn after_write<E: PmemEnv>(&self, env: &mut E, addr: Addr, len: u64) {
+        for cl in cachelines_covering(addr, len) {
+            env.clwb(cl);
+        }
+        if *self == PersistMode::Strict {
+            env.sfence();
+        }
+    }
+
+    /// Applies the end-of-batch part of the model: a fence that makes the
+    /// whole batch persistent.
+    pub fn end_batch<E: PmemEnv>(&self, env: &mut E) {
+        env.sfence();
+    }
+}
+
+/// Epoch persistency (Pelley et al., the [24] of the paper's §3.6):
+/// writes *within* an epoch may persist in any order; an epoch boundary
+/// inserts one fence that orders every earlier flush before all later
+/// writes. Sits between [`PersistMode::Strict`] (epoch length 1) and
+/// [`PersistMode::Relaxed`] (one epoch for the whole batch).
+///
+/// # Examples
+///
+/// ```
+/// use pmem::{EpochPersist, HostEnv, PmemEnv};
+///
+/// let mut env = HostEnv::new();
+/// let a = env.alloc(4096, 64);
+/// let mut epoch = EpochPersist::new(8);
+/// for i in 0..32u64 {
+///     env.store_u64(a.add(i * 64), i);
+///     epoch.write(&mut env, a.add(i * 64), 8);
+/// }
+/// epoch.close(&mut env); // everything durable from here
+/// assert_eq!(epoch.epochs_closed(), 4);
+/// ```
+#[derive(Debug)]
+pub struct EpochPersist {
+    epoch_len: u64,
+    pending: u64,
+    closed: u64,
+}
+
+impl EpochPersist {
+    /// Creates an epoch context committing every `epoch_len` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    pub fn new(epoch_len: u64) -> Self {
+        assert!(epoch_len > 0, "epoch length must be positive");
+        EpochPersist {
+            epoch_len,
+            pending: 0,
+            closed: 0,
+        }
+    }
+
+    /// Flushes one write; closes the epoch (fence) when it is full.
+    pub fn write<E: PmemEnv>(&mut self, env: &mut E, addr: Addr, len: u64) {
+        for cl in cachelines_covering(addr, len) {
+            env.clwb(cl);
+        }
+        self.pending += 1;
+        if self.pending >= self.epoch_len {
+            self.close(env);
+        }
+    }
+
+    /// Closes the current epoch with a fence (no-op if it is empty).
+    pub fn close<E: PmemEnv>(&mut self, env: &mut E) {
+        if self.pending > 0 {
+            env.sfence();
+            self.pending = 0;
+            self.closed += 1;
+        }
+    }
+
+    /// Returns the number of epochs closed so far.
+    pub fn epochs_closed(&self) -> u64 {
+        self.closed
+    }
+}
+
+/// Flushes and fences `[addr, addr + len)` — the canonical persistence
+/// barrier.
+pub fn persist_range<E: PmemEnv>(env: &mut E, addr: Addr, len: u64) {
+    for cl in cachelines_covering(addr, len) {
+        env.clwb(cl);
+    }
+    env.sfence();
+}
+
+/// Flushes `[addr, addr + len)` without the trailing fence (for callers
+/// that batch several ranges under one fence).
+pub fn persist_range_unfenced<E: PmemEnv>(env: &mut E, addr: Addr, len: u64) {
+    for cl in cachelines_covering(addr, len) {
+        env.clwb(cl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{HostEnv, SimEnv};
+    use cpucache::PrefetchConfig;
+    use optane_core::{CrashPolicy, Machine, MachineConfig};
+
+    #[test]
+    fn strict_fences_every_write() {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let a = env.alloc(4096, 64);
+        for i in 0..8u64 {
+            env.store_u64(a.add_cachelines(i), i);
+            PersistMode::Strict.after_write(&mut env, a.add_cachelines(i), 8);
+        }
+        drop(env);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        for i in 0..8u64 {
+            assert_eq!(m.peek_u64(a.add_cachelines(i)), i);
+        }
+    }
+
+    #[test]
+    fn relaxed_is_durable_after_end_batch() {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let a = env.alloc(4096, 64);
+        for i in 0..8u64 {
+            env.store_u64(a.add_cachelines(i), i + 1);
+            PersistMode::Relaxed.after_write(&mut env, a.add_cachelines(i), 8);
+        }
+        PersistMode::Relaxed.end_batch(&mut env);
+        drop(env);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        for i in 0..8u64 {
+            assert_eq!(m.peek_u64(a.add_cachelines(i)), i + 1);
+        }
+    }
+
+    #[test]
+    fn relaxed_is_cheaper_than_strict() {
+        let run = |mode: PersistMode| -> u64 {
+            let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+            let t = m.spawn(0);
+            let mut env = SimEnv::new(&mut m, t);
+            let a = env.alloc(64 * 256, 256);
+            let start = env.now();
+            for i in 0..64u64 {
+                env.store_u64(a.add_xplines(i), i);
+                mode.after_write(&mut env, a.add_xplines(i), 8);
+            }
+            mode.end_batch(&mut env);
+            env.now() - start
+        };
+        let strict = run(PersistMode::Strict);
+        let relaxed = run(PersistMode::Relaxed);
+        assert!(
+            relaxed < strict,
+            "relaxed ({relaxed}) should beat strict ({strict})"
+        );
+    }
+
+    #[test]
+    fn persist_range_unfenced_then_fence_is_equivalent() {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let a = env.alloc(256, 64);
+        env.store(a, &[1u8; 200]);
+        persist_range_unfenced(&mut env, a, 200);
+        env.sfence();
+        drop(env);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        let mut buf = [0u8; 200];
+        m.peek(a, &mut buf);
+        assert_eq!(buf, [1u8; 200]);
+    }
+
+    #[test]
+    fn epoch_sits_between_strict_and_relaxed() {
+        let run = |mode: u8| -> u64 {
+            let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+            let t = m.spawn(0);
+            let mut env = SimEnv::new(&mut m, t);
+            let a = env.alloc(64 * 256, 256);
+            let start = env.now();
+            let mut epoch = EpochPersist::new(8);
+            for i in 0..64u64 {
+                env.store_u64(a.add_xplines(i), i);
+                match mode {
+                    0 => PersistMode::Strict.after_write(&mut env, a.add_xplines(i), 8),
+                    1 => epoch.write(&mut env, a.add_xplines(i), 8),
+                    _ => PersistMode::Relaxed.after_write(&mut env, a.add_xplines(i), 8),
+                }
+            }
+            epoch.close(&mut env);
+            env.sfence();
+            env.now() - start
+        };
+        let strict = run(0);
+        let epoch = run(1);
+        let relaxed = run(2);
+        assert!(
+            relaxed <= epoch && epoch <= strict,
+            "relaxed {relaxed} <= epoch {epoch} <= strict {strict}"
+        );
+        assert!(epoch < strict, "epoch saves fences over strict");
+    }
+
+    #[test]
+    fn epoch_close_makes_writes_durable() {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let a = env.alloc(4096, 64);
+        let mut epoch = EpochPersist::new(16);
+        for i in 0..8u64 {
+            env.store_u64(a.add_cachelines(i), i + 1);
+            epoch.write(&mut env, a.add_cachelines(i), 8);
+        }
+        epoch.close(&mut env);
+        drop(env);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        for i in 0..8u64 {
+            assert_eq!(m.peek_u64(a.add_cachelines(i)), i + 1);
+        }
+    }
+
+    #[test]
+    fn modes_are_noops_on_host_env() {
+        let mut env = HostEnv::new();
+        let a = env.alloc(64, 64);
+        env.store_u64(a, 5);
+        PersistMode::Strict.after_write(&mut env, a, 8);
+        PersistMode::Relaxed.end_batch(&mut env);
+        assert_eq!(env.load_u64(a), 5);
+    }
+}

@@ -1,0 +1,220 @@
+//! A crash-recoverable persistent-memory pool.
+//!
+//! Minimal `libpmemobj`-flavoured region management: a header with a magic
+//! number, a persistently maintained allocation cursor, and one named root
+//! pointer from which recovery code reaches every live object.
+//!
+//! Allocation is a persisted bump pointer: the cursor is flushed before an
+//! allocation is handed out, so a crash can at worst leak the allocation,
+//! never double-allocate it.
+
+use simbase::Addr;
+
+use crate::env::PmemEnv;
+
+/// ASCII "PMPOOL!!".
+const MAGIC: u64 = 0x504D_504F_4F4C_2121;
+
+const OFF_MAGIC: u64 = 0;
+const OFF_CAPACITY: u64 = 8;
+const OFF_CURSOR: u64 = 16;
+const OFF_ROOT: u64 = 24;
+/// First allocatable offset (the header owns the first cacheline).
+const HEADER_BYTES: u64 = 64;
+
+/// Errors from opening a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The region does not contain a pool header.
+    BadMagic,
+    /// The header is internally inconsistent.
+    Corrupt,
+    /// The pool has no room for the requested allocation.
+    OutOfSpace,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::BadMagic => write!(f, "region is not a pool (bad magic)"),
+            PoolError::Corrupt => write!(f, "pool header is corrupt"),
+            PoolError::OutOfSpace => write!(f, "pool is out of space"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A persistent region with a root pointer and a persisted bump allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct PmPool {
+    base: Addr,
+    capacity: u64,
+}
+
+impl PmPool {
+    /// Creates (formats) a new pool of `capacity` bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pmem::{HostEnv, PmPool, PmemEnv};
+    ///
+    /// let mut env = HostEnv::new();
+    /// let pool = PmPool::create(&mut env, 1 << 16);
+    /// let obj = pool.alloc(&mut env, 128, 64).unwrap();
+    /// pool.set_root(&mut env, obj);
+    ///
+    /// // After a restart, the root pointer finds the object again.
+    /// let reopened = PmPool::open(&mut env, pool.base()).unwrap();
+    /// assert_eq!(reopened.root(&mut env), Some(obj));
+    /// ```
+    pub fn create<E: PmemEnv>(env: &mut E, capacity: u64) -> Self {
+        let base = env.alloc(capacity, 4096);
+        env.store_u64(base.add(OFF_MAGIC), MAGIC);
+        env.store_u64(base.add(OFF_CAPACITY), capacity);
+        env.store_u64(base.add(OFF_CURSOR), HEADER_BYTES);
+        env.store_u64(base.add(OFF_ROOT), 0);
+        env.persist(base, HEADER_BYTES);
+        PmPool { base, capacity }
+    }
+
+    /// Opens an existing pool at `base` (after a restart or crash).
+    pub fn open<E: PmemEnv>(env: &mut E, base: Addr) -> Result<Self, PoolError> {
+        if env.load_u64(base.add(OFF_MAGIC)) != MAGIC {
+            return Err(PoolError::BadMagic);
+        }
+        let capacity = env.load_u64(base.add(OFF_CAPACITY));
+        let cursor = env.load_u64(base.add(OFF_CURSOR));
+        if cursor < HEADER_BYTES || cursor > capacity {
+            return Err(PoolError::Corrupt);
+        }
+        Ok(PmPool { base, capacity })
+    }
+
+    /// Returns the pool's base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Returns the pool capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Allocates `len` bytes with the given alignment, persisting the
+    /// cursor before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc<E: PmemEnv>(&self, env: &mut E, len: u64, align: u64) -> Result<Addr, PoolError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let cursor = env.load_u64(self.base.add(OFF_CURSOR));
+        let abs = self.base.0 + cursor;
+        let aligned = (abs + align - 1) & !(align - 1);
+        let new_cursor = aligned - self.base.0 + len;
+        if new_cursor > self.capacity {
+            return Err(PoolError::OutOfSpace);
+        }
+        env.store_u64(self.base.add(OFF_CURSOR), new_cursor);
+        env.persist(self.base.add(OFF_CURSOR), 8);
+        Ok(Addr(aligned))
+    }
+
+    /// Returns the bytes still available.
+    pub fn remaining<E: PmemEnv>(&self, env: &mut E) -> u64 {
+        let cursor = env.load_u64(self.base.add(OFF_CURSOR));
+        self.capacity - cursor
+    }
+
+    /// Durably sets the root pointer.
+    pub fn set_root<E: PmemEnv>(&self, env: &mut E, root: Addr) {
+        env.store_u64(self.base.add(OFF_ROOT), root.0);
+        env.persist(self.base.add(OFF_ROOT), 8);
+    }
+
+    /// Reads the root pointer, if one was set.
+    pub fn root<E: PmemEnv>(&self, env: &mut E) -> Option<Addr> {
+        let r = env.load_u64(self.base.add(OFF_ROOT));
+        (r != 0).then_some(Addr(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{HostEnv, SimEnv};
+    use cpucache::PrefetchConfig;
+    use optane_core::{CrashPolicy, Machine, MachineConfig};
+
+    #[test]
+    fn create_alloc_and_root() {
+        let mut env = HostEnv::new();
+        let pool = PmPool::create(&mut env, 1 << 20);
+        let a = pool.alloc(&mut env, 100, 64).unwrap();
+        let b = pool.alloc(&mut env, 100, 64).unwrap();
+        assert!(b.0 >= a.0 + 100);
+        assert_eq!(a.0 % 64, 0);
+        pool.set_root(&mut env, a);
+        assert_eq!(pool.root(&mut env), Some(a));
+    }
+
+    #[test]
+    fn open_round_trips() {
+        let mut env = HostEnv::new();
+        let pool = PmPool::create(&mut env, 1 << 16);
+        let a = pool.alloc(&mut env, 64, 64).unwrap();
+        pool.set_root(&mut env, a);
+        let reopened = PmPool::open(&mut env, pool.base()).unwrap();
+        assert_eq!(reopened.capacity(), 1 << 16);
+        assert_eq!(reopened.root(&mut env), Some(a));
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let mut env = HostEnv::new();
+        let not_a_pool = env.alloc(4096, 4096);
+        assert_eq!(
+            PmPool::open(&mut env, not_a_pool).unwrap_err(),
+            PoolError::BadMagic
+        );
+    }
+
+    #[test]
+    fn out_of_space_is_reported() {
+        let mut env = HostEnv::new();
+        let pool = PmPool::create(&mut env, 256);
+        assert!(pool.alloc(&mut env, 128, 64).is_ok());
+        assert_eq!(pool.alloc(&mut env, 128, 64), Err(PoolError::OutOfSpace));
+    }
+
+    #[test]
+    fn allocator_state_survives_crash() {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let t = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, t);
+        let pool = PmPool::create(&mut env, 1 << 20);
+        let a = pool.alloc(&mut env, 4096, 256).unwrap();
+        pool.set_root(&mut env, a);
+        let base = pool.base();
+        drop(env);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        let mut env = SimEnv::new(&mut m, t);
+        let pool = PmPool::open(&mut env, base).unwrap();
+        assert_eq!(pool.root(&mut env), Some(a));
+        // A post-crash allocation must not overlap the pre-crash one.
+        let b = pool.alloc(&mut env, 4096, 256).unwrap();
+        assert!(b.0 >= a.0 + 4096);
+    }
+
+    #[test]
+    fn remaining_decreases() {
+        let mut env = HostEnv::new();
+        let pool = PmPool::create(&mut env, 1 << 16);
+        let before = pool.remaining(&mut env);
+        pool.alloc(&mut env, 1000, 8).unwrap();
+        let after = pool.remaining(&mut env);
+        assert!(before - after >= 1000);
+    }
+}

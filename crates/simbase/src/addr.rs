@@ -1,0 +1,180 @@
+//! Physical addresses and access-granularity geometry.
+//!
+//! The central architectural mismatch studied by the paper is between the
+//! 64-byte cacheline granularity the CPU uses and the 256-byte XPLine
+//! granularity of the 3D-XPoint media. All address arithmetic in the
+//! simulator goes through this module so the two granularities never get
+//! confused.
+
+/// Size of a CPU cacheline in bytes.
+pub const CACHELINE_BYTES: u64 = 64;
+
+/// Size of a 3D-XPoint media access unit ("XPLine") in bytes.
+pub const XPLINE_BYTES: u64 = 256;
+
+/// Number of cachelines contained in one XPLine.
+pub const CACHELINES_PER_XPLINE: u64 = XPLINE_BYTES / CACHELINE_BYTES;
+
+/// A physical byte address in the simulated machine.
+///
+/// Addresses are plain 64-bit byte offsets into the simulated physical
+/// address space. The type is `Copy` and ordered so it can be used as a map
+/// key throughout the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Returns the address of the cacheline containing `self`.
+    #[inline]
+    pub fn cacheline(self) -> Addr {
+        Addr(self.0 & !(CACHELINE_BYTES - 1))
+    }
+
+    /// Returns the address of the XPLine containing `self`.
+    #[inline]
+    pub fn xpline(self) -> Addr {
+        Addr(self.0 & !(XPLINE_BYTES - 1))
+    }
+
+    /// Returns the index (0..=3) of this address's cacheline within its
+    /// XPLine.
+    #[inline]
+    pub fn cacheline_in_xpline(self) -> usize {
+        ((self.0 % XPLINE_BYTES) / CACHELINE_BYTES) as usize
+    }
+
+    /// Returns the byte offset of this address within its cacheline.
+    #[inline]
+    pub fn offset_in_cacheline(self) -> usize {
+        (self.0 % CACHELINE_BYTES) as usize
+    }
+
+    /// Returns `true` if the address is aligned to a cacheline boundary.
+    #[inline]
+    pub fn is_cacheline_aligned(self) -> bool {
+        self.0.is_multiple_of(CACHELINE_BYTES)
+    }
+
+    /// Returns `true` if the address is aligned to an XPLine boundary.
+    #[inline]
+    pub fn is_xpline_aligned(self) -> bool {
+        self.0.is_multiple_of(XPLINE_BYTES)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    // The name deliberately mirrors pointer arithmetic; this is not an
+    // `std::ops::Add` impl because mixing `Addr + Addr` must not compile.
+    #[expect(clippy::should_implement_trait)]
+    #[inline]
+    pub fn add(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// Returns the cacheline-sized address `n` cachelines after `self`.
+    #[inline]
+    pub fn add_cachelines(self, n: u64) -> Addr {
+        Addr(self.0 + n * CACHELINE_BYTES)
+    }
+
+    /// Returns the address `n` XPLines after `self`.
+    #[inline]
+    pub fn add_xplines(self, n: u64) -> Addr {
+        Addr(self.0 + n * XPLINE_BYTES)
+    }
+}
+
+impl core::fmt::Debug for Addr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl core::fmt::Display for Addr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// Iterates over the cacheline-aligned addresses covering `[start, start + len)`.
+pub fn cachelines_covering(start: Addr, len: u64) -> impl Iterator<Item = Addr> {
+    let first = start.cacheline().0;
+    let last = if len == 0 {
+        first
+    } else {
+        Addr(start.0 + len - 1).cacheline().0
+    };
+    (first..=last)
+        .step_by(CACHELINE_BYTES as usize)
+        .map(Addr)
+        .take(if len == 0 { 0 } else { usize::MAX })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cacheline_rounding() {
+        assert_eq!(Addr(0).cacheline(), Addr(0));
+        assert_eq!(Addr(63).cacheline(), Addr(0));
+        assert_eq!(Addr(64).cacheline(), Addr(64));
+        assert_eq!(Addr(191).cacheline(), Addr(128));
+    }
+
+    #[test]
+    fn xpline_rounding() {
+        assert_eq!(Addr(0).xpline(), Addr(0));
+        assert_eq!(Addr(255).xpline(), Addr(0));
+        assert_eq!(Addr(256).xpline(), Addr(256));
+        assert_eq!(Addr(1023).xpline(), Addr(768));
+    }
+
+    #[test]
+    fn cacheline_index_within_xpline() {
+        assert_eq!(Addr(0).cacheline_in_xpline(), 0);
+        assert_eq!(Addr(64).cacheline_in_xpline(), 1);
+        assert_eq!(Addr(128).cacheline_in_xpline(), 2);
+        assert_eq!(Addr(192).cacheline_in_xpline(), 3);
+        assert_eq!(Addr(256).cacheline_in_xpline(), 0);
+        assert_eq!(Addr(300).cacheline_in_xpline(), 0);
+        assert_eq!(Addr(321).cacheline_in_xpline(), 1);
+    }
+
+    #[test]
+    fn alignment_predicates() {
+        assert!(Addr(0).is_xpline_aligned());
+        assert!(Addr(512).is_xpline_aligned());
+        assert!(!Addr(64).is_xpline_aligned());
+        assert!(Addr(64).is_cacheline_aligned());
+        assert!(!Addr(65).is_cacheline_aligned());
+    }
+
+    #[test]
+    fn geometry_constants_are_consistent() {
+        assert_eq!(CACHELINES_PER_XPLINE, 4);
+        assert_eq!(CACHELINE_BYTES * CACHELINES_PER_XPLINE, XPLINE_BYTES);
+    }
+
+    #[test]
+    fn covering_iterator_spans_unaligned_ranges() {
+        let lines: Vec<Addr> = cachelines_covering(Addr(60), 10).collect();
+        assert_eq!(lines, vec![Addr(0), Addr(64)]);
+        let lines: Vec<Addr> = cachelines_covering(Addr(0), 0).collect();
+        assert!(lines.is_empty());
+        let lines: Vec<Addr> = cachelines_covering(Addr(128), 64).collect();
+        assert_eq!(lines, vec![Addr(128)]);
+    }
+
+    #[test]
+    fn add_helpers() {
+        assert_eq!(Addr(0).add_cachelines(3), Addr(192));
+        assert_eq!(Addr(64).add_xplines(2), Addr(576));
+        assert_eq!(Addr(5).add(7), Addr(12));
+    }
+}

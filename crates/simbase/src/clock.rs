@@ -1,0 +1,76 @@
+//! Simulated time.
+//!
+//! All latencies and timestamps in the simulator are expressed in CPU
+//! cycles. `Cycles` is a plain `u64` alias rather than a newtype: timing
+//! arithmetic is pervasive and the simulator never mixes cycles with any
+//! other integer quantity at the same call site, so the extra wrapping would
+//! only add noise.
+
+/// A point in simulated time, or a duration, in CPU cycles.
+pub type Cycles = u64;
+
+/// A monotonically advancing per-thread clock.
+///
+/// Each simulated hardware thread owns one `ThreadClock`. Memory operations
+/// compute a latency and [`advance`](ThreadClock::advance) the clock by it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadClock {
+    now: Cycles,
+}
+
+impl ThreadClock {
+    /// Creates a clock starting at cycle 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at `start`.
+    pub fn starting_at(start: Cycles) -> Self {
+        ThreadClock { now: start }
+    }
+
+    /// Returns the current simulated time.
+    #[inline]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Advances the clock by `delta` cycles and returns the new time.
+    #[inline]
+    pub fn advance(&mut self, delta: Cycles) -> Cycles {
+        self.now += delta;
+        self.now
+    }
+
+    /// Moves the clock forward to `t` if `t` is later than now.
+    ///
+    /// Used when a thread blocks on a shared resource that frees up at `t`.
+    #[inline]
+    pub fn advance_to(&mut self, t: Cycles) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = ThreadClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(10), 10);
+        assert_eq!(c.advance(5), 15);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let mut c = ThreadClock::starting_at(100);
+        c.advance_to(50);
+        assert_eq!(c.now(), 100);
+        c.advance_to(150);
+        assert_eq!(c.now(), 150);
+    }
+}

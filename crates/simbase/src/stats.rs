@@ -1,0 +1,255 @@
+//! Event, byte, and latency statistics.
+//!
+//! The paper observes the DIMM through two counter taps — bytes moved at the
+//! iMC boundary and bytes moved at the 3D-XPoint media boundary — and
+//! derives read/write amplification from their ratio. [`ByteCounter`] is
+//! that tap; [`LatencyStats`] aggregates per-operation latencies for the
+//! latency figures.
+
+use crate::clock::Cycles;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments the counter by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+/// Separate read and write byte counters for one observation point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteCounter {
+    /// Bytes read through this observation point.
+    pub read: u64,
+    /// Bytes written through this observation point.
+    pub write: u64,
+}
+
+impl ByteCounter {
+    /// Creates a zeroed counter pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` bytes read.
+    #[inline]
+    pub fn add_read(&mut self, n: u64) {
+        self.read += n;
+    }
+
+    /// Records `n` bytes written.
+    #[inline]
+    pub fn add_write(&mut self, n: u64) {
+        self.write += n;
+    }
+
+    /// Returns the counter-wise difference `self - earlier`.
+    ///
+    /// Used to compute per-experiment deltas from two snapshots.
+    pub fn delta(&self, earlier: &ByteCounter) -> ByteCounter {
+        ByteCounter {
+            read: self.read - earlier.read,
+            write: self.write - earlier.write,
+        }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Computes a ratio of two byte counts, returning 0 when the denominator is
+/// zero.
+///
+/// Amplification metrics divide media bytes by iMC bytes; experiments with
+/// no traffic of a given kind should report 0 rather than NaN.
+pub fn ratio(numerator: u64, denominator: u64) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+/// Aggregated latency statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    count: u64,
+    sum: u128,
+    min: Cycles,
+    max: Cycles,
+}
+
+impl LatencyStats {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, latency: Cycles) {
+        if self.count == 0 {
+            self.min = latency;
+            self.max = latency;
+        } else {
+            self.min = self.min.min(latency);
+            self.max = self.max.max(latency);
+        }
+        self.count += 1;
+        self.sum += latency as u128;
+    }
+
+    /// Returns the number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Returns the arithmetic mean, or 0.0 if no samples were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Returns the smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<Cycles> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Returns the largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<Cycles> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets to empty.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn byte_counter_delta() {
+        let mut a = ByteCounter::new();
+        a.add_read(100);
+        a.add_write(50);
+        let snapshot = a;
+        a.add_read(25);
+        let d = a.delta(&snapshot);
+        assert_eq!(d.read, 25);
+        assert_eq!(d.write, 0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(10, 0), 0.0);
+        assert_eq!(ratio(256, 64), 4.0);
+        assert_eq!(ratio(0, 64), 0.0);
+    }
+
+    #[test]
+    fn latency_stats_aggregate() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for v in [10u64, 20, 30] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(30));
+    }
+
+    #[test]
+    fn latency_stats_merge() {
+        let mut a = LatencyStats::new();
+        a.record(5);
+        let mut b = LatencyStats::new();
+        b.record(15);
+        b.record(25);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(25));
+        assert_eq!(a.mean(), 15.0);
+
+        let empty = LatencyStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+        let mut c = LatencyStats::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 3);
+    }
+
+    #[test]
+    fn single_sample_min_max() {
+        let mut s = LatencyStats::new();
+        s.record(42);
+        assert_eq!(s.min(), Some(42));
+        assert_eq!(s.max(), Some(42));
+    }
+}

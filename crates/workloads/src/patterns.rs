@@ -1,0 +1,114 @@
+//! Microbenchmark access-pattern generators (§3 of the paper).
+
+use simbase::{Addr, SplitMix64, XPLINE_BYTES};
+
+/// Sequential or random ordering of a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOrder {
+    /// Ascending addresses.
+    Sequential,
+    /// Deterministically shuffled.
+    Random,
+}
+
+/// The §3.1 strided-read sequence: pass `pass` reads cacheline `pass` of
+/// every XPLine in `[base, base + wss)`.
+pub fn strided_sequence(base: Addr, wss: u64, pass: u64) -> impl Iterator<Item = Addr> {
+    let xplines = wss / XPLINE_BYTES;
+    let cl = pass % simbase::CACHELINES_PER_XPLINE;
+    (0..xplines).map(move |x| base.add_xplines(x).add_cachelines(cl))
+}
+
+/// The §3.4 random 256 B block sequence: a shuffled visit order over all
+/// XPLine-aligned blocks in the region.
+pub fn random_block_sequence(base: Addr, wss: u64, seed: u64) -> Vec<Addr> {
+    let blocks = (wss / XPLINE_BYTES).max(1);
+    let mut order: Vec<u64> = (0..blocks).collect();
+    SplitMix64::new(seed).shuffle(&mut order);
+    order.into_iter().map(|b| base.add_xplines(b)).collect()
+}
+
+/// The §3.6 pointer-chase ring order: a permutation of element indices
+/// forming one cycle, either sequential or random.
+pub fn ring_order(elements: u64, order: AccessOrder, seed: u64) -> Vec<u64> {
+    match order {
+        AccessOrder::Sequential => (0..elements).collect(),
+        AccessOrder::Random => {
+            // Sattolo's algorithm yields a single-cycle permutation, which
+            // is what a randomized circular linked list needs (visiting
+            // every element exactly once per lap).
+            let mut v: Vec<u64> = (0..elements).collect();
+            let mut rng = SplitMix64::new(seed);
+            let mut i = v.len();
+            while i > 1 {
+                i -= 1;
+                let j = rng.gen_range(i as u64) as usize;
+                v.swap(i, j);
+            }
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_sequence_hits_each_xpline_once() {
+        let addrs: Vec<Addr> = strided_sequence(Addr(0), 1024, 0).collect();
+        assert_eq!(addrs.len(), 4);
+        assert_eq!(addrs[0], Addr(0));
+        assert_eq!(addrs[1], Addr(256));
+        // Pass 1 reads cacheline 1 of each XPLine.
+        let addrs: Vec<Addr> = strided_sequence(Addr(0), 1024, 1).collect();
+        assert_eq!(addrs[0], Addr(64));
+        // Pass wraps modulo 4.
+        let addrs: Vec<Addr> = strided_sequence(Addr(0), 1024, 5).collect();
+        assert_eq!(addrs[0], Addr(64));
+    }
+
+    #[test]
+    fn random_blocks_cover_region_exactly_once() {
+        let seq = random_block_sequence(Addr(4096), 16 * 256, 42);
+        assert_eq!(seq.len(), 16);
+        let mut sorted: Vec<u64> = seq.iter().map(|a| a.0).collect();
+        sorted.sort_unstable();
+        let expected: Vec<u64> = (0..16u64).map(|i| 4096 + i * 256).collect();
+        assert_eq!(sorted, expected);
+        // Deterministic.
+        assert_eq!(seq, random_block_sequence(Addr(4096), 16 * 256, 42));
+        assert_ne!(seq, random_block_sequence(Addr(4096), 16 * 256, 43));
+    }
+
+    #[test]
+    fn ring_order_random_is_single_cycle() {
+        // Following `next[i] = perm[i]`-style chaining from element 0 must
+        // visit every element exactly once before returning.
+        let n = 64u64;
+        let order = ring_order(n, AccessOrder::Random, 7);
+        // Build the ring: order[i] is visited at step i; next of order[i]
+        // is order[(i + 1) % n].
+        let mut next = vec![0u64; n as usize];
+        for i in 0..n as usize {
+            next[order[i] as usize] = order[(i + 1) % n as usize];
+        }
+        let mut seen = vec![false; n as usize];
+        let mut cur = order[0];
+        for _ in 0..n {
+            assert!(!seen[cur as usize], "cycle shorter than n");
+            seen[cur as usize] = true;
+            cur = next[cur as usize];
+        }
+        assert_eq!(cur, order[0], "returns to start after n steps");
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ring_order_sequential_is_identity() {
+        assert_eq!(
+            ring_order(5, AccessOrder::Sequential, 0),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's methodology in miniature: probe the on-DIMM buffers with
+//! crafted access patterns and infer their parameters from the counters.
+//!
+//! This is what §3 of the paper does with `ipmwatch` on real DIMMs —
+//! here against the simulated machine, where the inferred numbers can be
+//! checked against the configuration.
+//!
+//! ```text
+//! cargo run --release --example buffer_explorer [g1|g2]
+//! ```
+
+use optane_study::core::{Generation, Machine, MachineConfig};
+use optane_study::cpucache::PrefetchConfig;
+use optane_study::simbase::{SplitMix64, XPLINE_BYTES};
+
+fn machine(gen: Generation) -> Machine {
+    Machine::new(MachineConfig::for_generation(
+        gen,
+        PrefetchConfig::none(),
+        1,
+    ))
+}
+
+/// Probes the read buffer: strided single-cacheline reads per XPLine with
+/// immediate invalidation; the WSS where 4-cacheline reads stop costing one
+/// media read per round is the capacity.
+fn probe_read_buffer(gen: Generation) -> u64 {
+    let mut capacity = 0;
+    for wss_kb in 1..=40u64 {
+        let wss = wss_kb << 10;
+        let mut m = machine(gen);
+        let t = m.spawn(0);
+        let base = m.alloc_pm(wss, 256);
+        let xplines = wss / XPLINE_BYTES;
+        // Warm round, then measure one full 4-pass round.
+        for pass in 0..8u64 {
+            if pass == 4 {
+                m.reset_counters();
+            }
+            for x in 0..xplines {
+                let a = base.add_xplines(x).add_cachelines(pass % 4);
+                m.load_u64(t, a);
+                m.clflushopt(t, a);
+            }
+        }
+        let ra = m.telemetry().read_amplification();
+        if ra < 1.5 {
+            capacity = wss;
+        }
+    }
+    capacity
+}
+
+/// Probes the write buffer: random partial nt-stores; the WSS where media
+/// writes first appear is the effective capacity.
+fn probe_write_buffer(gen: Generation) -> u64 {
+    let mut capacity = 0;
+    for wss_kb in 1..=40u64 {
+        let wss = wss_kb << 10;
+        let mut m = machine(gen);
+        let t = m.spawn(0);
+        let base = m.alloc_pm(wss, 256);
+        let xplines = wss / XPLINE_BYTES;
+        let mut rng = SplitMix64::new(wss);
+        for i in 0..4 * xplines {
+            m.nt_store(
+                t,
+                base.add_xplines(rng.gen_range(xplines)),
+                &i.to_le_bytes(),
+            );
+        }
+        m.sfence(t);
+        if m.telemetry().media.write == 0 {
+            capacity = wss;
+        }
+    }
+    capacity
+}
+
+/// Detects the periodic full-line write-back: write full XPLines within a
+/// tiny working set and watch for media writes.
+fn probe_periodic_writeback(gen: Generation) -> bool {
+    let mut m = machine(gen);
+    let t = m.spawn(0);
+    let base = m.alloc_pm(4 << 10, 256);
+    for round in 0..40u64 {
+        for x in 0..16u64 {
+            for cl in 0..4u64 {
+                m.nt_store(
+                    t,
+                    base.add_xplines(x).add_cachelines(cl),
+                    &round.to_le_bytes(),
+                );
+            }
+        }
+        m.sfence(t);
+    }
+    m.telemetry().media.write > 0
+}
+
+/// Measures the read-after-persist gap: reread of a just-persisted line
+/// vs. an old one.
+fn probe_rap(gen: Generation) -> (u64, u64) {
+    let mut m = machine(gen);
+    let t = m.spawn(0);
+    let a = m.alloc_pm(64, 64);
+    let b = m.alloc_pm(64, 64);
+    // Old line: persisted long ago.
+    m.store_u64(t, b, 1);
+    m.clwb(t, b);
+    m.mfence(t);
+    m.advance(t, 100_000);
+    m.clflushopt(t, b); // make sure it is not cached
+    m.mfence(t);
+    let t0 = m.now(t);
+    m.load_u64(t, b);
+    let old = m.now(t) - t0;
+    // Fresh line: persisted right now.
+    m.store_u64(t, a, 1);
+    m.clwb(t, a);
+    m.mfence(t);
+    let t1 = m.now(t);
+    m.load_u64(t, a);
+    let fresh = m.now(t) - t1;
+    (fresh, old)
+}
+
+fn main() {
+    let gens: Vec<Generation> = match std::env::args().nth(1).as_deref() {
+        Some("g1") => vec![Generation::G1],
+        Some("g2") => vec![Generation::G2],
+        _ => vec![Generation::G1, Generation::G2],
+    };
+    for gen in gens {
+        println!("=== probing {gen} Optane DCPMM ===");
+        let rb = probe_read_buffer(gen);
+        println!(
+            "  read buffer capacity:        ~{} KB (paper: 16 KB G1 / 22 KB G2)",
+            rb >> 10
+        );
+        let wb = probe_write_buffer(gen);
+        println!(
+            "  write buffer capacity:       ~{} KB (paper: 12 KB G1 / 16 KB G2)",
+            wb >> 10
+        );
+        let periodic = probe_periodic_writeback(gen);
+        println!(
+            "  periodic full-line writeback: {} (paper: G1 yes, G2 no)",
+            if periodic { "detected" } else { "not detected" }
+        );
+        let (fresh, old) = probe_rap(gen);
+        println!(
+            "  read-after-persist:          fresh {fresh} vs old {old} cycles ({})",
+            if fresh > old * 3 {
+                "clwb RAP present"
+            } else {
+                "no clwb RAP"
+            }
+        );
+        println!();
+    }
+}

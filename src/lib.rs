@@ -1,0 +1,16 @@
+//! Facade crate for the Optane DCPMM study reproduction.
+//!
+//! Re-exports the workspace crates under stable paths so examples and
+//! downstream users can depend on a single crate. See the README for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+pub use cpucache;
+pub use experiments;
+pub use imc;
+pub use optane_core as core;
+pub use pmds;
+pub use pmem;
+pub use simbase;
+pub use workloads;
+pub use xpdimm;
+pub use xpmedia;

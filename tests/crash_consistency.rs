@@ -1,0 +1,232 @@
+//! Property-based crash-consistency tests.
+//!
+//! The simulator's power-failure model keeps exactly the ADR-protected
+//! bytes and optionally persists a random subset of dirty cachelines
+//! (modelling uncontrolled eviction order before the crash). These tests
+//! throw randomized workloads and crash points at the persistent
+//! structures and verify their recovery contracts:
+//!
+//! - everything a completed (fenced) operation wrote must be readable
+//!   after recovery;
+//! - recovery must never surface corrupt state (duplicates, unsorted
+//!   leaves, broken ring pointers), regardless of which dirty lines
+//!   happened to survive.
+
+use optane_study::core::{CrashPolicy, Machine, MachineConfig};
+use optane_study::cpucache::PrefetchConfig;
+use optane_study::pmds::{Cceh, FastFair, UpdateStrategy};
+use optane_study::pmem::{PmPool, PmemEnv, RedoLog, SimEnv, UndoLog};
+use proptest::prelude::*;
+
+fn machine(seed: u64) -> Machine {
+    let mut cfg = MachineConfig::g1(PrefetchConfig::none(), 1);
+    cfg.crash_seed = seed;
+    Machine::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn cceh_completed_inserts_survive_any_crash(
+        keys in prop::collection::vec(1u64..1_000_000, 20..120),
+        survive_fraction in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut m = machine(seed);
+        let tid = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, tid);
+        let mut table = Cceh::create(&mut env, 2);
+        let mut expected = std::collections::BTreeMap::new();
+        for &k in &keys {
+            table.insert(&mut env, k, k.wrapping_mul(3));
+            expected.insert(k, k.wrapping_mul(3));
+        }
+        let root = table.root();
+        drop(env);
+        m.power_fail(CrashPolicy::PersistDirtyFraction(survive_fraction));
+        let mut env = SimEnv::new(&mut m, tid);
+        let recovered = Cceh::recover(&mut env, root);
+        for (&k, &v) in &expected {
+            prop_assert_eq!(recovered.get(&mut env, k), Some(v), "key {}", k);
+        }
+        prop_assert_eq!(recovered.len(), expected.len() as u64);
+    }
+
+    #[test]
+    fn fastfair_recovery_is_consistent_for_both_strategies(
+        keys in prop::collection::vec(1u64..100_000, 20..100),
+        survive_fraction in 0.0f64..1.0,
+        in_place in any::<bool>(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let strategy = if in_place {
+            UpdateStrategy::InPlace
+        } else {
+            UpdateStrategy::RedoLog
+        };
+        let mut m = machine(seed);
+        let tid = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, tid);
+        let mut tree = FastFair::create(&mut env, strategy);
+        let mut expected = std::collections::BTreeMap::new();
+        for &k in &keys {
+            tree.insert(&mut env, k, k + 7);
+            expected.insert(k, k + 7);
+        }
+        let meta = tree.root_meta();
+        let log_base = tree.log_base();
+        drop(env);
+        m.power_fail(CrashPolicy::PersistDirtyFraction(survive_fraction));
+        let mut env = SimEnv::new(&mut m, tid);
+        let tree = FastFair::recover(&mut env, meta, strategy, log_base);
+        // All completed inserts are durable...
+        for (&k, &v) in &expected {
+            prop_assert_eq!(tree.get(&mut env, k), Some(v), "{:?} key {}", strategy, k);
+        }
+        // ...and the leaf chain is structurally sound.
+        prop_assert!(tree.check_sorted(&mut env), "{:?}: sorted leaf chain", strategy);
+        prop_assert_eq!(tree.count_pairs(&mut env), expected.len() as u64);
+    }
+
+    #[test]
+    fn redo_log_batches_are_atomic_under_crash(
+        values in prop::collection::vec(1u64..u64::MAX, 2..12),
+        commit in any::<bool>(),
+        survive_fraction in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut m = machine(seed);
+        let tid = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, tid);
+        let targets = env.alloc(64 * values.len() as u64, 64);
+        let mut log = RedoLog::create(&mut env, values.len() as u64 + 2);
+        let base = log.base();
+        log.begin(&mut env);
+        for (i, &v) in values.iter().enumerate() {
+            log.append(&mut env, targets.add_cachelines(i as u64), &v.to_le_bytes());
+        }
+        if commit {
+            log.commit(&mut env);
+        }
+        // Crash before the writeback.
+        drop(env);
+        m.power_fail(CrashPolicy::PersistDirtyFraction(survive_fraction));
+        let mut env = SimEnv::new(&mut m, tid);
+        let replayed = RedoLog::recover(&mut env, base);
+        if commit {
+            // All-or-nothing: the committed batch is fully applied.
+            prop_assert_eq!(replayed, values.len() as u64);
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(env.load_u64(targets.add_cachelines(i as u64)), v);
+            }
+        } else {
+            prop_assert_eq!(replayed, 0, "uncommitted batch is discarded");
+        }
+    }
+
+    #[test]
+    fn undo_log_rolls_back_torn_transactions(
+        initial in prop::collection::vec(1u64..u64::MAX, 2..10),
+        updates in prop::collection::vec(1u64..u64::MAX, 2..10),
+        survive_fraction in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = initial.len().min(updates.len());
+        let mut m = machine(seed);
+        let tid = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, tid);
+        let targets = env.alloc(64 * n as u64, 64);
+        // Durable initial state.
+        for (i, &v) in initial.iter().take(n).enumerate() {
+            env.store_u64(targets.add_cachelines(i as u64), v);
+            env.persist(targets.add_cachelines(i as u64), 8);
+        }
+        let mut log = UndoLog::create(&mut env, n as u64 + 2);
+        let base = log.base();
+        log.begin(&mut env);
+        // Torn transaction: update (and persist) the targets but never
+        // commit.
+        for (i, &v) in updates.iter().take(n).enumerate() {
+            log.record(&mut env, targets.add_cachelines(i as u64), 8);
+            env.store_u64(targets.add_cachelines(i as u64), v);
+            env.persist(targets.add_cachelines(i as u64), 8);
+        }
+        drop(env);
+        m.power_fail(CrashPolicy::PersistDirtyFraction(survive_fraction));
+        let mut env = SimEnv::new(&mut m, tid);
+        UndoLog::recover(&mut env, base);
+        for (i, &v) in initial.iter().take(n).enumerate() {
+            prop_assert_eq!(
+                env.load_u64(targets.add_cachelines(i as u64)),
+                v,
+                "target {} rolled back",
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn pool_never_double_allocates_across_crashes(
+        sizes in prop::collection::vec(8u64..512, 2..20),
+        crash_at in 0usize..20,
+        survive_fraction in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut m = machine(seed);
+        let tid = m.spawn(0);
+        let mut env = SimEnv::new(&mut m, tid);
+        let pool = PmPool::create(&mut env, 1 << 20);
+        let base = pool.base();
+        let mut handed_out: Vec<(u64, u64)> = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            if i == crash_at.min(sizes.len() - 1) {
+                drop(env);
+                m.power_fail(CrashPolicy::PersistDirtyFraction(survive_fraction));
+                env = SimEnv::new(&mut m, tid);
+            }
+            let pool = PmPool::open(&mut env, base).expect("pool reopens");
+            let a = pool.alloc(&mut env, sz, 8).expect("space remains");
+            handed_out.push((a.0, sz));
+        }
+        // No two live allocations may overlap, even across the crash.
+        handed_out.sort();
+        for w in handed_out.windows(2) {
+            prop_assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "allocations overlap: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+/// Deterministic regression: a crash in the middle of a redo writeback is
+/// repaired by replay.
+#[test]
+fn redo_crash_between_commit_and_writeback() {
+    let mut m = machine(7);
+    let tid = m.spawn(0);
+    let mut env = SimEnv::new(&mut m, tid);
+    let target = env.alloc(64, 64);
+    env.store_u64(target, 1);
+    env.persist(target, 8);
+    let mut log = RedoLog::create(&mut env, 4);
+    let base = log.base();
+    log.begin(&mut env);
+    log.append(&mut env, target, &2u64.to_le_bytes());
+    log.commit(&mut env);
+    // Partial writeback: plain store without the flush that
+    // apply_and_retire would do.
+    env.store_u64(target, 2);
+    drop(env);
+    m.power_fail(CrashPolicy::LoseUnflushed);
+    let mut env = SimEnv::new(&mut m, tid);
+    assert_eq!(env.load_u64(target), 1, "writeback was torn away");
+    assert_eq!(RedoLog::recover(&mut env, base), 1);
+    assert_eq!(env.load_u64(target), 2, "replay completes the batch");
+}

@@ -1,0 +1,154 @@
+//! Differential tests: the persistent structures against in-memory model
+//! structures, and the simulator backend against the plain-host backend.
+//!
+//! The same operation sequence must produce the same observable contents
+//! everywhere — the timing model must never change functional behaviour.
+
+use std::collections::BTreeMap;
+
+use optane_study::core::{Machine, MachineConfig};
+use optane_study::cpucache::PrefetchConfig;
+use optane_study::pmds::{Cceh, FastFair, UpdateStrategy};
+use optane_study::pmem::{HostEnv, PmemEnv, SimEnv};
+use proptest::prelude::*;
+
+/// A randomized key-value operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Get(u64),
+    Remove(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u64..500, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (1u64..500).prop_map(Op::Get),
+        1 => (1u64..500).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn cceh_matches_btreemap_on_host_and_sim(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut host = HostEnv::new();
+        let mut host_table = Cceh::create(&mut host, 1);
+        let mut m = Machine::new(MachineConfig::g2(PrefetchConfig::all(), 6));
+        let tid = m.spawn(0);
+        let mut sim = SimEnv::new(&mut m, tid);
+        let mut sim_table = Cceh::create(&mut sim, 1);
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    model.insert(k, v);
+                    host_table.insert(&mut host, k, v);
+                    sim_table.insert(&mut sim, k, v);
+                }
+                Op::Get(k) => {
+                    let want = model.get(&k).copied();
+                    prop_assert_eq!(host_table.get(&mut host, k), want);
+                    prop_assert_eq!(sim_table.get(&mut sim, k), want);
+                }
+                Op::Remove(k) => {
+                    let want = model.remove(&k);
+                    prop_assert_eq!(host_table.remove(&mut host, k), want);
+                    prop_assert_eq!(sim_table.remove(&mut sim, k), want);
+                }
+            }
+        }
+        prop_assert_eq!(host_table.len(), model.len() as u64);
+        prop_assert_eq!(sim_table.len(), model.len() as u64);
+        prop_assert_eq!(host_table.count_pairs(&mut host), model.len() as u64);
+    }
+
+    #[test]
+    fn fastfair_matches_btreemap_with_ranges(
+        inserts in prop::collection::vec((1u64..2000, any::<u64>()), 1..250),
+        range in (1u64..2000, 1u64..2000),
+    ) {
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut host = HostEnv::new();
+        let mut in_place = FastFair::create(&mut host, UpdateStrategy::InPlace);
+        let mut redo = FastFair::create(&mut host, UpdateStrategy::RedoLog);
+        for &(k, v) in &inserts {
+            model.insert(k, v);
+            in_place.insert(&mut host, k, v);
+            redo.insert(&mut host, k, v);
+        }
+        let (a, b) = range;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(in_place.range(&mut host, lo, hi), want.clone());
+        prop_assert_eq!(redo.range(&mut host, lo, hi), want);
+        prop_assert!(in_place.check_sorted(&mut host));
+        prop_assert!(redo.check_sorted(&mut host));
+        for (&k, &v) in model.iter().step_by(7) {
+            prop_assert_eq!(in_place.get(&mut host, k), Some(v));
+            prop_assert_eq!(redo.get(&mut host, k), Some(v));
+        }
+    }
+
+    #[test]
+    fn sim_and_host_memory_agree_bytewise(
+        writes in prop::collection::vec((0u64..4096, prop::collection::vec(any::<u8>(), 1..80)), 1..60),
+    ) {
+        let mut host = HostEnv::new();
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::all(), 1));
+        let tid = m.spawn(0);
+        let mut sim = SimEnv::new(&mut m, tid);
+        let hbase = host.alloc(8192, 256);
+        let sbase = sim.alloc(8192, 256);
+        for (i, (off, data)) in writes.iter().enumerate() {
+            let off = off.min(&(8192 - data.len() as u64)).to_owned();
+            match i % 3 {
+                0 => {
+                    host.store(hbase.add(off), data);
+                    sim.store(sbase.add(off), data);
+                }
+                1 => {
+                    host.nt_store(hbase.add(off), data);
+                    sim.nt_store(sbase.add(off), data);
+                }
+                _ => {
+                    host.store(hbase.add(off), data);
+                    sim.store(sbase.add(off), data);
+                    host.persist(hbase.add(off), data.len() as u64);
+                    sim.persist(sbase.add(off), data.len() as u64);
+                }
+            }
+        }
+        let mut hbuf = vec![0u8; 8192];
+        let mut sbuf = vec![0u8; 8192];
+        host.load(hbase, &mut hbuf);
+        sim.load(sbase, &mut sbuf);
+        prop_assert_eq!(hbuf, sbuf);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        keys in prop::collection::vec(1u64..10_000, 10..80),
+    ) {
+        let run = || {
+            let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::all(), 1));
+            let tid = m.spawn(0);
+            let mut env = SimEnv::new(&mut m, tid);
+            let mut t = Cceh::create(&mut env, 2);
+            for &k in &keys {
+                t.insert(&mut env, k, k);
+            }
+            let now = env.now();
+            drop(env);
+            (now, m.telemetry())
+        };
+        let (t1, tel1) = run();
+        let (t2, tel2) = run();
+        prop_assert_eq!(t1, t2, "clocks must be bit-identical");
+        prop_assert_eq!(tel1, tel2, "telemetry must be bit-identical");
+    }
+}
