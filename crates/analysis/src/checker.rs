@@ -1,0 +1,775 @@
+//! The persist-state automaton and its [`TraceSink`] adapter.
+//!
+//! Each PM cacheline moves through `Dirty → FlushIssued → Accepted →
+//! Persisted` as the instruction stream arrives; each simulated thread
+//! carries an epoch counter (fences completed). A line is only judged
+//! when the stream ends (power failure or `finish`) — bulk-build code
+//! that stores many lines and flushes them once at the end is clean, no
+//! matter how many fences other lines crossed in between. The rules are
+//! deliberately aligned with what
+//! `optane_core::Machine` actually does — in particular, in this machine
+//! model a flush persists at WPQ acceptance whether or not it is fenced,
+//! so a missing fence is reported as an *ordering* bug, not as data loss,
+//! and only still-`Dirty` lines appear in
+//! [`Report::predicted_lost_lines`](crate::Report::predicted_lost_lines).
+//!
+//! The model is per-thread: cross-thread flush/fence interleavings are
+//! tracked per line but a fence only completes persists the *same* thread
+//! issued, exactly as `sfence` only waits on the issuing thread's
+//! outstanding accepts.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use optane_core::{FenceKind, FlushKind, Machine, MachineConfig, MemRegion, TraceEvent, TraceSink};
+use simbase::{addr::cachelines_covering, Addr, Cycles};
+
+use crate::report::{DiagKind, Diagnostic, Report};
+
+/// Checker parameters, normally derived from the machine's
+/// [`MachineConfig`] at attach time so the analysis agrees with the
+/// simulation it observes.
+#[derive(Debug, Clone)]
+pub struct CheckerConfig {
+    /// Whether loads can bypass an invalidating flush (the G1
+    /// `clwb + sfence` effect); enables unpersisted-read detection.
+    pub sfence_load_bypass: bool,
+    /// Length of the bypass window, in cycles.
+    pub load_bypass_window: Cycles,
+    /// Whether `clwb` drops the cached copy (G1) or retains it (G2);
+    /// on G2 a retained line cannot produce an unpersisted read.
+    pub clwb_invalidates: bool,
+}
+
+impl CheckerConfig {
+    /// Derives the checker parameters from a machine configuration.
+    pub fn from_machine(cfg: &MachineConfig) -> Self {
+        CheckerConfig {
+            sfence_load_bypass: cfg.sfence_load_bypass,
+            load_bypass_window: cfg.load_bypass_window,
+            clwb_invalidates: cfg.clwb_invalidates(),
+        }
+    }
+}
+
+/// Persist state of one PM cacheline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    /// Stored through the cache; not yet flushed.
+    Dirty,
+    /// A `clwb`/`clflushopt` was issued; not yet ordered by a fence.
+    FlushIssued,
+    /// An nt-store was accepted by the WPQ; not yet ordered by a fence.
+    Accepted,
+    /// Flushed/accepted and ordered by a fence (or by `clflush`'s own
+    /// completion wait).
+    Persisted,
+}
+
+// Once-per-line dedup bits, so a buggy loop yields one finding per line
+// rather than one per iteration.
+const F_MISSING_FLUSH: u8 = 1 << 0;
+const F_MISSING_FENCE: u8 = 1 << 1;
+const F_REDUNDANT_FLUSH: u8 = 1 << 2;
+const F_UNPERSISTED_READ: u8 = 1 << 3;
+
+#[derive(Debug, Clone)]
+struct LineInfo {
+    state: LineState,
+    /// Thread of the most recent store (for diagnostics and for finding
+    /// the dirty-epoch bucket the line sits in).
+    store_owner: usize,
+    /// That thread's epoch at the most recent store.
+    store_epoch: u64,
+    /// A dirty eviction wrote this line back: durable by luck.
+    evicted_since_store: bool,
+    /// Most recent *invalidating* flush of a dirty copy — mirrors the
+    /// machine's `recent_flush` bookkeeping for bypass detection.
+    last_inval_flush_at: Option<Cycles>,
+    flagged: u8,
+}
+
+impl LineInfo {
+    fn new(state: LineState, owner: usize, epoch: u64) -> Self {
+        LineInfo {
+            state,
+            store_owner: owner,
+            store_epoch: epoch,
+            evicted_since_store: false,
+            last_inval_flush_at: None,
+            flagged: 0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ThreadState {
+    /// Fences completed by this thread.
+    epoch: u64,
+    /// Flushes + nt-stores issued since the last fence (any region — the
+    /// machine's fences wait on DRAM accepts too).
+    pending_persists: u64,
+    /// PM lines this thread flushed or nt-stored, awaiting its next fence.
+    unfenced_lines: Vec<u64>,
+    /// Issue time of this thread's last `mfence` (clears load bypass).
+    last_mfence_at: Cycles,
+}
+
+/// The automaton. Shared between the machine's boxed sink and the
+/// [`PmCheck`] handle via `Rc<RefCell<_>>`.
+#[derive(Debug)]
+pub(crate) struct Checker {
+    cfg: CheckerConfig,
+    workload: String,
+    lines: BTreeMap<u64, LineInfo>,
+    threads: Vec<ThreadState>,
+    seq: u64,
+    events: u64,
+    flushes: u64,
+    fences: u64,
+    lines_ever: u64,
+    diags: Vec<Diagnostic>,
+    predicted_lost: Vec<u64>,
+}
+
+impl Checker {
+    fn new(cfg: CheckerConfig, workload: &str) -> Self {
+        Checker {
+            cfg,
+            workload: workload.to_string(),
+            lines: BTreeMap::new(),
+            threads: Vec::new(),
+            seq: 0,
+            events: 0,
+            flushes: 0,
+            fences: 0,
+            lines_ever: 0,
+            diags: Vec::new(),
+            predicted_lost: Vec::new(),
+        }
+    }
+
+    fn thread(&mut self, tid: usize) -> &mut ThreadState {
+        if self.threads.len() <= tid {
+            self.threads.resize_with(tid + 1, ThreadState::default);
+        }
+        &mut self.threads[tid]
+    }
+
+    fn diag(
+        &mut self,
+        kind: DiagKind,
+        thread: usize,
+        line: Option<u64>,
+        at: Cycles,
+        message: String,
+        survived_by_eviction: bool,
+    ) {
+        let epoch = self.threads.get(thread).map_or(0, |t| t.epoch);
+        self.diags.push(Diagnostic {
+            kind,
+            thread,
+            line,
+            epoch,
+            at,
+            seq: self.seq,
+            message,
+            survived_by_eviction,
+        });
+    }
+
+    fn on_store(&mut self, tid: usize, addr: Addr, len: u64, at: Cycles, non_temporal: bool) {
+        let covered: Vec<u64> = cachelines_covering(addr, len).map(|cl| cl.0).collect();
+        let epoch = self.thread(tid).epoch;
+
+        for &l in &covered {
+            // Store-after-unfenced-persist: the earlier flush/nt-store to
+            // this line never reached a fence, so its durability point was
+            // never established before the line changed again.
+            let fence_msg = {
+                let li = self.lines.entry(l).or_insert_with(|| {
+                    LineInfo::new(LineState::Persisted, tid, epoch) // placeholder
+                });
+                if matches!(li.state, LineState::FlushIssued | LineState::Accepted)
+                    && li.flagged & F_MISSING_FENCE == 0
+                {
+                    li.flagged |= F_MISSING_FENCE;
+                    let what = if li.state == LineState::FlushIssued {
+                        "flush"
+                    } else {
+                        "nt-store"
+                    };
+                    Some(format!(
+                        "{what} was never ordered by a fence before the line was re-stored"
+                    ))
+                } else {
+                    None
+                }
+            };
+            if let Some(msg) = fence_msg {
+                self.diag(DiagKind::MissingFence, tid, Some(l), at, msg, false);
+            }
+            let li = self.lines.get_mut(&l).expect("just inserted");
+            li.state = if non_temporal {
+                LineState::Accepted
+            } else {
+                LineState::Dirty
+            };
+            li.store_owner = tid;
+            li.store_epoch = epoch;
+            li.evicted_since_store = false;
+            li.last_inval_flush_at = None;
+        }
+
+        if non_temporal {
+            let t = self.thread(tid);
+            t.pending_persists += 1;
+            t.unfenced_lines.extend(covered.iter().copied());
+        }
+    }
+
+    fn on_flush(&mut self, tid: usize, line: Addr, kind: FlushKind, dirty: bool, at: Cycles) {
+        self.flushes += 1;
+        let invalidating = match kind {
+            FlushKind::Clwb => self.cfg.clwb_invalidates,
+            FlushKind::Clflushopt | FlushKind::Clflush => true,
+        };
+        let l = line.0;
+        let state = self.lines.get(&l).map(|li| li.state);
+        match state {
+            Some(LineState::Dirty) => {
+                let li = self.lines.get_mut(&l).expect("state probed");
+                li.state = if kind == FlushKind::Clflush {
+                    // clflush itself waits for WPQ acceptance; no fence
+                    // is needed to reach durability.
+                    LineState::Persisted
+                } else {
+                    LineState::FlushIssued
+                };
+                if invalidating && dirty {
+                    li.last_inval_flush_at = Some(at);
+                }
+                if kind != FlushKind::Clflush {
+                    let t = self.thread(tid);
+                    t.pending_persists += 1;
+                    t.unfenced_lines.push(l);
+                }
+            }
+            Some(LineState::FlushIssued) => {
+                let li = self.lines.get_mut(&l).expect("state probed");
+                let already = li.flagged & F_REDUNDANT_FLUSH != 0;
+                li.flagged |= F_REDUNDANT_FLUSH;
+                if !already {
+                    self.diag(
+                        DiagKind::RedundantFlush,
+                        tid,
+                        Some(l),
+                        at,
+                        "line was already flushed in this epoch (double flush)".to_string(),
+                        false,
+                    );
+                }
+                if kind == FlushKind::Clflush {
+                    self.lines.get_mut(&l).expect("state probed").state = LineState::Persisted;
+                }
+            }
+            Some(LineState::Accepted) | Some(LineState::Persisted) | None => {
+                let reason = match state {
+                    Some(LineState::Accepted) => "line was already accepted via an nt-store",
+                    Some(LineState::Persisted) => "line is already persisted",
+                    _ => "line was never stored to",
+                };
+                let already = match self.lines.get_mut(&l) {
+                    Some(li) => {
+                        let a = li.flagged & F_REDUNDANT_FLUSH != 0;
+                        li.flagged |= F_REDUNDANT_FLUSH;
+                        a
+                    }
+                    // An untracked line can only be flushed redundantly;
+                    // don't start tracking it, but report once per call
+                    // site pattern is overkill — report each.
+                    None => false,
+                };
+                if !already {
+                    self.diag(
+                        DiagKind::RedundantFlush,
+                        tid,
+                        Some(l),
+                        at,
+                        format!("{reason}; this flush cannot persist anything new"),
+                        false,
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_fence(&mut self, tid: usize, kind: FenceKind, at: Cycles) {
+        self.fences += 1;
+        let t = self.thread(tid);
+        let pending = t.pending_persists;
+        let unfenced = std::mem::take(&mut t.unfenced_lines);
+        t.pending_persists = 0;
+        t.epoch += 1;
+        if kind == FenceKind::Mfence {
+            t.last_mfence_at = at;
+        }
+        for l in unfenced {
+            if let Some(li) = self.lines.get_mut(&l) {
+                // Only complete persists still in flight: a line re-stored
+                // after its flush went back to Dirty and stays there.
+                if matches!(li.state, LineState::FlushIssued | LineState::Accepted) {
+                    li.state = LineState::Persisted;
+                    li.evicted_since_store = false;
+                }
+            }
+        }
+        if pending == 0 {
+            let name = match kind {
+                FenceKind::Sfence => "sfence",
+                FenceKind::Mfence => "mfence",
+            };
+            self.diag(
+                DiagKind::RedundantFence,
+                tid,
+                None,
+                at,
+                format!("{name} with no flush or nt-store outstanding since the previous fence"),
+                false,
+            );
+        }
+    }
+
+    fn on_load(&mut self, tid: usize, addr: Addr, len: u64, at: Cycles) {
+        if !self.cfg.sfence_load_bypass || self.cfg.load_bypass_window == 0 {
+            return;
+        }
+        let last_mfence = self.thread(tid).last_mfence_at;
+        let window = self.cfg.load_bypass_window;
+        let covered: Vec<u64> = cachelines_covering(addr, len).map(|cl| cl.0).collect();
+        for l in covered {
+            let hazard = match self.lines.get_mut(&l) {
+                Some(li) => match li.last_inval_flush_at {
+                    Some(f)
+                        if f > last_mfence
+                            && at < f + window
+                            && li.flagged & F_UNPERSISTED_READ == 0 =>
+                    {
+                        li.flagged |= F_UNPERSISTED_READ;
+                        Some(f)
+                    }
+                    _ => None,
+                },
+                None => None,
+            };
+            if let Some(f) = hazard {
+                self.diag(
+                    DiagKind::UnpersistedRead,
+                    tid,
+                    Some(l),
+                    at,
+                    format!(
+                        "load served from the stale cached copy {} cycles after an \
+                         invalidating flush, inside the bypass window (no mfence since)",
+                        at.saturating_sub(f)
+                    ),
+                    false,
+                );
+            }
+        }
+    }
+
+    fn on_writeback(&mut self, line: Addr) {
+        if let Some(li) = self.lines.get_mut(&line.0) {
+            if li.state == LineState::Dirty {
+                li.evicted_since_store = true;
+            }
+        }
+    }
+
+    /// End-of-stream / power-failure sweep: anything not `Persisted` is a
+    /// finding, and still-`Dirty` non-evicted lines are predicted lost.
+    fn sweep(&mut self, reason: &str, at: Cycles) {
+        let snapshot: Vec<(u64, LineState, u8, bool, usize, u64)> = self
+            .lines
+            .iter()
+            .map(|(&l, li)| {
+                (
+                    l,
+                    li.state,
+                    li.flagged,
+                    li.evicted_since_store,
+                    li.store_owner,
+                    li.store_epoch,
+                )
+            })
+            .collect();
+        for (l, state, flagged, evicted, owner, store_epoch) in snapshot {
+            match state {
+                LineState::Dirty => {
+                    if !evicted {
+                        self.predicted_lost.push(l);
+                    }
+                    if flagged & F_MISSING_FLUSH == 0 {
+                        let crossed = self
+                            .threads
+                            .get(owner)
+                            .map_or(0, |t| t.epoch.saturating_sub(store_epoch));
+                        let msg = if crossed > 0 {
+                            format!(
+                                "stored but never flushed; {crossed} fence(s) passed \
+                                 without covering this line before {reason}"
+                            )
+                        } else {
+                            format!("stored but never flushed before {reason}")
+                        };
+                        self.diag(DiagKind::MissingFlush, owner, Some(l), at, msg, evicted);
+                    }
+                }
+                LineState::FlushIssued => {
+                    if flagged & F_MISSING_FENCE == 0 {
+                        self.diag(
+                            DiagKind::MissingFence,
+                            owner,
+                            Some(l),
+                            at,
+                            format!("flush was never ordered by a fence before {reason}"),
+                            false,
+                        );
+                    }
+                }
+                LineState::Accepted => {
+                    if flagged & F_MISSING_FENCE == 0 {
+                        self.diag(
+                            DiagKind::MissingFence,
+                            owner,
+                            Some(l),
+                            at,
+                            format!("nt-store was never ordered by a fence before {reason}"),
+                            false,
+                        );
+                    }
+                }
+                LineState::Persisted => {}
+            }
+        }
+        self.predicted_lost.sort_unstable();
+        self.predicted_lost.dedup();
+    }
+
+    fn on_power_fail(&mut self, at: Cycles) {
+        self.sweep("power failure", at);
+        // The machine resets dirty state at a crash; mirror it. Findings
+        // and counters survive, line/epoch tracking starts over.
+        self.lines.clear();
+        for t in &mut self.threads {
+            t.pending_persists = 0;
+            t.unfenced_lines.clear();
+        }
+    }
+
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        self.seq += 1;
+        match *ev {
+            TraceEvent::Store {
+                tid,
+                addr,
+                len,
+                region,
+                at,
+            } => match region {
+                MemRegion::Pm => self.on_store(tid.0, addr, len, at, false),
+                MemRegion::Dram => {}
+            },
+            TraceEvent::NtStore {
+                tid,
+                addr,
+                len,
+                region,
+                at,
+            } => match region {
+                MemRegion::Pm => self.on_store(tid.0, addr, len, at, true),
+                MemRegion::Dram => {
+                    // The machine's fences wait on DRAM accepts too, so
+                    // this still arms the next fence as non-redundant.
+                    self.thread(tid.0).pending_persists += 1;
+                }
+            },
+            TraceEvent::Flush {
+                tid,
+                line,
+                kind,
+                region,
+                dirty,
+                at,
+            } => match region {
+                MemRegion::Pm => self.on_flush(tid.0, line, kind, dirty, at),
+                MemRegion::Dram => {
+                    self.flushes += 1;
+                    if dirty && kind != FlushKind::Clflush {
+                        self.thread(tid.0).pending_persists += 1;
+                    }
+                }
+            },
+            TraceEvent::Fence { tid, kind, at } => self.on_fence(tid.0, kind, at),
+            TraceEvent::Load {
+                tid,
+                addr,
+                len,
+                region,
+                at,
+            } => {
+                if region == MemRegion::Pm {
+                    self.on_load(tid.0, addr, len, at);
+                }
+            }
+            TraceEvent::WriteBack { line, .. } => self.on_writeback(line),
+            TraceEvent::PowerFail { at } => self.on_power_fail(at),
+        }
+        self.lines_ever = self.lines_ever.max(self.lines.len() as u64);
+    }
+
+    fn build_report(&self) -> Report {
+        Report {
+            workload: self.workload.clone(),
+            diagnostics: self.diags.clone(),
+            events: self.events,
+            lines_tracked: self.lines_ever,
+            fences: self.fences,
+            flushes: self.flushes,
+            predicted_lost: self.predicted_lost.clone(),
+        }
+    }
+}
+
+/// The sink half: a shared handle boxed into the machine.
+struct SinkHandle(Rc<RefCell<Checker>>);
+
+impl TraceSink for SinkHandle {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.0.borrow_mut().on_event(ev);
+    }
+}
+
+/// An attached persist-ordering checker.
+///
+/// [`PmCheck::attach`] installs the checker as the machine's trace sink;
+/// run any workload, then call [`PmCheck::finish`] to detach and obtain
+/// the [`Report`]. If the machine suffers a [`Machine::power_fail`] while
+/// attached, the checker sweeps its state at that instant — so a report
+/// taken after a crash says which lines were predicted lost *at the
+/// crash*, ready to compare against actual recovery divergence.
+pub struct PmCheck {
+    shared: Rc<RefCell<Checker>>,
+}
+
+impl PmCheck {
+    /// Attaches a checker (replacing any existing sink), deriving its
+    /// configuration from the machine's.
+    pub fn attach(m: &mut Machine) -> Self {
+        Self::attach_named(m, "unnamed")
+    }
+
+    /// Like [`PmCheck::attach`], labelling the report with a workload
+    /// name.
+    pub fn attach_named(m: &mut Machine, workload: &str) -> Self {
+        let cfg = CheckerConfig::from_machine(m.config());
+        let shared = Rc::new(RefCell::new(Checker::new(cfg, workload)));
+        m.set_trace_sink(Box::new(SinkHandle(Rc::clone(&shared))));
+        PmCheck { shared }
+    }
+
+    /// Snapshot of the findings so far, *without* the end-of-stream sweep:
+    /// lines legitimately mid-persist are not flagged.
+    pub fn report(&self) -> Report {
+        self.shared.borrow().build_report()
+    }
+
+    /// Detaches the sink and produces the final report, sweeping any line
+    /// still short of `Persisted` (no-op after a power failure, which
+    /// already swept).
+    pub fn finish(self, m: &mut Machine) -> Report {
+        drop(m.take_trace_sink());
+        let mut c = self.shared.borrow_mut();
+        let at = c.diags.last().map_or(0, |d| d.at);
+        c.sweep("the end of the analysed run", at);
+        c.build_report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpucache::PrefetchConfig;
+    use optane_core::CrashPolicy;
+
+    fn g1() -> Machine {
+        Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1))
+    }
+
+    #[test]
+    fn clean_persist_has_no_findings() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(256, 64);
+        let check = PmCheck::attach_named(&mut m, "clean");
+        for i in 0..4 {
+            m.store_u64(t, Addr(a.0 + 64 * i), i);
+            m.clwb(t, Addr(a.0 + 64 * i));
+            m.sfence(t);
+        }
+        let report = check.finish(&mut m);
+        assert!(
+            report.is_clean(),
+            "unexpected findings:\n{}",
+            report.to_text()
+        );
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.fences, 4);
+        assert!(report.predicted_lost_lines().is_empty());
+    }
+
+    #[test]
+    fn missing_flush_found_at_dependent_store() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(64, 64);
+        let b = m.alloc_pm(64, 64);
+        let check = PmCheck::attach(&mut m);
+        m.store_u64(t, a, 1); // never flushed
+        m.sfence(t); // epoch boundary orders... nothing for `a`
+        m.store_u64(t, b, 2); // dependent store in a later epoch
+        m.clwb(t, b);
+        m.sfence(t);
+        let report = check.finish(&mut m);
+        assert_eq!(report.count(DiagKind::MissingFlush), 1);
+        assert_eq!(report.predicted_lost_lines(), &[a.cacheline().0]);
+    }
+
+    #[test]
+    fn missing_flush_found_at_power_fail_and_matches_machine() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(64, 64);
+        let b = m.alloc_pm(64, 64);
+        let check = PmCheck::attach(&mut m);
+        m.store_u64(t, a, 7);
+        m.clwb(t, a);
+        m.sfence(t);
+        m.store_u64(t, b, 9); // dirty at the crash
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        let report = check.finish(&mut m);
+        assert_eq!(report.count(DiagKind::MissingFlush), 1);
+        assert_eq!(report.predicted_lost_lines(), &[b.cacheline().0]);
+        // The machine agrees: the flushed line survived, the dirty one
+        // did not.
+        assert_eq!(m.peek_u64(a), 7);
+        assert_eq!(m.peek_u64(b), 0);
+    }
+
+    #[test]
+    fn missing_fence_on_restore_and_at_crash() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(64, 64);
+        let b = m.alloc_pm(64, 64);
+        let check = PmCheck::attach(&mut m);
+        m.store_u64(t, a, 1);
+        m.clwb(t, a);
+        m.store_u64(t, a, 2); // re-store with the flush still unfenced
+        m.clwb(t, a);
+        m.store_u64(t, b, 3);
+        m.clwb(t, b);
+        // No fence at all: both flushes are unfenced at the crash.
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        let report = check.finish(&mut m);
+        // One finding for the re-store of `a` (flagged lines are not
+        // reported again by the sweep), one for `b` at the crash.
+        assert_eq!(
+            report.count(DiagKind::MissingFence),
+            2,
+            "{}",
+            report.to_text()
+        );
+        // In this machine model the WPQ drains flushes even without the
+        // fence, so nothing is predicted (or actually) lost.
+        assert!(report.predicted_lost_lines().is_empty());
+        assert_eq!(m.peek_u64(a), 2);
+        assert_eq!(m.peek_u64(b), 3);
+    }
+
+    #[test]
+    fn redundant_flush_and_fence_are_perf_findings() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(64, 64);
+        let check = PmCheck::attach(&mut m);
+        m.store_u64(t, a, 1);
+        m.clwb(t, a);
+        m.clwb(t, a); // double flush, same epoch
+        m.sfence(t);
+        m.sfence(t); // nothing outstanding
+        let report = check.finish(&mut m);
+        assert_eq!(
+            report.count(DiagKind::RedundantFlush),
+            1,
+            "{}",
+            report.to_text()
+        );
+        assert_eq!(report.count(DiagKind::RedundantFence), 1);
+        assert!(report.is_clean(), "perf findings only");
+    }
+
+    #[test]
+    fn unpersisted_read_inside_bypass_window() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(64, 64);
+        let check = PmCheck::attach(&mut m);
+        m.store_u64(t, a, 1);
+        m.clwb(t, a);
+        m.sfence(t);
+        let _ = m.load_u64(t, a); // G1: served from the stale cached copy
+        let report = check.finish(&mut m);
+        assert_eq!(
+            report.count(DiagKind::UnpersistedRead),
+            1,
+            "{}",
+            report.to_text()
+        );
+        assert!(report.is_clean(), "info finding only");
+    }
+
+    #[test]
+    fn nt_store_needs_a_fence_for_ordering_but_survives_crash() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(64, 64);
+        let check = PmCheck::attach(&mut m);
+        let bytes = 42u64.to_le_bytes();
+        m.nt_store(t, a, &bytes); // accepted, never fenced
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        let report = check.finish(&mut m);
+        assert_eq!(report.count(DiagKind::MissingFence), 1);
+        // Accepted data is inside the ADR domain: not predicted lost, and
+        // the machine indeed keeps it.
+        assert!(report.predicted_lost_lines().is_empty());
+        assert_eq!(m.peek_u64(a), 42);
+    }
+
+    #[test]
+    fn clflush_is_durable_without_a_fence() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(64, 64);
+        let check = PmCheck::attach(&mut m);
+        m.store_u64(t, a, 5);
+        m.clflush(t, a); // strongly ordered: no fence required
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        let report = check.finish(&mut m);
+        assert!(report.is_clean(), "{}", report.to_text());
+        assert_eq!(m.peek_u64(a), 5);
+    }
+}

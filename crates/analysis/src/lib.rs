@@ -1,0 +1,69 @@
+//! `pmcheck`: persist-ordering and crash-consistency analysis of the
+//! simulated instruction stream.
+//!
+//! Persistent-memory code silently gets *persist ordering* wrong — exactly
+//! the property the paper's RAP/WPQ findings hinge on, and exactly what
+//! the simulator can observe with perfect fidelity where real hardware
+//! cannot. This crate attaches to [`optane_core::Machine`] as a
+//! [`TraceSink`](optane_core::TraceSink) and feeds every observed
+//! `store`/`nt_store`/`clwb`/`clflushopt`/`clflush`/`sfence`/`mfence`
+//! event into a per-cacheline persist-state automaton
+//! (`Dirty → FlushIssued → Accepted → Persisted`) plus a per-thread epoch
+//! model (an epoch is the span between two fences). It reports:
+//!
+//! - **missing-flush** — a store whose cacheline is still unflushed when
+//!   the run ends or the power fails; the diagnostic records how many
+//!   fences passed without covering the line. These lines are *predicted
+//!   lost* under `CrashPolicy::LoseUnflushed` (unless a chance dirty
+//!   eviction persisted them — the report says which).
+//! - **missing-fence** — a flush or nt-store not ordered by a fence before
+//!   either a re-store of the same line or a power failure. Durable in
+//!   this machine model (the WPQ always drains) but an ordering bug: the
+//!   program has no point at which it may *conclude* the data is durable.
+//! - **redundant-flush / redundant-fence** — performance diagnostics:
+//!   double `clwb` to the same line in one epoch, flushes of clean or
+//!   already-persisted lines, fences with no persist work outstanding.
+//! - **unpersisted-read** — a load served inside the G1 `clwb + sfence`
+//!   bypass window (the machine's `recent_flush` bookkeeping): the read
+//!   returns the stale pre-invalidation cached copy while the persist is
+//!   still in flight.
+//!
+//! The checker is *validated by the simulator itself*: `repro pmcheck`
+//! cross-checks every missing-flush verdict against an actual
+//! `power_fail(LoseUnflushed)` plus recovery divergence (see
+//! `experiments::e10_pmcheck`).
+//!
+//! # Example
+//!
+//! ```
+//! use cpucache::PrefetchConfig;
+//! use optane_core::{Machine, MachineConfig};
+//! use pmcheck::{DiagKind, PmCheck};
+//!
+//! let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+//! let t = m.spawn(0);
+//! let a = m.alloc_pm(64, 64);
+//! let check = PmCheck::attach(&mut m);
+//!
+//! m.store_u64(t, a, 1);
+//! m.clwb(t, a);
+//! m.sfence(t); // clean persist: no findings
+//!
+//! let b = m.alloc_pm(64, 64);
+//! m.store_u64(t, b, 2); // never flushed...
+//! m.sfence(t);
+//! m.store_u64(t, a, 3); // ...but a later epoch depends on it
+//! m.clwb(t, a);
+//! m.sfence(t);
+//!
+//! let report = check.finish(&mut m);
+//! assert_eq!(report.count(DiagKind::MissingFlush), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod checker;
+mod report;
+
+pub use checker::{CheckerConfig, PmCheck};
+pub use report::{DiagKind, Diagnostic, Report, Severity};

@@ -1,0 +1,352 @@
+//! Structured checker output: diagnostics, severities, and the report
+//! with JSON and human-readable renderings.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use simbase::Cycles;
+
+/// What kind of finding a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagKind {
+    /// A store whose cacheline was never flushed before a dependent store
+    /// in a later epoch or before a power failure.
+    MissingFlush,
+    /// A flush or nt-store never ordered by a fence before the line was
+    /// re-stored or the power failed.
+    MissingFence,
+    /// A flush that could not have persisted anything new (double flush in
+    /// one epoch, or flush of a clean/already-persisted line).
+    RedundantFlush,
+    /// A fence with no flush or nt-store outstanding since the previous
+    /// fence.
+    RedundantFence,
+    /// A load served from the stale cached copy inside the G1
+    /// `clwb + sfence` bypass window, while the persist is in flight.
+    UnpersistedRead,
+}
+
+impl DiagKind {
+    /// Stable machine-readable name (used in the JSON report).
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagKind::MissingFlush => "missing-flush",
+            DiagKind::MissingFence => "missing-fence",
+            DiagKind::RedundantFlush => "redundant-flush",
+            DiagKind::RedundantFence => "redundant-fence",
+            DiagKind::UnpersistedRead => "unpersisted-read",
+        }
+    }
+
+    /// The severity class this kind always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagKind::MissingFlush | DiagKind::MissingFence => Severity::Error,
+            DiagKind::RedundantFlush | DiagKind::RedundantFence => Severity::Perf,
+            DiagKind::UnpersistedRead => Severity::Info,
+        }
+    }
+
+    fn all() -> [DiagKind; 5] {
+        [
+            DiagKind::MissingFlush,
+            DiagKind::MissingFence,
+            DiagKind::RedundantFlush,
+            DiagKind::RedundantFence,
+            DiagKind::UnpersistedRead,
+        ]
+    }
+}
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Crash-consistency bug: recovery can observe lost or unordered data.
+    Error,
+    /// Correct but wasteful: extra persist work on the critical path.
+    Perf,
+    /// Hazard worth knowing about; functionally benign in this model.
+    Info,
+}
+
+impl Severity {
+    /// Stable machine-readable name (used in the JSON report).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Perf => "perf",
+            Severity::Info => "info",
+        }
+    }
+}
+
+/// One checker finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// What kind of finding.
+    pub kind: DiagKind,
+    /// Index of the simulated thread whose instruction triggered it.
+    pub thread: usize,
+    /// The cacheline concerned, if the finding is line-specific.
+    pub line: Option<u64>,
+    /// The triggering thread's epoch (fences completed) at detection.
+    pub epoch: u64,
+    /// Simulated time of the triggering event.
+    pub at: Cycles,
+    /// Event sequence number of the triggering event.
+    pub seq: u64,
+    /// Human-readable explanation.
+    pub message: String,
+    /// For missing-flush: the line happened to be persisted anyway by a
+    /// dirty cache eviction, so it would survive a crash despite the bug.
+    pub survived_by_eviction: bool,
+}
+
+impl Diagnostic {
+    /// Severity of this finding.
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+/// The checker's verdict over one attached run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Label naming the analysed workload.
+    pub workload: String,
+    /// All findings, in detection order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Total trace events processed.
+    pub events: u64,
+    /// Distinct PM cachelines tracked.
+    pub lines_tracked: u64,
+    /// Fences observed.
+    pub fences: u64,
+    /// Flushes observed.
+    pub flushes: u64,
+    /// Cachelines predicted lost under `CrashPolicy::LoseUnflushed`,
+    /// filled by the final sweep (power failure or `finish`): lines still
+    /// dirty with no flush and no saving eviction. Unlike the diagnostics
+    /// list this reflects the state at sweep time, so a line flagged by
+    /// the epoch rule but properly persisted later is not in it.
+    pub predicted_lost: Vec<u64>,
+}
+
+impl Report {
+    /// Number of findings of `kind`.
+    pub fn count(&self, kind: DiagKind) -> usize {
+        self.diagnostics.iter().filter(|d| d.kind == kind).count()
+    }
+
+    /// True when there are no error-severity findings.
+    pub fn is_clean(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity() == Severity::Error)
+    }
+
+    /// Cachelines the checker predicts would be lost by
+    /// `power_fail(CrashPolicy::LoseUnflushed)`: missing-flush lines not
+    /// saved by a chance eviction, as of the final sweep.
+    pub fn predicted_lost_lines(&self) -> &[u64] {
+        &self.predicted_lost
+    }
+
+    /// Per-kind finding counts.
+    pub fn counts(&self) -> BTreeMap<DiagKind, usize> {
+        let mut m = BTreeMap::new();
+        for d in &self.diagnostics {
+            *m.entry(d.kind).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "pmcheck report: {}", self.workload);
+        let _ = writeln!(
+            out,
+            "  events: {}  pm-lines: {}  flushes: {}  fences: {}",
+            self.events, self.lines_tracked, self.flushes, self.fences
+        );
+        let counts = self.counts();
+        if counts.is_empty() {
+            let _ = writeln!(out, "  verdict: CLEAN (no findings)");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "  verdict: {}",
+            if self.is_clean() {
+                "clean (perf/info findings only)"
+            } else {
+                "ORDERING BUGS FOUND"
+            }
+        );
+        for kind in DiagKind::all() {
+            if let Some(&n) = counts.get(&kind) {
+                let _ = writeln!(
+                    out,
+                    "  {:>4} x {} [{}]",
+                    n,
+                    kind.name(),
+                    kind.severity().name()
+                );
+            }
+        }
+        for d in &self.diagnostics {
+            let line = match d.line {
+                Some(l) => format!("line {l:#x}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  [{}] {} t{} epoch {} cycle {} {}: {}{}",
+                d.severity().name(),
+                d.kind.name(),
+                d.thread,
+                d.epoch,
+                d.at,
+                line,
+                d.message,
+                if d.survived_by_eviction {
+                    " (survived by chance eviction)"
+                } else {
+                    ""
+                }
+            );
+        }
+        out
+    }
+
+    /// Renders the report as JSON (no external dependencies; see
+    /// `DESIGN.md`, "Offline builds").
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"workload\": {},", json_str(&self.workload));
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        let _ = writeln!(out, "  \"lines_tracked\": {},", self.lines_tracked);
+        let _ = writeln!(out, "  \"flushes\": {},", self.flushes);
+        let _ = writeln!(out, "  \"fences\": {},", self.fences);
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        out.push_str("  \"counts\": {");
+        let counts = self.counts();
+        let mut first = true;
+        for (kind, n) in &counts {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\": {}", kind.name(), n);
+        }
+        out.push_str("},\n");
+        out.push_str("  \"predicted_lost_lines\": [");
+        for (i, l) in self.predicted_lost.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{l}");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"kind\": \"{}\", \"severity\": \"{}\", \"thread\": {}, \"line\": {}, \
+                 \"epoch\": {}, \"at\": {}, \"seq\": {}, \"survived_by_eviction\": {}, \
+                 \"message\": {}}}",
+                d.kind.name(),
+                d.severity().name(),
+                d.thread,
+                match d.line {
+                    Some(l) => l.to_string(),
+                    None => "null".to_string(),
+                },
+                d.epoch,
+                d.at,
+                d.seq,
+                d.survived_by_eviction,
+                json_str(&d.message)
+            );
+            out.push_str(if i + 1 < self.diagnostics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(kind: DiagKind, line: u64) -> Diagnostic {
+        Diagnostic {
+            kind,
+            thread: 0,
+            line: Some(line),
+            epoch: 1,
+            at: 10,
+            seq: 3,
+            message: "test \"quoted\" message".into(),
+            survived_by_eviction: false,
+        }
+    }
+
+    #[test]
+    fn clean_report_renders() {
+        let r = Report {
+            workload: "w".into(),
+            ..Report::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.to_text().contains("CLEAN"));
+        assert!(r.to_json().contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn error_findings_make_the_report_unclean() {
+        let mut r = Report::default();
+        r.diagnostics.push(diag(DiagKind::MissingFlush, 0x40));
+        r.diagnostics.push(diag(DiagKind::RedundantFlush, 0xc0));
+        r.predicted_lost.push(0x40);
+        assert_eq!(r.predicted_lost_lines(), &[0x40]);
+        assert!(!r.is_clean());
+        assert_eq!(r.count(DiagKind::MissingFlush), 1);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let r = Report {
+            workload: "a\"b\\c\nd".into(),
+            ..Report::default()
+        };
+        assert!(r.to_json().contains("a\\\"b\\\\c\\nd"));
+    }
+}

@@ -151,7 +151,7 @@ fn cceh_insert_cost(c: &mut Criterion) {
                 let mut env = SimEnv::new(&mut m, t);
                 let mut table = Cceh::create(&mut env, 8);
                 for k in 1..=500u64 {
-                    table.insert(&mut env, k * 0x9E37_79B9 | 1, k);
+                    table.insert(&mut env, (k * 0x9E37_79B9) | 1, k);
                 }
                 total += env.now();
             }

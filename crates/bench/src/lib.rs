@@ -4,3 +4,5 @@
 //! - `benches/ablations.rs`: design-knob ablations from `DESIGN.md`;
 //! - `benches/ops.rs`: host-time micro-benchmarks of the simulator and
 //!   the data structures.
+
+#![forbid(unsafe_code)]

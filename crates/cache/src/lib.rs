@@ -21,6 +21,8 @@
 //! the machine-level stores. Timing is returned to the machine layer, which
 //! owns the clocks.
 
+#![forbid(unsafe_code)]
+
 pub mod prefetch;
 pub mod setassoc;
 pub mod system;

@@ -288,7 +288,7 @@ mod tests {
                 deep += 1;
             }
         }
-        assert_eq!(deep as u64, trials as u64 / STREAM_GATE_DEN);
+        assert_eq!(deep as u64, trials / STREAM_GATE_DEN);
     }
 
     #[test]

@@ -167,3 +167,23 @@ proptest! {
         }
     }
 }
+
+/// The saved regression seed from `props.proptest-regressions`
+/// (`lines = [1, 0, 0], flush_line = 0` for `flush_always_empties_the_line`),
+/// pinned as a plain deterministic test. The vendored offline `proptest`
+/// stand-in does not replay regression files, so this case must be spelled
+/// out to keep running in CI.
+#[test]
+fn flush_regression_seed_line_zero_accessed_on_both_threads() {
+    let mut sys = CacheSystem::new(CacheParams::default(), 2, PrefetchConfig::all());
+    for (i, &line) in [1u64, 0, 0].iter().enumerate() {
+        sys.access(i % 2, Addr(line * 64), i % 3 == 0);
+    }
+    sys.flush(Addr(0), FlushMode::Invalidate);
+    assert_eq!(sys.contains(0, Addr(0)), None);
+    assert_eq!(sys.contains(1, Addr(0)), None);
+    assert!(
+        !sys.flush(Addr(0), FlushMode::Invalidate),
+        "second flush must report the line clean"
+    );
+}

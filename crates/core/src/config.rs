@@ -84,6 +84,13 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
+    /// Whether `clwb` drops the cached copy on this configuration (true on
+    /// G1; G2 retains the line). Exposed so analyses need not depend on
+    /// the cache crate's `FlushMode`.
+    pub fn clwb_invalidates(&self) -> bool {
+        self.clwb_mode == FlushMode::Invalidate
+    }
+
     /// The G1 testbed (§2.4) with the given prefetcher setting and DIMM
     /// population.
     pub fn g1(prefetch: PrefetchConfig, num_dimms: usize) -> Self {

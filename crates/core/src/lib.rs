@@ -45,10 +45,14 @@
 //! assert!(m.now(t) > 0, "operations consumed simulated cycles");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod machine;
 pub mod telemetry;
+pub mod trace;
 
 pub use config::{Generation, MachineConfig};
 pub use machine::{CrashPolicy, Machine, MemRegion, ThreadId};
 pub use telemetry::TelemetrySnapshot;
+pub use trace::{FenceKind, FlushKind, TraceEvent, TraceSink};

@@ -27,6 +27,7 @@ use xpmedia::SparseStore;
 
 use crate::config::MachineConfig;
 use crate::telemetry::TelemetrySnapshot;
+use crate::trace::{FenceKind, FlushKind, TraceEvent, TraceSink, TraceSlot};
 
 /// Base of the persistent-memory physical region.
 pub const PM_BASE: u64 = 0x0000_1000_0000_0000;
@@ -112,6 +113,7 @@ pub struct Machine {
     pm_next: u64,
     dram_next: u64,
     crash_rng: SplitMix64,
+    trace: TraceSlot,
 }
 
 impl Machine {
@@ -141,6 +143,25 @@ impl Machine {
             pm_next: PM_BASE,
             dram_next: DRAM_BASE,
             crash_rng,
+            trace: TraceSlot::default(),
+        }
+    }
+
+    /// Attaches an instruction-stream observer. Replaces any previous
+    /// sink; returns the replaced sink, if any.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> Option<Box<dyn TraceSink>> {
+        self.trace.0.replace(sink)
+    }
+
+    /// Detaches and returns the current instruction-stream observer.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.0.take()
+    }
+
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(sink) = self.trace.0.as_mut() {
+            sink.on_event(&ev);
         }
     }
 
@@ -325,6 +346,7 @@ impl Machine {
                 MemRegion::Pm => {
                     self.pm.write(now, cl);
                     self.apply_persist(cl);
+                    self.emit(TraceEvent::WriteBack { line: cl, at: now });
                 }
                 MemRegion::Dram => {
                     self.dram.write(now, cl);
@@ -438,6 +460,13 @@ impl Machine {
     /// Loads `buf.len()` bytes from `addr`.
     pub fn load(&mut self, tid: ThreadId, addr: Addr, buf: &mut [u8]) {
         let len = buf.len() as u64;
+        self.emit(TraceEvent::Load {
+            tid,
+            addr,
+            len,
+            region: self.region_of(addr),
+            at: self.threads[tid.0].clock.now(),
+        });
         let mut total = 0;
         for cl in simbase::addr::cachelines_covering(addr, len) {
             total += self.access_line(tid, cl, false);
@@ -463,6 +492,21 @@ impl Machine {
         out_a: &mut [u8],
         out_b: &mut [u8],
     ) {
+        let start = self.threads[tid.0].clock.now();
+        self.emit(TraceEvent::Load {
+            tid,
+            addr: a,
+            len: out_a.len() as u64,
+            region: self.region_of(a),
+            at: start,
+        });
+        self.emit(TraceEvent::Load {
+            tid,
+            addr: b,
+            len: out_b.len() as u64,
+            region: self.region_of(b),
+            at: start,
+        });
         let lat_a = {
             let mut total = 0;
             for cl in simbase::addr::cachelines_covering(a, out_a.len() as u64) {
@@ -496,6 +540,13 @@ impl Machine {
     /// (write-allocate: a miss fetches the line first).
     pub fn store(&mut self, tid: ThreadId, addr: Addr, data: &[u8]) {
         let len = data.len() as u64;
+        self.emit(TraceEvent::Store {
+            tid,
+            addr,
+            len,
+            region: self.region_of(addr),
+            at: self.threads[tid.0].clock.now(),
+        });
         let mut total = 0;
         for cl in simbase::addr::cachelines_covering(addr, len) {
             total += self.access_line(tid, cl, true);
@@ -529,9 +580,16 @@ impl Machine {
             (t.socket, t.core, t.clock.now())
         };
         let latency = if self.caches[socket].contains(core, addr).is_some() {
-            // Resident: a plain cached store.
+            // Resident: a plain cached store (which emits its own event).
             return self.store(tid, addr, data);
         } else {
+            self.emit(TraceEvent::Store {
+                tid,
+                addr,
+                len: 64,
+                region: self.region_of(addr),
+                at: now,
+            });
             let wbs = self.caches[socket].install(core, addr, true);
             self.handle_writebacks(now, &wbs);
             self.cfg.cache.l1_latency + self.ht_extra(socket, core)
@@ -549,6 +607,13 @@ impl Machine {
     /// for WPQ acceptance; a following fence does.
     pub fn nt_store(&mut self, tid: ThreadId, addr: Addr, data: &[u8]) {
         let len = data.len() as u64;
+        self.emit(TraceEvent::NtStore {
+            tid,
+            addr,
+            len,
+            region: self.region_of(addr),
+            at: self.threads[tid.0].clock.now(),
+        });
         let (socket, core) = {
             let t = &self.threads[tid.0];
             (t.socket, t.core)
@@ -600,12 +665,12 @@ impl Machine {
     /// configurations this also invalidates the line (the behaviour the
     /// paper measures); on G2 the line is retained.
     pub fn clwb(&mut self, tid: ThreadId, addr: Addr) {
-        self.flush_line(tid, addr, self.cfg.clwb_mode);
+        self.flush_line(tid, addr, self.cfg.clwb_mode, FlushKind::Clwb);
     }
 
     /// `clflushopt`: writes back (if dirty) and invalidates the line.
     pub fn clflushopt(&mut self, tid: ThreadId, addr: Addr) {
-        self.flush_line(tid, addr, FlushMode::Invalidate);
+        self.flush_line(tid, addr, FlushMode::Invalidate, FlushKind::Clflushopt);
     }
 
     /// Legacy `clflush`: like [`Machine::clflushopt`], but strongly
@@ -613,18 +678,26 @@ impl Machine {
     /// accepted, instead of leaving that to a later fence. This is why
     /// persistent software prefers `clflushopt`/`clwb`.
     pub fn clflush(&mut self, tid: ThreadId, addr: Addr) {
-        self.flush_line(tid, addr, FlushMode::Invalidate);
+        self.flush_line(tid, addr, FlushMode::Invalidate, FlushKind::Clflush);
         let t = &mut self.threads[tid.0];
         t.clock.advance_to(t.outstanding_accept);
     }
 
-    fn flush_line(&mut self, tid: ThreadId, addr: Addr, mode: FlushMode) {
+    fn flush_line(&mut self, tid: ThreadId, addr: Addr, mode: FlushMode, kind: FlushKind) {
         let cl = addr.cacheline();
         let (socket, core, now) = {
             let t = &self.threads[tid.0];
             (t.socket, t.core, t.clock.now())
         };
         let dirty = self.caches[socket].flush(cl, mode);
+        self.emit(TraceEvent::Flush {
+            tid,
+            line: cl,
+            kind,
+            region: self.region_of(cl),
+            dirty,
+            at: now,
+        });
         let mut accept = None;
         if dirty {
             match self.region_of(cl) {
@@ -667,18 +740,29 @@ impl Machine {
     /// nt-stores to be accepted into the ADR domain. Does not order
     /// subsequent loads.
     pub fn sfence(&mut self, tid: ThreadId) {
-        let t = &mut self.threads[tid.0];
-        t.clock.advance_to(t.outstanding_accept);
-        t.clock.advance(self.cfg.fence_cost);
-        t.outstanding_accept = 0;
+        self.fence(tid, FenceKind::Sfence);
     }
 
     /// `mfence`: like [`Machine::sfence`], and additionally orders
     /// subsequent loads behind prior flushes.
     pub fn mfence(&mut self, tid: ThreadId) {
-        self.sfence(tid);
+        self.fence(tid, FenceKind::Mfence);
+    }
+
+    fn fence(&mut self, tid: ThreadId, kind: FenceKind) {
+        self.emit(TraceEvent::Fence {
+            tid,
+            kind,
+            at: self.threads[tid.0].clock.now(),
+        });
+        let fence_cost = self.cfg.fence_cost;
         let t = &mut self.threads[tid.0];
-        t.last_mfence = t.clock.now();
+        t.clock.advance_to(t.outstanding_accept);
+        t.clock.advance(fence_cost);
+        t.outstanding_accept = 0;
+        if kind == FenceKind::Mfence {
+            t.last_mfence = t.clock.now();
+        }
     }
 
     /// The paper's Algorithm 2: copies one XPLine from PM into a DRAM (or
@@ -692,6 +776,13 @@ impl Machine {
     pub fn copy_xpline_streaming(&mut self, tid: ThreadId, src: Addr, dst: Addr) {
         assert!(src.is_xpline_aligned(), "source must be XPLine-aligned");
         assert!(dst.is_cacheline_aligned(), "destination must be aligned");
+        self.emit(TraceEvent::Load {
+            tid,
+            addr: src,
+            len: XPLINE_BYTES,
+            region: self.region_of(src),
+            at: self.threads[tid.0].clock.now(),
+        });
         let socket = self.threads[tid.0].socket;
         let mut total = 0;
         for i in 0..4u64 {
@@ -751,6 +842,7 @@ impl Machine {
             .map(|t| t.clock.now())
             .max()
             .unwrap_or(0);
+        self.emit(TraceEvent::PowerFail { at: now });
         let mut dirty = Vec::new();
         for c in &mut self.caches {
             dirty.extend(c.drop_all());
@@ -1125,7 +1217,7 @@ mod tests {
         m.store_u64(t, a, 123);
         // Thrash the hierarchy so the dirty line is evicted to PM.
         let filler = m.alloc_pm(64 << 20, 64);
-        for i in 0..(600_000u64) {
+        for i in 0..600_000u64 {
             m.store_u64(t, filler.add_cachelines(i), i);
         }
         m.power_fail(CrashPolicy::LoseUnflushed);

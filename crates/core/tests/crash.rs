@@ -1,0 +1,148 @@
+//! Deterministic crash-semantics tests for `power_fail` / `CrashPolicy`.
+//!
+//! These pin down the durability contract that `pmcheck` (the
+//! `crates/analysis` checker) assumes when it predicts which lines a
+//! power failure loses — see DESIGN.md, "Crash-consistency checking":
+//!
+//! - a cached store that is never flushed is lost under `LoseUnflushed`;
+//! - a flush *accepted by the WPQ* is durable even without a fence (ADR
+//!   drains the queue on power failure), so a missing fence is an
+//!   ordering bug, not a data-loss bug, in this machine model;
+//! - nt-stores are WPQ-accepted at issue and survive unfenced, matching
+//!   the paper's Fig. 7 RAP discussion for both generations.
+
+#![forbid(unsafe_code)]
+
+use cpucache::PrefetchConfig;
+use optane_core::{CrashPolicy, Generation, Machine, MachineConfig};
+
+fn machine(gen: Generation) -> Machine {
+    Machine::new(MachineConfig::for_generation(
+        gen,
+        PrefetchConfig::none(),
+        1,
+    ))
+}
+
+const GENS: [Generation; 2] = [Generation::G1, Generation::G2];
+
+#[test]
+fn unflushed_lines_are_lost_and_flushed_lines_survive() {
+    for gen in GENS {
+        let mut m = machine(gen);
+        let t = m.spawn(0);
+        let kept = m.alloc_pm(64, 64);
+        let lost = m.alloc_pm(64, 64);
+        m.store_u64(t, kept, 1);
+        m.clwb(t, kept);
+        m.sfence(t);
+        m.store_u64(t, lost, 2);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        assert_eq!(m.peek_u64(kept), 1, "{gen}: flushed+fenced line kept");
+        assert_eq!(m.peek_u64(lost), 0, "{gen}: dirty line lost");
+    }
+}
+
+#[test]
+fn wpq_accepted_flush_survives_without_a_fence() {
+    // clwb / clflushopt hand the line to the WPQ; ADR drains the queue
+    // on power failure. The fence only gives the *program* a point at
+    // which durability is known — its absence loses nothing.
+    for gen in GENS {
+        let mut m = machine(gen);
+        let t = m.spawn(0);
+        let a = m.alloc_pm(64, 64);
+        let b = m.alloc_pm(64, 64);
+        m.store_u64(t, a, 3);
+        m.clwb(t, a); // no sfence
+        m.store_u64(t, b, 4);
+        m.clflushopt(t, b); // no sfence
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        assert_eq!(m.peek_u64(a), 3, "{gen}: unfenced clwb drained");
+        assert_eq!(m.peek_u64(b), 4, "{gen}: unfenced clflushopt drained");
+    }
+}
+
+#[test]
+fn unfenced_nt_store_survives_per_rap_semantics() {
+    // Fig. 7: an nt-store is accepted by the WPQ when issued; the sfence
+    // only orders later work after the acceptance. Crash-wise the data
+    // is already home in both generations.
+    for gen in GENS {
+        let mut m = machine(gen);
+        let t = m.spawn(0);
+        let a = m.alloc_pm(64, 64);
+        m.nt_store(t, a, &9u64.to_le_bytes());
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        assert_eq!(m.peek_u64(a), 9, "{gen}: unfenced nt-store survived");
+    }
+}
+
+#[test]
+fn clflush_is_synchronously_durable() {
+    // Legacy clflush waits for WPQ acceptance inside the instruction, so
+    // it needs no fence at all to be crash-durable.
+    for gen in GENS {
+        let mut m = machine(gen);
+        let t = m.spawn(0);
+        let a = m.alloc_pm(64, 64);
+        m.store_u64(t, a, 5);
+        m.clflush(t, a);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        assert_eq!(m.peek_u64(a), 5, "{gen}: clflush durable unfenced");
+    }
+}
+
+#[test]
+fn restore_after_flush_loses_only_the_second_value() {
+    // The torn case pmcheck's missing-fence rule is about: persist v1,
+    // then overwrite the same line without re-flushing. The crash rolls
+    // the line back to v1 — stale but not garbage.
+    let mut m = machine(Generation::G1);
+    let t = m.spawn(0);
+    let a = m.alloc_pm(64, 64);
+    m.store_u64(t, a, 1);
+    m.clwb(t, a);
+    m.sfence(t);
+    m.store_u64(t, a, 2); // never flushed again
+    m.power_fail(CrashPolicy::LoseUnflushed);
+    assert_eq!(m.peek_u64(a), 1, "line rolled back to the persisted value");
+}
+
+#[test]
+fn machine_stays_usable_after_power_failure() {
+    // Recovery code runs on the same machine: loads see the persisted
+    // image, new stores and flushes work, and a second crash applies the
+    // same policy again.
+    let mut m = machine(Generation::G2);
+    let t = m.spawn(0);
+    let a = m.alloc_pm(64, 64);
+    m.store_u64(t, a, 7);
+    m.clwb(t, a);
+    m.sfence(t);
+    m.power_fail(CrashPolicy::LoseUnflushed);
+
+    assert_eq!(m.load_u64(t, a), 7, "recovery load sees persisted data");
+    m.store_u64(t, a, 8);
+    m.power_fail(CrashPolicy::LoseUnflushed);
+    assert_eq!(m.peek_u64(a), 7, "unflushed recovery store lost again");
+
+    m.store_u64(t, a, 9);
+    m.clwb(t, a);
+    m.sfence(t);
+    m.power_fail(CrashPolicy::LoseUnflushed);
+    assert_eq!(m.peek_u64(a), 9, "persisted recovery store kept");
+}
+
+#[test]
+fn persist_all_dirty_keeps_pm_but_not_dram() {
+    let mut m = machine(Generation::G1);
+    let t = m.spawn(0);
+    let pm = m.alloc_pm(64, 64);
+    let dram = m.alloc_dram(64, 64);
+    m.store_u64(t, pm, 11);
+    m.store_u64(t, dram, 12);
+    m.power_fail(CrashPolicy::PersistAllDirty);
+    assert_eq!(m.peek_u64(pm), 11, "eADR-style policy keeps dirty PM");
+    assert_eq!(m.peek_u64(dram), 0, "DRAM is volatile under any policy");
+}

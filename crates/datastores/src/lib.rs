@@ -15,10 +15,14 @@
 //! on the simulator (timed, crash-aware) and on plain host memory for
 //! differential testing.
 
+#![forbid(unsafe_code)]
+
 pub mod cceh;
 pub mod chase;
 pub mod fastfair;
+pub mod inject;
 
 pub use cceh::{Cceh, InsertBreakdown};
 pub use chase::{ChaseList, WriteKind};
 pub use fastfair::{FastFair, UpdateStrategy};
+pub use inject::{FaultPlan, FaultyEnv};

@@ -249,11 +249,12 @@ mod tests {
     }
 
     fn dimm_g2() -> DimmController {
-        let mut p = DimmParams::default();
-        p.read_buffer_lines = 8;
-        p.write_buffer_lines = 4;
-        p.writeback_period = None;
-        DimmController::new(p)
+        DimmController::new(DimmParams {
+            read_buffer_lines: 8,
+            write_buffer_lines: 4,
+            writeback_period: None,
+            ..Default::default()
+        })
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! [`xpmedia::XpMedia`] timing model and exposes the cacheline-granularity
 //! read/write interface the iMC drives over DDR-T.
 
+#![forbid(unsafe_code)]
+
 pub mod controller;
 pub mod read_buffer;
 pub mod write_buffer;

@@ -3,13 +3,15 @@
 //! Usage:
 //!
 //! ```text
-//! repro [e0|e1|..|e9|table1|mixes|all] [--full] [--out DIR] [--gen g1|g2|both]
+//! repro [e0|e1|..|e9|table1|mixes|pmcheck|all] [--full] [--out DIR] [--gen g1|g2|both]
 //! ```
 //!
 //! Prints each figure as an aligned table and writes a CSV per panel into
 //! the output directory (default `results/`). `--full` runs closer to
 //! paper scale (larger working sets and op counts; minutes instead of
 //! seconds).
+
+#![forbid(unsafe_code)]
 
 use std::fs;
 use std::path::PathBuf;
@@ -19,8 +21,8 @@ use experiments::common::ExpResult;
 use experiments::e0_bandwidth;
 use experiments::ext_mixes;
 use experiments::{
-    e1_read_buffer, e2_prefetch, e3_write_amp, e4_wb_hit, e5_rap, e6_latency, e7_cceh, e8_btree,
-    e9_redirect, table1,
+    e10_pmcheck, e1_read_buffer, e2_prefetch, e3_write_amp, e4_wb_hit, e5_rap, e6_latency, e7_cceh,
+    e8_btree, e9_redirect, table1,
 };
 use optane_core::Generation;
 
@@ -60,7 +62,7 @@ fn parse_args() -> Options {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [e0|e1|..|e9|table1|mixes|all] \
+                    "usage: repro [e0|e1|..|e9|table1|mixes|pmcheck|all] \
                      [--full] [--out DIR] [--gen g1|g2|both]"
                 );
                 std::process::exit(0);
@@ -202,6 +204,42 @@ fn main() {
             });
             emit(&opts.out, &[r]);
         }
+    }
+    if wants("pmcheck") {
+        let mut text = String::new();
+        let mut all_validated = true;
+        for &gen in &opts.gens {
+            let outcomes = e10_pmcheck::run(&e10_pmcheck::E10Params {
+                generation: gen,
+                cceh_inserts: if opts.full { 5000 } else { 400 },
+                btree_inserts: if opts.full { 2000 } else { 300 },
+                ..Default::default()
+            });
+            println!("# pmcheck: persist-ordering analysis, {gen}");
+            for o in &outcomes {
+                println!("{}", o.summary());
+                text.push_str(&format!("== {gen} ==\n"));
+                text.push_str(&o.report.to_text());
+                text.push('\n');
+                all_validated &= o.validated;
+            }
+            let json = e10_pmcheck::to_json(&outcomes);
+            let path = opts
+                .out
+                .join(format!("pmcheck_{}.json", gen.to_string().to_lowercase()));
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        let _ = fs::write(opts.out.join("pmcheck.txt"), text);
+        println!(
+            "pmcheck cross-validation: {}",
+            if all_validated {
+                "all verdicts agree with simulated crash outcomes"
+            } else {
+                "MISMATCH between checker verdicts and crash outcomes"
+            }
+        );
     }
     if wants("e9") {
         for &gen in &opts.gens {

@@ -20,6 +20,8 @@
 //! backing store used as the machine's persistent image (what survives a
 //! simulated power failure).
 
+#![forbid(unsafe_code)]
+
 pub mod ait;
 pub mod media;
 pub mod store;

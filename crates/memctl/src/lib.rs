@@ -19,6 +19,8 @@
 //! observation point), and models WPQ acceptance, drain, and the persist
 //! pipeline. [`DramController`] models the DRAM channel.
 
+#![forbid(unsafe_code)]
+
 pub mod dram;
 pub mod pm;
 

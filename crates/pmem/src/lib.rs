@@ -14,6 +14,8 @@
 //! - [`log`] provides redo and undo logs with commit records and recovery,
 //!   used by the B+-tree case study (§4.2).
 
+#![forbid(unsafe_code)]
+
 pub mod env;
 pub mod log;
 pub mod persist;

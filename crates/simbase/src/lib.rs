@@ -13,6 +13,8 @@
 //!   shared hardware resources (media banks, iMC queues, DRAM channels),
 //! - [`stats`]: event and byte counters plus latency aggregation.
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod clock;
 pub mod resource;

@@ -7,6 +7,8 @@
 //! access sequences of §3 (strided reads, random 256 B blocks, shuffled
 //! pointer-chase orders).
 
+#![forbid(unsafe_code)]
+
 pub mod patterns;
 pub mod ycsb;
 

@@ -4,10 +4,13 @@
 //! downstream users can depend on a single crate. See the README for the
 //! architecture overview and `DESIGN.md` for the per-experiment index.
 
+#![forbid(unsafe_code)]
+
 pub use cpucache;
 pub use experiments;
 pub use imc;
 pub use optane_core as core;
+pub use pmcheck;
 pub use pmds;
 pub use pmem;
 pub use simbase;

@@ -1,0 +1,467 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! This workspace must build and test with **no network and no registry
+//! cache** (see `DESIGN.md`, "Offline builds"). The real proptest crate can
+//! therefore never be fetched. This shim implements the subset of the
+//! proptest API the workspace's property suites use — `proptest!`,
+//! `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, `any`, integer/float
+//! range strategies, tuples, `prop::collection::vec`, `prop_map`, and
+//! `ProptestConfig { cases }` — on top of a deterministic SplitMix64
+//! generator seeded from the test's module path and name.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of a minimized counterexample.
+//! - **Deterministic.** Every run of a given test generates the same case
+//!   sequence, so CI failures always reproduce locally.
+//! - **Case count** defaults to 64 and is overridable with the standard
+//!   `PROPTEST_CASES` environment variable or `ProptestConfig { cases }`.
+//! - `proptest-regressions` files are **not** replayed; recorded
+//!   regressions are pinned as plain `#[test]` functions next to the
+//!   suites instead (see `crates/cache/tests/props.rs`).
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+// ----- deterministic RNG ------------------------------------------------
+
+/// SplitMix64 generator driving all strategies. Not related to
+/// `simbase::SplitMix64` (the shim must stay dependency-free).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary byte string (FNV-1a), typically
+    /// `module_path!()::test_name`.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`. `hi` must be strictly greater than `lo`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        let span = hi - lo;
+        if span == 0 {
+            // hi - lo wrapped (lo = 0, hi = 2^64): full range.
+            return self.next_u64();
+        }
+        lo + self.next_u64() % span
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ----- configuration ----------------------------------------------------
+
+/// Subset of proptest's run configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; ignored (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+// ----- strategies -------------------------------------------------------
+
+/// A value generator. The shim's `Strategy` produces values directly; there
+/// is no intermediate value tree because there is no shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy for heterogeneous collections (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed strategy, as in real proptest.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range_u64(self.start as u64, self.end as u64) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.gen_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Weighted union of boxed strategies (`prop_oneof!` backing type).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range_u64(0, self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum checked in Union::new")
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, size_range)`: vectors of `element`-generated values.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.end > self.size.start {
+                rng.gen_range_u64(self.size.start as u64, self.size.end as u64) as usize
+            } else {
+                self.size.start
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ----- macros -----------------------------------------------------------
+
+/// Defines property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 12, ..Default::default() })]
+///     #[test]
+///     fn my_prop(x in 0u64..100, flag in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $crate::__proptest_bind!(__rng; ($($params)*) $body);
+            }
+        }
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; () $body:block) => { $body };
+    ($rng:ident; ($pat:pat in $strat:expr) $body:block) => {{
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; () $body)
+    }};
+    ($rng:ident; ($pat:pat in $strat:expr, $($rest:tt)*) $body:block) => {{
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; ($($rest)*) $body)
+    }};
+}
+
+/// Asserts a condition inside a property test (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The conventional bulk import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+
+    /// Mirrors `proptest::prelude::prop` (strategy modules).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+        #[test]
+        fn macro_binds_patterns(
+            v in prop::collection::vec((0u64..4, any::<bool>()), 1..10),
+            mut count in 0usize..3,
+        ) {
+            count += v.len();
+            prop_assert!(count >= v.len());
+            for (x, _) in v {
+                prop_assert!(x < 4);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_picks_all_arms(picks in prop::collection::vec(prop_oneof![
+            3 => (0u64..10).prop_map(|v| v),
+            1 => Just(99u64),
+        ], 50..51)) {
+            prop_assert!(picks.iter().all(|&p| p < 10 || p == 99));
+        }
+    }
+}
