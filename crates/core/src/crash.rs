@@ -1,0 +1,48 @@
+//! Crash images: the machine's persistence state frozen at an instant,
+//! plus the *uncertain set* a crash-state explorer enumerates over.
+//!
+//! Under ADR the persistence domain boundary is WPQ acceptance: everything
+//! accepted (the persistent image) survives a power failure, everything
+//! still in the CPU caches (the volatile overlay) may or may not — a dirty
+//! line can have been evicted and accepted moments before the crash, or
+//! not. Each overlay entry is therefore an independent boolean in the
+//! space of legal crash states: a trace with `n` unpersisted lines has
+//! `2^n` legal post-crash images, and a recovery procedure is correct only
+//! if it tolerates *all* of them.
+//!
+//! [`CrashImage`] captures that space compactly: the certain persistent
+//! bytes, the sorted uncertain lines with their data, and enough machine
+//! state (config, allocator watermarks, poisoned lines) to materialize a
+//! runnable post-crash [`Machine`](crate::Machine) for any survivor
+//! subset via [`Machine::from_crash_image`](crate::Machine::from_crash_image).
+
+use xpmedia::SparseStore;
+
+use crate::config::MachineConfig;
+
+/// A frozen persistence state with its crash-uncertain set.
+#[derive(Debug, Clone)]
+pub struct CrashImage {
+    /// Machine configuration at capture time.
+    pub cfg: MachineConfig,
+    /// Bytes certainly inside the ADR domain.
+    pub persistent: SparseStore,
+    /// Cachelines whose data had *not* been accepted into the ADR domain
+    /// (the volatile overlay), sorted by address. Any subset of these may
+    /// survive a crash at this instant.
+    pub uncertain: Vec<(u64, [u8; 64])>,
+    /// PM allocator watermark, so recovery-time allocations do not collide
+    /// with pre-crash data.
+    pub pm_next: u64,
+    /// DRAM allocator watermark.
+    pub dram_next: u64,
+    /// Poisoned (uncorrectable-error) lines at capture time, sorted.
+    pub poisoned: Vec<u64>,
+}
+
+impl CrashImage {
+    /// Returns the addresses of the uncertain lines, sorted.
+    pub fn uncertain_lines(&self) -> Vec<u64> {
+        self.uncertain.iter().map(|&(cl, _)| cl).collect()
+    }
+}

@@ -1,0 +1,132 @@
+//! Hardware fault hooks: the knobs `faultsim` plans turn.
+//!
+//! The software-level faults (dropped flushes and fences) live in
+//! `faultsim`'s environment wrapper and never touch the machine. The
+//! *hardware* faults modelled here are below the instruction stream — the
+//! program executes every persist correctly and the hardware still loses
+//! data — so they must be armed on the [`Machine`](crate::Machine) itself:
+//!
+//! - **WPQ drop on accept** (`wpq_drop_every_nth`): the iMC acknowledges a
+//!   write into the WPQ but the entry is silently discarded before it
+//!   drains. The line never reaches the ADR domain even though every
+//!   flush/fence the program issued completed. This is the fault class
+//!   persist-ordering linting (`pmcheck`) is structurally blind to.
+//! - **WPQ partial drain at crash** (`wpq_partial_drain`): ADR's stored
+//!   energy fails to finish draining the WPQ; each line still in flight at
+//!   the power failure is lost with the given probability. The interrupted
+//!   media writes leave uncorrectable errors (poisoned lines).
+//! - **XPBuffer partial drain at crash** (`xpbuffer_partial_drain`): the
+//!   same failure one layer down — XPLines resident in the on-DIMM
+//!   write-combining buffer are interrupted mid media-write; a lost XPLine
+//!   poisons all four of its cachelines.
+//!
+//! All three are seeded and deterministic: the same plan over the same
+//! instruction stream injects the same faults.
+
+use std::fmt;
+
+/// Seeded probabilistic line loss applied at a power failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialDrain {
+    /// Probability that each vulnerable line is lost.
+    pub drop_fraction: f64,
+    /// Seed for the per-crash selection of victims.
+    pub seed: u64,
+}
+
+/// The set of armed hardware faults. [`FaultHooks::default`] arms nothing
+/// — the machine behaves exactly as before this module existed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultHooks {
+    /// Silently discard every Nth WPQ acceptance (1-indexed; `Some(7)`
+    /// drops the 7th, 14th, … accepted PM write).
+    pub wpq_drop_every_nth: Option<u64>,
+    /// At power failure, lose lines still draining from the WPQ.
+    pub wpq_partial_drain: Option<PartialDrain>,
+    /// At power failure, lose XPLines resident in the on-DIMM write
+    /// buffers.
+    pub xpbuffer_partial_drain: Option<PartialDrain>,
+}
+
+impl FaultHooks {
+    /// No faults armed.
+    pub fn none() -> Self {
+        FaultHooks::default()
+    }
+
+    /// Returns `true` if any fault is armed.
+    pub fn is_armed(&self) -> bool {
+        self.wpq_drop_every_nth.is_some()
+            || self.wpq_partial_drain.is_some()
+            || self.xpbuffer_partial_drain.is_some()
+    }
+}
+
+/// What the armed faults actually did, for oracles and reports.
+#[derive(Debug, Clone, Default)]
+pub struct FaultStats {
+    /// PM writes accepted by the iMC (the WPQ-drop counter's clock).
+    pub wpq_accepts: u64,
+    /// Cachelines whose acceptance was silently discarded, in injection
+    /// order.
+    pub wpq_dropped: Vec<u64>,
+    /// Cachelines poisoned by partial-drain faults at the last power
+    /// failure, sorted.
+    pub crash_poisoned: Vec<u64>,
+}
+
+/// A typed media read error: the requested range covers a poisoned line.
+///
+/// Plain loads of poisoned lines return the garbled bytes (what a crashed
+/// program that ignores machine-check signalling would see); checked loads
+/// surface this error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadError {
+    /// The cacheline at `line` holds an uncorrectable error.
+    Poisoned {
+        /// Cacheline-aligned address of the poisoned line.
+        line: u64,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Poisoned { line } => {
+                write!(f, "uncorrectable media error at line {line:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Result of an address-range scrub ([`Machine::scrub_pm`](crate::Machine::scrub_pm)).
+#[derive(Debug, Clone, Default)]
+pub struct ScrubOutcome {
+    /// Cachelines scanned.
+    pub lines_scanned: u64,
+    /// Poisoned lines found and repaired (zero-filled), sorted.
+    pub repaired: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hooks_arm_nothing() {
+        assert!(!FaultHooks::none().is_armed());
+        let armed = FaultHooks {
+            wpq_drop_every_nth: Some(3),
+            ..FaultHooks::none()
+        };
+        assert!(armed.is_armed());
+    }
+
+    #[test]
+    fn read_error_displays_the_line() {
+        let e = ReadError::Poisoned { line: 0x40 };
+        assert!(e.to_string().contains("0x40"));
+    }
+}

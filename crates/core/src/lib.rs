@@ -48,11 +48,15 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod crash;
+pub mod fault;
 pub mod machine;
 pub mod telemetry;
 pub mod trace;
 
 pub use config::{Generation, MachineConfig};
+pub use crash::CrashImage;
+pub use fault::{FaultHooks, FaultStats, PartialDrain, ReadError, ScrubOutcome};
 pub use machine::{CrashPolicy, Machine, MemRegion, ThreadId};
 pub use telemetry::TelemetrySnapshot;
 pub use trace::{FenceKind, FlushKind, TraceEvent, TraceSink};

@@ -26,6 +26,8 @@ use simbase::{
 use xpmedia::SparseStore;
 
 use crate::config::MachineConfig;
+use crate::crash::CrashImage;
+use crate::fault::{FaultHooks, FaultStats, ReadError, ScrubOutcome};
 use crate::telemetry::TelemetrySnapshot;
 use crate::trace::{FenceKind, FlushKind, TraceEvent, TraceSink, TraceSlot};
 
@@ -114,7 +116,12 @@ pub struct Machine {
     dram_next: u64,
     crash_rng: SplitMix64,
     trace: TraceSlot,
+    faults: FaultHooks,
+    fault_stats: FaultStats,
 }
+
+/// Garble pattern written over a line whose media cells lost their data.
+const POISON_FILL: u8 = 0xBD;
 
 impl Machine {
     /// Builds a machine from a configuration.
@@ -144,6 +151,8 @@ impl Machine {
             dram_next: DRAM_BASE,
             crash_rng,
             trace: TraceSlot::default(),
+            faults: FaultHooks::none(),
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -312,6 +321,22 @@ impl Machine {
         }
     }
 
+    /// A PM write accepted by the iMC. Normally the overlay entry reaches
+    /// the ADR domain; an armed WPQ-drop fault silently discards the Nth
+    /// acceptance — the controller acknowledged data it will never
+    /// persist, leaving the line in the crash-uncertain set even though
+    /// the program flushed it correctly.
+    fn persist_accept(&mut self, cl: Addr) {
+        self.fault_stats.wpq_accepts += 1;
+        if let Some(n) = self.faults.wpq_drop_every_nth {
+            if self.fault_stats.wpq_accepts.is_multiple_of(n) {
+                self.fault_stats.wpq_dropped.push(cl.0);
+                return;
+            }
+        }
+        self.apply_persist(cl);
+    }
+
     // ----- timing helpers ---------------------------------------------
 
     fn ht_extra(&self, socket: usize, core: usize) -> Cycles {
@@ -345,7 +370,7 @@ impl Machine {
             match self.region_of(cl) {
                 MemRegion::Pm => {
                     self.pm.write(now, cl);
-                    self.apply_persist(cl);
+                    self.persist_accept(cl);
                     self.emit(TraceEvent::WriteBack { line: cl, at: now });
                 }
                 MemRegion::Dram => {
@@ -653,7 +678,7 @@ impl Machine {
             MemRegion::Pm => {
                 self.overlay_write(addr, data);
                 for cl in simbase::addr::cachelines_covering(addr, len) {
-                    self.apply_persist(cl);
+                    self.persist_accept(cl);
                 }
             }
             MemRegion::Dram => self.dram_image.write(addr, data),
@@ -704,7 +729,7 @@ impl Machine {
                 MemRegion::Pm => {
                     let ticket = self.pm.write(now, cl);
                     accept = Some(ticket.accept + self.remote_write_extra(socket));
-                    self.apply_persist(cl);
+                    self.persist_accept(cl);
                 }
                 MemRegion::Dram => {
                     let (a, _) = self.dram.write(now, cl);
@@ -863,6 +888,33 @@ impl Machine {
         }
         self.overlay.clear();
         self.dram_image.clear();
+        // Armed ADR-violating faults fire now: lines still in the WPQ or
+        // the on-DIMM write buffers at the instant of failure lose power
+        // mid media-write, and the interrupted cells read back as
+        // uncorrectable errors after reboot.
+        let mut victims: Vec<u64> = Vec::new();
+        if let Some(pd) = self.faults.xpbuffer_partial_drain {
+            let mut rng = SplitMix64::new(pd.seed);
+            for xp in self.pm.buffered_xplines() {
+                if rng.gen_bool(pd.drop_fraction) {
+                    victims.extend((xp..xp + XPLINE_BYTES).step_by(CACHELINE_BYTES as usize));
+                }
+            }
+        }
+        if let Some(pd) = self.faults.wpq_partial_drain {
+            let mut rng = SplitMix64::new(pd.seed);
+            for cl in self.pm.undrained_lines(now) {
+                if rng.gen_bool(pd.drop_fraction) {
+                    victims.push(cl);
+                }
+            }
+        }
+        victims.sort_unstable();
+        victims.dedup();
+        for cl in victims {
+            self.poison_line(Addr(cl));
+            self.fault_stats.crash_poisoned.push(cl);
+        }
         self.pm.power_fail_flush(now);
         self.dram.reset_all();
         self.inflight_fills.clear();
@@ -894,6 +946,126 @@ impl Machine {
         for t in &mut self.threads {
             t.outstanding_accept = 0;
         }
+    }
+
+    // ----- fault injection, UE/poison, crash images -------------------
+
+    /// Arms (or, with [`FaultHooks::none`], disarms) the hardware fault
+    /// hooks. Replaces any previously armed set; counters in
+    /// [`Machine::fault_stats`] keep accumulating.
+    pub fn arm_faults(&mut self, hooks: FaultHooks) {
+        self.faults = hooks;
+    }
+
+    /// Returns the armed fault hooks.
+    pub fn fault_hooks(&self) -> &FaultHooks {
+        &self.faults
+    }
+
+    /// Returns what the armed faults have done so far.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Injects an uncorrectable media error into the cacheline containing
+    /// `addr`: the stored bytes are garbled and subsequent checked loads
+    /// ([`Machine::load_checked`]) report [`ReadError::Poisoned`] until
+    /// the line is overwritten or scrubbed.
+    pub fn poison_line(&mut self, addr: Addr) {
+        let cl = addr.cacheline();
+        self.pm.poison_line(cl);
+        self.overlay.remove(&cl.0);
+        self.persistent.write(cl, &[POISON_FILL; 64]);
+    }
+
+    /// Returns `true` if the cacheline containing `addr` is poisoned.
+    pub fn line_poisoned(&self, addr: Addr) -> bool {
+        self.region_of(addr) == MemRegion::Pm && self.pm.line_poisoned(addr.cacheline())
+    }
+
+    /// Like [`Machine::load`], but surfaces uncorrectable media errors as
+    /// a typed error instead of silently returning garbled bytes. The
+    /// demand access still happens (the DIMM detects the UE while
+    /// servicing the read), so timing and counters advance either way.
+    pub fn load_checked(
+        &mut self,
+        tid: ThreadId,
+        addr: Addr,
+        buf: &mut [u8],
+    ) -> Result<(), ReadError> {
+        self.load(tid, addr, buf);
+        for cl in simbase::addr::cachelines_covering(addr, buf.len() as u64) {
+            if self.line_poisoned(cl) {
+                return Err(ReadError::Poisoned { line: cl.0 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Address-range scrub (ARS) over `[start, start + len)`: scans for
+    /// poisoned lines and repairs them by zero-filling — the original data
+    /// is gone; the scrub restores the *addresses* to usability so
+    /// software can rebuild from redundancy.
+    pub fn scrub_pm(&mut self, start: Addr, len: u64) -> ScrubOutcome {
+        let repaired = self.pm.scrub_range(start, len);
+        for &cl in &repaired {
+            self.overlay.remove(&cl);
+            self.persistent.write(Addr(cl), &[0u8; 64]);
+        }
+        ScrubOutcome {
+            lines_scanned: len.div_ceil(CACHELINE_BYTES),
+            repaired,
+        }
+    }
+
+    /// Captures the functional PM state plus the crash-uncertain set: the
+    /// overlay entries, whose data has not been accepted into the ADR
+    /// domain. Every subset of the uncertain set surviving is a legal
+    /// post-crash state at this instant (see [`CrashImage`]).
+    pub fn capture_crash_image(&self) -> CrashImage {
+        let mut uncertain: Vec<(u64, [u8; 64])> = self
+            .overlay
+            .iter()
+            .map(|(&cl, &bytes)| (cl, bytes))
+            .collect();
+        uncertain.sort_unstable_by_key(|&(cl, _)| cl);
+        CrashImage {
+            cfg: self.cfg.clone(),
+            persistent: self.persistent.clone(),
+            uncertain,
+            pm_next: self.pm_next,
+            dram_next: self.dram_next,
+            poisoned: self.pm.poisoned_lines(),
+        }
+    }
+
+    /// Materializes a fresh post-crash machine from `image`, applying the
+    /// uncertain lines selected by `survivors` to the persistent image
+    /// (the rest are lost). Caches, buffers, and clocks start cold; DRAM
+    /// contents are lost; poisoned lines are reinstated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `survivors.len() != image.uncertain.len()`.
+    pub fn from_crash_image(image: &CrashImage, survivors: &[bool]) -> Machine {
+        assert_eq!(
+            survivors.len(),
+            image.uncertain.len(),
+            "one survival bit per uncertain line"
+        );
+        let mut m = Machine::new(image.cfg.clone());
+        m.persistent = image.persistent.clone();
+        m.pm_next = image.pm_next;
+        m.dram_next = image.dram_next;
+        for (&survives, &(cl, bytes)) in survivors.iter().zip(image.uncertain.iter()) {
+            if survives {
+                m.persistent.write(Addr(cl), &bytes);
+            }
+        }
+        for &cl in &image.poisoned {
+            m.poison_line(Addr(cl));
+        }
+        m
     }
 
     /// Directly writes the persistent image, bypassing all timing (test
@@ -1222,6 +1394,124 @@ mod tests {
         }
         m.power_fail(CrashPolicy::LoseUnflushed);
         assert_eq!(m.peek_u64(a), 123, "evicted dirty line reached PM");
+    }
+
+    #[test]
+    fn wpq_drop_fault_loses_a_flushed_line() {
+        use crate::fault::FaultHooks;
+        let mut m = g1();
+        let t = m.spawn(0);
+        m.arm_faults(FaultHooks {
+            wpq_drop_every_nth: Some(2),
+            ..FaultHooks::none()
+        });
+        let a = m.alloc_pm(128, 64);
+        let b = Addr(a.0 + 64);
+        m.store_u64(t, a, 1);
+        m.clwb(t, a); // accept #1: persists
+        m.store_u64(t, b, 2);
+        m.clwb(t, b); // accept #2: dropped
+        m.sfence(t);
+        assert_eq!(m.fault_stats().wpq_dropped, vec![b.0]);
+        // Before the crash the data is still visible (it sits in the
+        // overlay, exactly like an unflushed store).
+        assert_eq!(m.peek_u64(b), 2);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        assert_eq!(m.peek_u64(a), 1, "accepted line survives");
+        assert_eq!(m.peek_u64(b), 0, "dropped acceptance is lost");
+    }
+
+    #[test]
+    fn poisoned_line_garbles_and_checked_load_reports_it() {
+        use crate::fault::ReadError;
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(128, 64);
+        m.store_u64(t, a, 77);
+        m.clwb(t, a);
+        m.sfence(t);
+        m.poison_line(a);
+        assert!(m.line_poisoned(a));
+        assert_ne!(m.peek_u64(a), 77, "plain reads see garble");
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            m.load_checked(t, a, &mut buf),
+            Err(ReadError::Poisoned { line: a.0 })
+        );
+        // The neighbouring line is unaffected.
+        let b = Addr(a.0 + 64);
+        assert_eq!(m.load_checked(t, b, &mut buf), Ok(()));
+    }
+
+    #[test]
+    fn scrub_repairs_poison_and_zero_fills() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(64, 64);
+        m.store_u64(t, a, 5);
+        m.clwb(t, a);
+        m.sfence(t);
+        m.poison_line(a);
+        let outcome = m.scrub_pm(a, 64);
+        assert_eq!(outcome.repaired, vec![a.0]);
+        assert_eq!(outcome.lines_scanned, 1);
+        assert!(!m.line_poisoned(a));
+        assert_eq!(m.peek_u64(a), 0, "repair zero-fills; the data is gone");
+        // Overwriting also repairs (write-in-place).
+        m.poison_line(a);
+        m.store_u64(t, a, 9);
+        m.clwb(t, a);
+        m.sfence(t);
+        assert!(!m.line_poisoned(a));
+        assert_eq!(m.peek_u64(a), 9);
+    }
+
+    #[test]
+    fn xpbuffer_partial_drain_poisons_buffered_lines() {
+        use crate::fault::{FaultHooks, PartialDrain};
+        let mut m = g2();
+        let t = m.spawn(0);
+        m.arm_faults(FaultHooks {
+            xpbuffer_partial_drain: Some(PartialDrain {
+                drop_fraction: 1.0,
+                seed: 7,
+            }),
+            ..FaultHooks::none()
+        });
+        let a = m.alloc_pm(256, 256);
+        m.store_u64(t, a, 42);
+        m.clwb(t, a);
+        m.sfence(t); // accepted: the line now sits in the on-DIMM WCB
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        assert!(
+            !m.fault_stats().crash_poisoned.is_empty(),
+            "the buffered XPLine was interrupted mid media-write"
+        );
+        assert!(m.line_poisoned(a));
+        assert_ne!(m.peek_u64(a), 42, "ADR promise violated by the fault");
+    }
+
+    #[test]
+    fn crash_image_round_trip_enumerates_survivor_subsets() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(128, 64);
+        let b = Addr(a.0 + 64);
+        m.store_u64(t, a, 10);
+        m.clwb(t, a);
+        m.sfence(t);
+        m.store_u64(t, b, 20); // never flushed: uncertain
+        let img = m.capture_crash_image();
+        assert_eq!(img.uncertain_lines(), vec![b.0]);
+        let lost = Machine::from_crash_image(&img, &[false]);
+        assert_eq!(lost.peek_u64(a), 10);
+        assert_eq!(lost.peek_u64(b), 0);
+        let kept = Machine::from_crash_image(&img, &[true]);
+        assert_eq!(kept.peek_u64(b), 20);
+        // The materialized machine is runnable.
+        let mut kept = kept;
+        let t2 = kept.spawn(0);
+        assert_eq!(kept.load_u64(t2, b), 20);
     }
 
     #[test]

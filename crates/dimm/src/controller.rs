@@ -132,6 +132,9 @@ impl DimmController {
     /// delay the returned accept time.
     pub fn write_cacheline(&mut self, now: Cycles, addr: Addr) -> Cycles {
         self.maybe_sweep(now);
+        // Write-in-place repair: overwriting a poisoned line re-programs
+        // its cells, clearing the UE.
+        self.media.clear_poison(addr);
         if self.rb.take(addr.xpline()).is_some() {
             // §3.3: the write updates the XPLine in the read buffer and the
             // line migrates to the write buffer with its backing intact.
@@ -174,6 +177,37 @@ impl DimmController {
         for evicted in self.wb.drain_all() {
             self.handle_eviction(now, Some(evicted));
         }
+    }
+
+    /// Returns the XPLines currently resident in the write-combining
+    /// buffer, sorted by address (the ADR-domain set a crash-time fault
+    /// can interrupt mid-drain).
+    pub fn resident_write_xplines(&self) -> Vec<Addr> {
+        self.wb.resident_xplines()
+    }
+
+    // ----- uncorrectable errors (UE/poison) ---------------------------
+
+    /// Marks the cacheline containing `addr` as an uncorrectable error on
+    /// this DIMM's media.
+    pub fn poison_line(&mut self, addr: Addr) {
+        self.media.inject_poison(addr);
+    }
+
+    /// Returns `true` if the cacheline containing `addr` is poisoned.
+    pub fn line_poisoned(&self, addr: Addr) -> bool {
+        self.media.is_poisoned(addr)
+    }
+
+    /// Returns all poisoned cacheline addresses on this DIMM, sorted.
+    pub fn poisoned_lines(&self) -> Vec<u64> {
+        self.media.poisoned_lines()
+    }
+
+    /// Address-range scrub: clears and returns poisoned lines within
+    /// `[start, start + len)` on this DIMM.
+    pub fn scrub_range(&mut self, start: Addr, len: u64) -> Vec<u64> {
+        self.media.scrub_range(start, len)
     }
 
     /// Returns a consistent statistics snapshot.
@@ -378,6 +412,32 @@ mod tests {
         d.flush_all(100);
         assert_eq!(d.write_buffer_len(), 0);
         assert!(d.media_counters().write >= 3 * XPLINE_BYTES);
+    }
+
+    #[test]
+    fn write_repairs_poisoned_line() {
+        let mut d = dimm_g2();
+        d.poison_line(Addr(64));
+        assert!(d.line_poisoned(Addr(64)));
+        d.write_cacheline(0, Addr(64));
+        assert!(
+            !d.line_poisoned(Addr(64)),
+            "overwrite re-programs the cells"
+        );
+        // A different line in the same XPLine stays poisoned.
+        d.poison_line(Addr(128));
+        d.write_cacheline(10, Addr(192));
+        assert!(d.line_poisoned(Addr(128)));
+    }
+
+    #[test]
+    fn resident_write_xplines_reports_wcb_contents() {
+        let mut d = dimm_g2();
+        d.write_cacheline(0, Addr(512));
+        d.write_cacheline(0, Addr(0));
+        assert_eq!(d.resident_write_xplines(), vec![Addr(0), Addr(512)]);
+        d.flush_all(100);
+        assert!(d.resident_write_xplines().is_empty());
     }
 
     #[test]

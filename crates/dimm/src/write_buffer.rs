@@ -218,6 +218,15 @@ impl WriteBuffer {
         flushed
     }
 
+    /// Returns the XPLine addresses currently buffered, sorted by address
+    /// (fault injection surveys the ADR-resident set this way; entry order
+    /// is occupancy order and would leak `swap_remove` history).
+    pub fn resident_xplines(&self) -> Vec<Addr> {
+        let mut lines: Vec<Addr> = self.entries.iter().map(|e| e.xpline).collect();
+        lines.sort_unstable_by_key(|a| a.0);
+        lines
+    }
+
     /// Returns the number of occupied slots.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -349,6 +358,19 @@ mod tests {
         assert!(
             (0.3..0.7).contains(&hit_ratio),
             "expected graceful decay near cap/wss = 0.5, got {hit_ratio}"
+        );
+    }
+
+    #[test]
+    fn resident_xplines_are_sorted() {
+        let mut b = wb(4);
+        b.write(0, Addr(512));
+        b.write(0, Addr(0));
+        b.write(0, Addr(256));
+        assert_eq!(
+            b.resident_xplines(),
+            vec![Addr(0), Addr(256), Addr(512)],
+            "sorted regardless of insertion order"
         );
     }
 

@@ -3,13 +3,18 @@
 //! Usage:
 //!
 //! ```text
-//! repro [e0|e1|..|e9|table1|mixes|pmcheck|all] [--full] [--out DIR] [--gen g1|g2|both]
+//! repro [e0|e1|..|e9|table1|mixes|pmcheck|faultsim|all] \
+//!       [--full | --smoke] [--out DIR] [--gen g1|g2|both]
 //! ```
 //!
 //! Prints each figure as an aligned table and writes a CSV per panel into
 //! the output directory (default `results/`). `--full` runs closer to
 //! paper scale (larger working sets and op counts; minutes instead of
-//! seconds).
+//! seconds); `--smoke` shrinks the validation suites (`pmcheck`,
+//! `faultsim`) to CI scale.
+//!
+//! Exit codes: 0 on success, 1 when a run fails or a cross-validation
+//! (`pmcheck`, `faultsim`) finds a mismatch, 2 on bad arguments.
 
 #![forbid(unsafe_code)]
 
@@ -21,14 +26,15 @@ use experiments::common::ExpResult;
 use experiments::e0_bandwidth;
 use experiments::ext_mixes;
 use experiments::{
-    e10_pmcheck, e1_read_buffer, e2_prefetch, e3_write_amp, e4_wb_hit, e5_rap, e6_latency, e7_cceh,
-    e8_btree, e9_redirect, table1,
+    e10_pmcheck, e11_faultsim, e1_read_buffer, e2_prefetch, e3_write_amp, e4_wb_hit, e5_rap,
+    e6_latency, e7_cceh, e8_btree, e9_redirect, table1,
 };
 use optane_core::Generation;
 
 struct Options {
     which: Vec<String>,
     full: bool,
+    smoke: bool,
     out: PathBuf,
     gens: Vec<Generation>,
 }
@@ -36,12 +42,14 @@ struct Options {
 fn parse_args() -> Options {
     let mut which = Vec::new();
     let mut full = false;
+    let mut smoke = false;
     let mut out = PathBuf::from("results");
     let mut gens = vec![Generation::G1, Generation::G2];
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => full = true,
+            "--smoke" => smoke = true,
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a directory");
@@ -62,8 +70,8 @@ fn parse_args() -> Options {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [e0|e1|..|e9|table1|mixes|pmcheck|all] \
-                     [--full] [--out DIR] [--gen g1|g2|both]"
+                    "usage: repro [e0|e1|..|e9|table1|mixes|pmcheck|faultsim|all] \
+                     [--full | --smoke] [--out DIR] [--gen g1|g2|both]"
                 );
                 std::process::exit(0);
             }
@@ -73,11 +81,27 @@ fn parse_args() -> Options {
     if which.is_empty() {
         which.push("all".to_string());
     }
+    if full && smoke {
+        eprintln!("--full and --smoke are mutually exclusive");
+        std::process::exit(2);
+    }
     Options {
         which,
         full,
+        smoke,
         out,
         gens,
+    }
+}
+
+/// Unwraps an experiment result or exits with code 1 and the typed error.
+fn run_or_die<T>(name: &str, r: Result<T, experiments::common::ExpError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -107,6 +131,9 @@ fn main() {
     let wants = |name: &str| run_all || opts.which.iter().any(|w| w == name);
     let max_wss: u64 = if opts.full { 1 << 30 } else { 64 << 20 };
     let t_start = std::time::Instant::now();
+    // Set when a cross-validation suite reports a mismatch; the process
+    // exits 1 so CI catches it.
+    let mut validation_failed = false;
 
     if wants("e0") {
         for &gen in &opts.gens {
@@ -152,21 +179,27 @@ fn main() {
     }
     if wants("e5") {
         for &gen in &opts.gens {
-            let r = e5_rap::run(&e5_rap::E5Params {
-                generation: gen,
-                iters: if opts.full { 20_000 } else { 3000 },
-                ..Default::default()
-            });
+            let r = run_or_die(
+                "e5",
+                e5_rap::run(&e5_rap::E5Params {
+                    generation: gen,
+                    iters: if opts.full { 20_000 } else { 3000 },
+                    ..Default::default()
+                }),
+            );
             emit(&opts.out, &r);
         }
     }
     if wants("e6") {
         for &gen in &opts.gens {
-            let r = e6_latency::run(&e6_latency::E6Params {
-                generation: gen,
-                wss_points: log_sweep(4 << 10, max_wss, 1),
-                ..Default::default()
-            });
+            let r = run_or_die(
+                "e6",
+                e6_latency::run(&e6_latency::E6Params {
+                    generation: gen,
+                    wss_points: log_sweep(4 << 10, max_wss, 1),
+                    ..Default::default()
+                }),
+            );
             emit(&opts.out, &r);
         }
     }
@@ -180,10 +213,13 @@ fn main() {
         let _ = fs::write(opts.out.join("table1.txt"), format!("{r}"));
     }
     if wants("e7") {
-        let r = e7_cceh::run(&e7_cceh::E7Params {
-            inserts_per_worker: if opts.full { 200_000 } else { 20_000 },
-            ..Default::default()
-        });
+        let r = run_or_die(
+            "e7",
+            e7_cceh::run(&e7_cceh::E7Params {
+                inserts_per_worker: if opts.full { 200_000 } else { 20_000 },
+                ..Default::default()
+            }),
+        );
         emit(&opts.out, &r);
     }
     if wants("e8") {
@@ -211,8 +247,20 @@ fn main() {
         for &gen in &opts.gens {
             let outcomes = e10_pmcheck::run(&e10_pmcheck::E10Params {
                 generation: gen,
-                cceh_inserts: if opts.full { 5000 } else { 400 },
-                btree_inserts: if opts.full { 2000 } else { 300 },
+                cceh_inserts: if opts.full {
+                    5000
+                } else if opts.smoke {
+                    150
+                } else {
+                    400
+                },
+                btree_inserts: if opts.full {
+                    2000
+                } else if opts.smoke {
+                    120
+                } else {
+                    300
+                },
                 ..Default::default()
             });
             println!("# pmcheck: persist-ordering analysis, {gen}");
@@ -240,6 +288,44 @@ fn main() {
                 "MISMATCH between checker verdicts and crash outcomes"
             }
         );
+        validation_failed |= !all_validated;
+    }
+    if wants("faultsim") {
+        let mut all_validated = true;
+        for &gen in &opts.gens {
+            let params = if opts.smoke {
+                e11_faultsim::E11Params::smoke(gen)
+            } else {
+                e11_faultsim::E11Params {
+                    generation: gen,
+                    cceh_inserts: if opts.full { 2000 } else { 240 },
+                    btree_inserts: if opts.full { 1000 } else { 160 },
+                    ..Default::default()
+                }
+            };
+            let outcomes = run_or_die("faultsim", e11_faultsim::run(&params));
+            println!("# faultsim: fault injection + crash-state exploration, {gen}");
+            for o in &outcomes {
+                println!("{}", o.summary());
+                all_validated &= o.validated;
+            }
+            let json = e11_faultsim::to_json(&outcomes);
+            let path = opts
+                .out
+                .join(format!("faultsim_{}.json", gen.to_string().to_lowercase()));
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        println!(
+            "faultsim cross-validation: {}",
+            if all_validated {
+                "all faultsim verdicts agree with crash-state exploration"
+            } else {
+                "MISMATCH between checker verdicts and explored crash states"
+            }
+        );
+        validation_failed |= !all_validated;
     }
     if wants("e9") {
         for &gen in &opts.gens {
@@ -265,4 +351,7 @@ fn main() {
         t_start.elapsed().as_secs_f64(),
         opts.out.display()
     );
+    if validation_failed {
+        std::process::exit(1);
+    }
 }

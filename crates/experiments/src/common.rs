@@ -1,5 +1,27 @@
 //! Shared experiment infrastructure: result containers, table rendering,
-//! CSV output, and scale handling.
+//! CSV output, scale handling, and the experiment error type.
+
+use std::fmt;
+
+/// A typed experiment failure: the run could not produce results. Runner
+/// `run` functions return this instead of panicking so the `repro` binary
+/// can report the problem and exit nonzero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpError {
+    /// The parameter set cannot drive a meaningful run (empty sweep,
+    /// zero iteration count, …).
+    BadParams(String),
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpError::BadParams(why) => write!(f, "bad experiment parameters: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {}
 
 /// One labelled curve: `(x, y)` points.
 #[derive(Debug, Clone, PartialEq)]
@@ -235,6 +257,15 @@ mod tests {
         assert_eq!(format_bytes(16 << 20), "16MB");
         assert_eq!(format_bytes(1 << 30), "1GB");
         assert_eq!(format_bytes(100), "100B");
+    }
+
+    #[test]
+    fn exp_error_displays_the_reason() {
+        let e = ExpError::BadParams("iters must be nonzero".into());
+        assert_eq!(
+            e.to_string(),
+            "bad experiment parameters: iters must be nonzero"
+        );
     }
 
     #[test]

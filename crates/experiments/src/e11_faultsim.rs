@@ -1,0 +1,847 @@
+//! E11 / `repro faultsim`: layered fault injection plus systematic
+//! crash-state exploration, cross-validated against `pmcheck`.
+//!
+//! Where E10 validates the persist-ordering checker against a *single*
+//! simulated crash (`power_fail(LoseUnflushed)`), E11 validates it
+//! against the whole legal crash-state space: [`faultsim::Explorer`]
+//! enumerates (or samples) every subset of the ADR-uncertain lines at the
+//! persist boundary, materializes a post-crash machine per subset, and
+//! runs each data structure's own recovery path under an invariant
+//! oracle. The checker's verdict must agree with that ground truth:
+//!
+//! - **clean** workloads: zero error findings, and *no* crash state loses
+//!   an acknowledged key;
+//! - **missing-flush** workloads (software-layer [`ElisionPlan`]): the
+//!   checker flags the elided flushes, some crash state really loses
+//!   acknowledged data, and the all-survived state loses none;
+//! - **redo-logged FAST-FAIR**: the deferred node writebacks are flagged
+//!   (the lint's documented blind spot) yet *every* crash state recovers
+//!   completely via log replay — and replaying the committed log twice is
+//!   idempotent;
+//! - **hardware faults** (WPQ drop, XPBuffer partial drain, media
+//!   poison): the instruction stream is flawless, so the checker is
+//!   structurally blind — `pmcheck` reports clean while the explorer
+//!   proves data loss. Uncorrectable media errors must surface as typed
+//!   [`optane_core::ReadError`]s, and an address-range scrub must repair
+//!   the poisoned lines.
+
+use cpucache::PrefetchConfig;
+use faultsim::{
+    ElisionPlan, Exploration, Explorer, ExplorerConfig, FaultRegistry, FaultyEnv, MediaPoisonPlan,
+    StateVerdict, WpqDropPlan, XpBufferPartialDrainPlan,
+};
+use optane_core::{CrashPolicy, Generation, Machine, MachineConfig};
+use pmcheck::{DiagKind, PmCheck, Report};
+use pmds::{Cceh, ChaseList, FastFair, UpdateStrategy, WriteKind};
+use pmem::{PersistMode, PmemEnv, SimEnv};
+use simbase::{Addr, XPLINE_BYTES};
+use workloads::AccessOrder;
+
+use crate::common::ExpError;
+
+/// Parameters for E11.
+#[derive(Debug, Clone)]
+pub struct E11Params {
+    /// Which generation to model.
+    pub generation: Generation,
+    /// Keys inserted into CCEH per run.
+    pub cceh_inserts: u64,
+    /// CCEH initial directory depth (kept small: recovery scans every
+    /// segment once per explored crash state).
+    pub cceh_depth: u64,
+    /// Keys inserted into FAST-FAIR per run.
+    pub btree_inserts: u64,
+    /// Pointer-chase elements.
+    pub chase_elements: u64,
+    /// Software fault knob: drop every Nth flush in the elision runs.
+    pub drop_nth_flush: u64,
+    /// Hardware fault knob: the iMC silently discards every Nth accepted
+    /// PM write in the WPQ-drop run.
+    pub wpq_drop_nth: u64,
+    /// Crash-state exploration strategy.
+    pub explorer: ExplorerConfig,
+}
+
+impl Default for E11Params {
+    fn default() -> Self {
+        E11Params {
+            generation: Generation::G1,
+            cceh_inserts: 240,
+            cceh_depth: 6,
+            btree_inserts: 160,
+            chase_elements: 32,
+            drop_nth_flush: 5,
+            wpq_drop_nth: 7,
+            explorer: ExplorerConfig {
+                max_exhaustive_lines: 8,
+                samples: 32,
+                seed: 0xFA57_0001,
+            },
+        }
+    }
+}
+
+impl E11Params {
+    /// A scaled-down parameter set for CI smoke runs and unit tests:
+    /// seconds, not minutes, with every workload still exercised.
+    pub fn smoke(generation: Generation) -> Self {
+        E11Params {
+            generation,
+            cceh_inserts: 96,
+            cceh_depth: 4,
+            btree_inserts: 64,
+            chase_elements: 16,
+            drop_nth_flush: 5,
+            wpq_drop_nth: 7,
+            explorer: ExplorerConfig {
+                max_exhaustive_lines: 6,
+                samples: 12,
+                seed: 0xFA57_0001,
+            },
+        }
+    }
+}
+
+/// One workload's checker report, exploration, and the cross-validation
+/// verdict between them.
+#[derive(Debug, Clone)]
+pub struct FaultsimOutcome {
+    /// Workload label.
+    pub name: String,
+    /// What the run demonstrates.
+    pub expectation: String,
+    /// The armed fault schedule, one deterministic line per plan.
+    pub fault_schedule: Vec<String>,
+    /// The checker's report (taken at the persist boundary).
+    pub report: Report,
+    /// The explorer's ground truth over the crash-state space.
+    pub exploration: Exploration,
+    /// Whether the checker's verdict agrees with the explorer.
+    pub validated: bool,
+}
+
+impl FaultsimOutcome {
+    /// One summary line for the terminal.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:28} errors={:<3} states={:<4} failing={:<3} lossy={:<4} max_lost={:<4} -> {}",
+            self.name,
+            self.report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity() == pmcheck::Severity::Error)
+                .count(),
+            self.exploration.states_explored,
+            self.exploration.failing_states,
+            self.exploration.lossy_states,
+            self.exploration.max_lost_keys,
+            if self.validated {
+                "VALIDATED"
+            } else {
+                "MISMATCH"
+            }
+        )
+    }
+}
+
+fn machine(gen: Generation) -> Machine {
+    Machine::new(MachineConfig::for_generation(
+        gen,
+        PrefetchConfig::none(),
+        1,
+    ))
+}
+
+// ----- recovery oracles ----------------------------------------------
+
+/// CCEH recovery oracle: recover from the directory root and probe every
+/// inserted key. A key that vanished is *lost*; a key answering with the
+/// wrong value is an invariant violation.
+fn cceh_verdict(m: &mut Machine, root: Addr, inserts: u64) -> StateVerdict {
+    let t = m.spawn(0);
+    let mut env = SimEnv::new(m, t);
+    let table = Cceh::recover(&mut env, root);
+    let mut lost = 0u64;
+    let mut wrong = 0u64;
+    for k in 1..=inserts {
+        match table.get(&mut env, k) {
+            Some(v) if v == k + 1000 => {}
+            None => lost += 1,
+            Some(_) => wrong += 1,
+        }
+    }
+    StateVerdict {
+        ok: wrong == 0,
+        lost_keys: lost,
+        detail: format!("recovered {}/{inserts} keys, {wrong} wrong", inserts - lost),
+    }
+}
+
+/// CCEH recovery oracle in the presence of uncorrectable media errors:
+/// every poisoned line must surface as a typed read error (no silent
+/// garbage), and recovery must not return wrong values for intact keys.
+fn cceh_poison_verdict(
+    m: &mut Machine,
+    root: Addr,
+    inserts: u64,
+    poisoned: &[u64],
+) -> StateVerdict {
+    let t = m.spawn(0);
+    if m.line_poisoned(root) {
+        // The directory header is unreadable; recovery cannot even learn
+        // the global depth. Detecting that (rather than dereferencing
+        // garbage) is the correct behavior.
+        return StateVerdict {
+            ok: true,
+            lost_keys: inserts,
+            detail: "directory header poisoned; total loss detected".into(),
+        };
+    }
+    let mut env = SimEnv::new(m, t);
+    let mut undetected = 0u64;
+    for &line in poisoned {
+        let mut buf = [0u8; 8];
+        if env.try_load(Addr(line), &mut buf).is_ok() {
+            undetected += 1;
+        }
+    }
+    let table = Cceh::recover(&mut env, root);
+    let mut lost = 0u64;
+    let mut wrong = 0u64;
+    for k in 1..=inserts {
+        match table.get(&mut env, k) {
+            Some(v) if v == k + 1000 => {}
+            None => lost += 1,
+            Some(_) => wrong += 1,
+        }
+    }
+    StateVerdict {
+        ok: wrong == 0 && undetected == 0,
+        lost_keys: lost,
+        detail: format!(
+            "recovered {}/{inserts} keys, {wrong} wrong, {undetected}/{} UEs undetected",
+            inserts - lost,
+            poisoned.len()
+        ),
+    }
+}
+
+/// The FAST-FAIR key pattern shared with E10: non-sequential inserts that
+/// exercise the shift paths.
+fn fastfair_key(k: u64, inserts: u64) -> u64 {
+    (k * 7919) % (inserts * 8) + 1
+}
+
+fn fastfair_missing<E: PmemEnv>(tree: &FastFair, env: &mut E, inserts: u64) -> u64 {
+    (1..=inserts)
+        .filter(|&k| {
+            let key = fastfair_key(k, inserts);
+            tree.get(env, key) != Some(key * 2)
+        })
+        .count() as u64
+}
+
+/// FAST-FAIR (redo-logged) recovery oracle: replay the committed log,
+/// count losses, then replay it *again* — recovery must be idempotent —
+/// and check the leaf chain stays sorted.
+fn fastfair_verdict(
+    m: &mut Machine,
+    meta: Addr,
+    log_base: Option<Addr>,
+    inserts: u64,
+) -> StateVerdict {
+    let t = m.spawn(0);
+    let mut env = SimEnv::new(m, t);
+    let tree = FastFair::recover(&mut env, meta, UpdateStrategy::RedoLog, log_base);
+    let lost = fastfair_missing(&tree, &mut env, inserts);
+    let tree2 = FastFair::recover(&mut env, meta, UpdateStrategy::RedoLog, log_base);
+    let lost_after_replay = fastfair_missing(&tree2, &mut env, inserts);
+    let sorted = tree2.check_sorted(&mut env);
+    StateVerdict {
+        ok: sorted && lost_after_replay == lost,
+        lost_keys: lost,
+        detail: format!(
+            "lost {lost} keys (after second replay: {lost_after_replay}), sorted={sorted}"
+        ),
+    }
+}
+
+/// Pointer-chase oracle: walk the ring once; every pad token must be
+/// either the acknowledged new token or the previous lap's token (a
+/// cacheline is atomic — anything else is torn), and the ring itself must
+/// be intact.
+fn chase_verdict(
+    m: &mut Machine,
+    head: Addr,
+    base: Addr,
+    elements: u64,
+    old: u64,
+    new: u64,
+) -> StateVerdict {
+    let t = m.spawn(0);
+    let mut env = SimEnv::new(m, t);
+    let wss = elements * XPLINE_BYTES;
+    let mut cur = head;
+    let mut stale = 0u64;
+    let mut torn = 0u64;
+    let mut broken = false;
+    for _ in 0..elements {
+        let token = env.load_u64(cur.add_cachelines(1));
+        if token == old {
+            stale += 1;
+        } else if token != new {
+            torn += 1;
+        }
+        let next = env.load_u64(cur);
+        if next < base.0 || next >= base.0 + wss || !(next - base.0).is_multiple_of(XPLINE_BYTES) {
+            broken = true;
+            break;
+        }
+        cur = Addr(next);
+    }
+    broken |= cur != head;
+    StateVerdict {
+        ok: !broken && torn == 0,
+        lost_keys: stale,
+        detail: format!(
+            "stale={stale} torn={torn} ring={}",
+            if broken { "BROKEN" } else { "intact" }
+        ),
+    }
+}
+
+/// Pointer-chase oracle under media poison: the UEs must be *detected*
+/// (typed errors), an address-range scrub must repair exactly the
+/// poisoned lines, and the ring must stay walkable afterwards (scrubbed
+/// pads read back as zero — the data is gone, the addresses are usable).
+fn chase_poison_verdict(
+    m: &mut Machine,
+    head: Addr,
+    base: Addr,
+    elements: u64,
+    token: u64,
+    poisoned: &[u64],
+) -> StateVerdict {
+    let t = m.spawn(0);
+    let mut undetected = 0u64;
+    {
+        let mut env = SimEnv::new(&mut *m, t);
+        for &line in poisoned {
+            let mut buf = [0u8; 8];
+            if env.try_load(Addr(line), &mut buf).is_ok() {
+                undetected += 1;
+            }
+        }
+    }
+    let scrub = m.scrub_pm(base, elements * XPLINE_BYTES);
+    let repaired_exactly = scrub.repaired == poisoned;
+    let mut env = SimEnv::new(m, t);
+    let wss = elements * XPLINE_BYTES;
+    let mut cur = head;
+    let mut scrubbed = 0u64;
+    let mut torn = 0u64;
+    let mut broken = false;
+    for _ in 0..elements {
+        let pad = env.load_u64(cur.add_cachelines(1));
+        if pad == 0 {
+            scrubbed += 1;
+        } else if pad != token {
+            torn += 1;
+        }
+        let next = env.load_u64(cur);
+        if next < base.0 || next >= base.0 + wss || !(next - base.0).is_multiple_of(XPLINE_BYTES) {
+            broken = true;
+            break;
+        }
+        cur = Addr(next);
+    }
+    broken |= cur != head;
+    StateVerdict {
+        ok: undetected == 0 && repaired_exactly && !broken && torn == 0,
+        lost_keys: scrubbed,
+        detail: format!(
+            "{}/{} UEs detected, scrub repaired {} lines, {scrubbed} pads zeroed, ring={}",
+            poisoned.len() as u64 - undetected,
+            poisoned.len(),
+            scrub.repaired.len(),
+            if broken { "BROKEN" } else { "intact" }
+        ),
+    }
+}
+
+// ----- workloads ------------------------------------------------------
+
+/// Clean CCEH: a disciplined workload must get a clean verdict *and* a
+/// loss-free exploration — no crash state loses an acknowledged key.
+fn run_cceh_clean(p: &E11Params) -> FaultsimOutcome {
+    let mut m = machine(p.generation);
+    let t = m.spawn(0);
+    let check = PmCheck::attach_named(&mut m, "cceh-clean");
+    let root = {
+        let mut env = SimEnv::new(&mut m, t);
+        let mut table = Cceh::create(&mut env, p.cceh_depth);
+        for k in 1..=p.cceh_inserts {
+            table.insert(&mut env, k, k + 1000);
+        }
+        table.root()
+    };
+    let image = m.capture_crash_image();
+    let report = check.finish(&mut m);
+    let inserts = p.cceh_inserts;
+    let exploration = Explorer::new(p.explorer).explore("cceh-clean", &image, |cm, _| {
+        cceh_verdict(cm, root, inserts)
+    });
+    let validated =
+        report.is_clean() && exploration.all_states_ok() && !exploration.any_data_loss();
+    FaultsimOutcome {
+        name: "cceh-clean".into(),
+        expectation: "clean verdict; no crash state loses an acknowledged key".into(),
+        fault_schedule: Vec::new(),
+        report,
+        exploration,
+        validated,
+    }
+}
+
+/// CCEH under elided flushes: the checker flags missing-flush, and the
+/// explorer confirms the flag is real — some crash state loses
+/// acknowledged keys, while the all-survived state loses none.
+fn run_cceh_missing_flush(p: &E11Params) -> FaultsimOutcome {
+    let plan = ElisionPlan::drop_flushes(p.drop_nth_flush);
+    let registry = FaultRegistry::new().with(Box::new(plan));
+    let mut m = machine(p.generation);
+    let t = m.spawn(0);
+    let check = PmCheck::attach_named(&mut m, "cceh-missing-flush");
+    let (root, fired) = {
+        // Create cleanly so the directory itself is sound; elide flushes
+        // during the insert phase only.
+        let mut env = SimEnv::new(&mut m, t);
+        let mut table = Cceh::create(&mut env, p.cceh_depth);
+        let mut faulty = FaultyEnv::new(env, plan);
+        for k in 1..=p.cceh_inserts {
+            table.insert(&mut faulty, k, k + 1000);
+        }
+        (table.root(), faulty.flushes_dropped() > 0)
+    };
+    let image = m.capture_crash_image();
+    let report = check.finish(&mut m);
+    let inserts = p.cceh_inserts;
+    let exploration = Explorer::new(p.explorer).explore("cceh-missing-flush", &image, |cm, _| {
+        cceh_verdict(cm, root, inserts)
+    });
+    let validated = fired
+        && report.count(DiagKind::MissingFlush) > 0
+        && !report.predicted_lost_lines().is_empty()
+        && exploration.any_data_loss()
+        && exploration.all_states_ok()
+        && exploration
+            .full_survivor()
+            .is_some_and(|o| o.lost_keys == 0);
+    FaultsimOutcome {
+        name: "cceh-missing-flush".into(),
+        expectation: "missing-flush flagged; some crash state really loses keys".into(),
+        fault_schedule: registry.schedule(),
+        report,
+        exploration,
+        validated,
+    }
+}
+
+/// Redo-logged FAST-FAIR: deferred node writebacks are flagged by the
+/// lint (its documented blind spot), yet *every* crash state recovers all
+/// keys via log replay, and replay is idempotent.
+fn run_fastfair_redo(p: &E11Params) -> FaultsimOutcome {
+    let mut m = machine(p.generation);
+    let t = m.spawn(0);
+    let check = PmCheck::attach_named(&mut m, "fastfair-redo");
+    let (meta, log_base) = {
+        let mut env = SimEnv::new(&mut m, t);
+        let mut tree = FastFair::create(&mut env, UpdateStrategy::RedoLog);
+        for k in 1..=p.btree_inserts {
+            let key = fastfair_key(k, p.btree_inserts);
+            tree.insert(&mut env, key, key * 2);
+        }
+        (tree.root_meta(), tree.log_base())
+    };
+    let image = m.capture_crash_image();
+    let report = check.finish(&mut m);
+    let inserts = p.btree_inserts;
+    let exploration = Explorer::new(p.explorer).explore("fastfair-redo", &image, |cm, _| {
+        fastfair_verdict(cm, meta, log_base, inserts)
+    });
+    let validated = exploration.all_states_ok()
+        && !exploration.any_data_loss()
+        && report.count(DiagKind::MissingFence) == 0
+        && report.count(DiagKind::MissingFlush) > 0;
+    FaultsimOutcome {
+        name: "fastfair-redo".into(),
+        expectation: "deferred writebacks flagged; every crash state replays the log".into(),
+        fault_schedule: Vec::new(),
+        report,
+        exploration,
+        validated,
+    }
+}
+
+const CHASE_OLD_TOKEN: u64 = 0xA1;
+const CHASE_NEW_TOKEN: u64 = 0xB2;
+
+/// Pointer chase under elided flushes: per element the pad token is
+/// atomically old or new — never torn — and the all-survived state keeps
+/// every acknowledged token.
+fn run_chase_missing_flush(p: &E11Params) -> FaultsimOutcome {
+    let plan = ElisionPlan::drop_flushes(p.drop_nth_flush);
+    let registry = FaultRegistry::new().with(Box::new(plan));
+    let mut m = machine(p.generation);
+    let t = m.spawn(0);
+    let check = PmCheck::attach_named(&mut m, "chase-missing-flush");
+    let (base, head, elements, fired) = {
+        let mut env = SimEnv::new(&mut m, t);
+        let list = ChaseList::build(&mut env, p.chase_elements, AccessOrder::Random, 7);
+        // A clean lap persists the old token everywhere, then a faulty
+        // lap writes the new token with every Nth flush elided.
+        list.lap_write(
+            &mut env,
+            WriteKind::Clwb,
+            PersistMode::Strict,
+            CHASE_OLD_TOKEN,
+        );
+        let mut faulty = FaultyEnv::new(env, plan);
+        list.lap_write(
+            &mut faulty,
+            WriteKind::Clwb,
+            PersistMode::Strict,
+            CHASE_NEW_TOKEN,
+        );
+        (
+            list.base(),
+            list.head(),
+            list.elements(),
+            faulty.flushes_dropped() > 0,
+        )
+    };
+    let image = m.capture_crash_image();
+    let report = check.finish(&mut m);
+    let exploration = Explorer::new(p.explorer).explore("chase-missing-flush", &image, |cm, _| {
+        chase_verdict(cm, head, base, elements, CHASE_OLD_TOKEN, CHASE_NEW_TOKEN)
+    });
+    let validated = fired
+        && report.count(DiagKind::MissingFlush) > 0
+        && exploration.any_data_loss()
+        && exploration.all_states_ok()
+        && exploration
+            .full_survivor()
+            .is_some_and(|o| o.lost_keys == 0);
+    FaultsimOutcome {
+        name: "chase-missing-flush".into(),
+        expectation: "tokens revert per-line, never tear; ring stays intact".into(),
+        fault_schedule: registry.schedule(),
+        report,
+        exploration,
+        validated,
+    }
+}
+
+/// The iMC silently drops every Nth accepted PM write. The program's
+/// instruction stream is flawless, so `pmcheck` reports clean — but the
+/// explorer proves acknowledged data can be lost. This is the checker's
+/// hardware blind spot, made visible by ground truth.
+fn run_cceh_wpq_drop(p: &E11Params) -> FaultsimOutcome {
+    let registry = FaultRegistry::new().with(Box::new(WpqDropPlan {
+        every_nth: p.wpq_drop_nth,
+    }));
+    let mut m = machine(p.generation);
+    let t = m.spawn(0);
+    let check = PmCheck::attach_named(&mut m, "cceh-wpq-drop");
+    let mut table = {
+        let mut env = SimEnv::new(&mut m, t);
+        Cceh::create(&mut env, p.cceh_depth)
+    };
+    // Arm after creation: the fault corrupts operation, not setup.
+    registry.arm_all(&mut m);
+    let root = {
+        let mut env = SimEnv::new(&mut m, t);
+        for k in 1..=p.cceh_inserts {
+            table.insert(&mut env, k, k + 1000);
+        }
+        table.root()
+    };
+    FaultRegistry::disarm(&mut m);
+    let dropped = m.fault_stats().wpq_dropped.len();
+    let image = m.capture_crash_image();
+    let report = check.finish(&mut m);
+    let inserts = p.cceh_inserts;
+    let exploration = Explorer::new(p.explorer).explore("cceh-wpq-drop", &image, |cm, _| {
+        cceh_verdict(cm, root, inserts)
+    });
+    let validated = report.is_clean()
+        && dropped > 0
+        && exploration.any_data_loss()
+        && exploration.all_states_ok()
+        && exploration
+            .full_survivor()
+            .is_some_and(|o| o.lost_keys == 0);
+    FaultsimOutcome {
+        name: "cceh-wpq-drop".into(),
+        expectation: "pmcheck is clean, yet the explorer proves acknowledged loss".into(),
+        fault_schedule: registry.schedule(),
+        report,
+        exploration,
+        validated,
+    }
+}
+
+/// An uncorrectable media error lands on one pad line of a cleanly
+/// persisted chase ring. The UE must surface as a typed read error, the
+/// scrub must repair exactly that line, and the ring must stay walkable.
+fn run_chase_media_poison(p: &E11Params) -> FaultsimOutcome {
+    let mut m = machine(p.generation);
+    let t = m.spawn(0);
+    let check = PmCheck::attach_named(&mut m, "chase-media-poison");
+    let (base, head, elements) = {
+        let mut env = SimEnv::new(&mut m, t);
+        let list = ChaseList::build(&mut env, p.chase_elements, AccessOrder::Random, 7);
+        list.lap_write(
+            &mut env,
+            WriteKind::Clwb,
+            PersistMode::Strict,
+            CHASE_NEW_TOKEN,
+        );
+        (list.base(), list.head(), list.elements())
+    };
+    // Poison one payload line (the pad cacheline, not a ring pointer).
+    let victim = base.add_xplines(elements / 2).add_cachelines(1);
+    let registry = FaultRegistry::new().with(Box::new(MediaPoisonPlan {
+        lines: vec![victim.0],
+    }));
+    registry.arm_all(&mut m);
+    let image = m.capture_crash_image();
+    let report = check.finish(&mut m);
+    let poisoned = image.poisoned.clone();
+    let exploration = Explorer::new(p.explorer).explore("chase-media-poison", &image, |cm, _| {
+        chase_poison_verdict(cm, head, base, elements, CHASE_NEW_TOKEN, &poisoned)
+    });
+    let validated = report.is_clean()
+        && exploration.all_states_ok()
+        && exploration.any_data_loss()
+        && exploration.max_lost_keys == 1;
+    FaultsimOutcome {
+        name: "chase-media-poison".into(),
+        expectation: "UE surfaces as a typed error; scrub repairs; ring intact".into(),
+        fault_schedule: registry.schedule(),
+        report,
+        exploration,
+        validated,
+    }
+}
+
+/// Power fails while XPLines sit in the on-DIMM write-combining buffer:
+/// the interrupted media writes come back as uncorrectable errors. The
+/// instruction stream is again flawless — only the explorer (and the
+/// typed read errors) reveal the loss.
+fn run_cceh_xpbuffer_drain(p: &E11Params) -> FaultsimOutcome {
+    let registry = FaultRegistry::new().with(Box::new(XpBufferPartialDrainPlan {
+        drop_fraction: 1.0,
+        seed: p.explorer.seed,
+    }));
+    let mut m = machine(p.generation);
+    let t = m.spawn(0);
+    let check = PmCheck::attach_named(&mut m, "cceh-xpbuffer-drain");
+    let root = {
+        let mut env = SimEnv::new(&mut m, t);
+        let mut table = Cceh::create(&mut env, p.cceh_depth);
+        for k in 1..=p.cceh_inserts {
+            table.insert(&mut env, k, k + 1000);
+        }
+        table.root()
+    };
+    registry.arm_all(&mut m);
+    m.power_fail(CrashPolicy::LoseUnflushed);
+    let crash_poisoned = m.fault_stats().crash_poisoned.len();
+    let image = m.capture_crash_image();
+    let report = check.finish(&mut m);
+    let inserts = p.cceh_inserts;
+    let poisoned = image.poisoned.clone();
+    let exploration = Explorer::new(p.explorer).explore("cceh-xpbuffer-drain", &image, |cm, _| {
+        cceh_poison_verdict(cm, root, inserts, &poisoned)
+    });
+    let validated = report.is_clean()
+        && crash_poisoned > 0
+        && exploration.all_states_ok()
+        && exploration.any_data_loss();
+    FaultsimOutcome {
+        name: "cceh-xpbuffer-drain".into(),
+        expectation: "interrupted buffer drain poisons lines; loss is detected, not silent".into(),
+        fault_schedule: registry.schedule(),
+        report,
+        exploration,
+        validated,
+    }
+}
+
+/// Runs all E11 workloads.
+pub fn run(params: &E11Params) -> Result<Vec<FaultsimOutcome>, ExpError> {
+    if params.cceh_inserts == 0 || params.btree_inserts == 0 {
+        return Err(ExpError::BadParams("insert counts must be nonzero".into()));
+    }
+    if params.chase_elements < 2 {
+        return Err(ExpError::BadParams(
+            "a chase ring needs at least two elements".into(),
+        ));
+    }
+    if params.drop_nth_flush == 0 || params.wpq_drop_nth == 0 {
+        return Err(ExpError::BadParams(
+            "fault periods are 1-indexed and must be nonzero".into(),
+        ));
+    }
+    if params.explorer.samples < 2 {
+        return Err(ExpError::BadParams(
+            "the explorer needs at least the two extreme states".into(),
+        ));
+    }
+    Ok(vec![
+        run_cceh_clean(params),
+        run_cceh_missing_flush(params),
+        run_fastfair_redo(params),
+        run_chase_missing_flush(params),
+        run_cceh_wpq_drop(params),
+        run_chase_media_poison(params),
+        run_cceh_xpbuffer_drain(params),
+    ])
+}
+
+/// Renders all outcomes as one JSON document (deterministic: same params
+/// and seed give byte-identical output).
+pub fn to_json(outcomes: &[FaultsimOutcome]) -> String {
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", o.name));
+        out.push_str(&format!("      \"expectation\": \"{}\",\n", o.expectation));
+        out.push_str(&format!("      \"validated\": {},\n", o.validated));
+        let schedule: Vec<String> = o
+            .fault_schedule
+            .iter()
+            .map(|s| format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        out.push_str(&format!(
+            "      \"fault_schedule\": [{}],\n",
+            schedule.join(", ")
+        ));
+        out.push_str("      \"report\":\n");
+        out.push_str(&indent(&o.report.to_json(), "      "));
+        out.push_str(",\n      \"exploration\":\n");
+        out.push_str(&indent(&o.exploration.to_json(), "      "));
+        out.push('\n');
+        out.push_str(if i + 1 < outcomes.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn indent(block: &str, by: &str) -> String {
+    let mut out = String::new();
+    for (i, l) in block.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(by);
+        out.push_str(l);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke() -> E11Params {
+        E11Params::smoke(Generation::G1)
+    }
+
+    #[test]
+    fn clean_cceh_survives_every_crash_state() {
+        let o = run_cceh_clean(&smoke());
+        assert!(o.validated, "{}\n{}", o.summary(), o.report.to_text());
+        assert_eq!(o.exploration.lossy_states, 0);
+    }
+
+    #[test]
+    fn missing_flush_flag_is_confirmed_by_ground_truth() {
+        let o = run_cceh_missing_flush(&smoke());
+        assert!(o.validated, "{}\n{}", o.summary(), o.report.to_text());
+        assert!(o.exploration.any_data_loss(), "the flag must be real");
+        assert_eq!(
+            o.exploration
+                .full_survivor()
+                .expect("pinned state")
+                .lost_keys,
+            0,
+            "if everything had drained, nothing would be lost"
+        );
+    }
+
+    #[test]
+    fn redo_log_replay_covers_every_crash_state_idempotently() {
+        let o = run_fastfair_redo(&smoke());
+        assert!(o.validated, "{}\n{}", o.summary(), o.report.to_text());
+        assert!(
+            o.report.count(DiagKind::MissingFlush) > 0,
+            "the lint's blind spot must actually trigger"
+        );
+        assert_eq!(
+            o.exploration.lossy_states, 0,
+            "log replay covers all states"
+        );
+    }
+
+    #[test]
+    fn wpq_drop_is_invisible_to_the_lint_but_not_the_explorer() {
+        let o = run_cceh_wpq_drop(&smoke());
+        assert!(o.validated, "{}\n{}", o.summary(), o.report.to_text());
+        assert!(o.report.is_clean(), "the instruction stream is flawless");
+        assert!(o.exploration.any_data_loss(), "yet data is really lost");
+    }
+
+    #[test]
+    fn media_poison_is_detected_and_scrubbed() {
+        let o = run_chase_media_poison(&smoke());
+        assert!(o.validated, "{}\n{}", o.summary(), o.report.to_text());
+    }
+
+    #[test]
+    fn xpbuffer_drain_poisons_and_is_detected() {
+        let o = run_cceh_xpbuffer_drain(&smoke());
+        assert!(o.validated, "{}\n{}", o.summary(), o.report.to_text());
+    }
+
+    #[test]
+    fn chase_tokens_never_tear() {
+        let o = run_chase_missing_flush(&smoke());
+        assert!(o.validated, "{}\n{}", o.summary(), o.report.to_text());
+        assert!(o.exploration.all_states_ok(), "no torn pads in any state");
+    }
+
+    #[test]
+    fn degenerate_params_are_a_typed_error() {
+        let mut p = smoke();
+        p.chase_elements = 1;
+        assert!(matches!(run(&p), Err(ExpError::BadParams(_))));
+    }
+
+    /// The determinism satellite: the same seed and plan must reproduce a
+    /// byte-identical report and fault schedule, twice in one process.
+    #[test]
+    fn same_seed_same_plan_is_byte_identical() {
+        let once = to_json(&run(&smoke()).expect("valid params"));
+        let twice = to_json(&run(&smoke()).expect("valid params"));
+        assert_eq!(
+            once, twice,
+            "exploration and schedules must be deterministic"
+        );
+    }
+}

@@ -18,7 +18,7 @@ use cpucache::PrefetchConfig;
 use optane_core::{Generation, Machine, MachineConfig, MemRegion, ThreadId};
 use simbase::{Addr, CACHELINE_BYTES};
 
-use crate::common::{Curve, ExpResult};
+use crate::common::{Curve, ExpError, ExpResult};
 
 /// Persist instruction variants of Figure 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +67,13 @@ impl Default for E5Params {
 }
 
 /// Runs E5: four panels (local/remote x PM/DRAM) per generation.
-pub fn run(params: &E5Params) -> Vec<ExpResult> {
+pub fn run(params: &E5Params) -> Result<Vec<ExpResult>, ExpError> {
+    if params.distances.is_empty() {
+        return Err(ExpError::BadParams("distances must be non-empty".into()));
+    }
+    if params.iters == 0 {
+        return Err(ExpError::BadParams("iters must be nonzero".into()));
+    }
     let mut out = Vec::new();
     for (locality, socket) in [("local", 0usize), ("remote", 1usize)] {
         for region in [MemRegion::Pm, MemRegion::Dram] {
@@ -102,7 +108,7 @@ pub fn run(params: &E5Params) -> Vec<ExpResult> {
             out.push(result);
         }
     }
-    out
+    Ok(out)
 }
 
 fn measure_point(
@@ -181,6 +187,21 @@ mod tests {
             distances,
             iters: 400,
         })
+        .expect("valid params")
+    }
+
+    #[test]
+    fn degenerate_params_are_a_typed_error() {
+        let no_distances = run(&E5Params {
+            distances: vec![],
+            ..E5Params::default()
+        });
+        assert!(matches!(no_distances, Err(ExpError::BadParams(_))));
+        let no_iters = run(&E5Params {
+            iters: 0,
+            ..E5Params::default()
+        });
+        assert!(matches!(no_iters, Err(ExpError::BadParams(_))));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use pmem::{PersistMode, SimEnv};
 use simbase::XPLINE_BYTES;
 use workloads::AccessOrder;
 
-use crate::common::{log_sweep, Curve, ExpResult};
+use crate::common::{log_sweep, Curve, ExpError, ExpResult};
 
 /// Parameters for E6.
 #[derive(Debug, Clone)]
@@ -54,7 +54,13 @@ fn write_curves() -> [(&'static str, AccessOrder, WriteKind); 4] {
 }
 
 /// Runs E6: panels (a) strict, (b) relaxed, (c) pure read/write breakdown.
-pub fn run(params: &E6Params) -> Vec<ExpResult> {
+pub fn run(params: &E6Params) -> Result<Vec<ExpResult>, ExpError> {
+    if params.wss_points.is_empty() {
+        return Err(ExpError::BadParams("wss_points must be non-empty".into()));
+    }
+    if params.laps == 0 {
+        return Err(ExpError::BadParams("laps must be nonzero".into()));
+    }
     let mut out = Vec::new();
     for (panel, mode) in [
         ("(a) write with strict persistency", PersistMode::Strict),
@@ -106,7 +112,7 @@ pub fn run(params: &E6Params) -> Vec<ExpResult> {
         result.curves.push(curve);
     }
     out.push(result);
-    out
+    Ok(out)
 }
 
 fn elements_of(wss: u64) -> u64 {
@@ -168,6 +174,16 @@ mod tests {
             wss_points: wss,
             laps: 2,
         })
+        .expect("valid params")
+    }
+
+    #[test]
+    fn degenerate_params_are_a_typed_error() {
+        let r = run(&E6Params {
+            wss_points: vec![],
+            ..E6Params::default()
+        });
+        assert!(matches!(r, Err(ExpError::BadParams(_))));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use pmds::Cceh;
 use pmem::SimEnv;
 use workloads::YcsbGenerator;
 
-use crate::common::{Curve, ExpResult};
+use crate::common::{Curve, ExpError, ExpResult};
 
 /// Memory backing for the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +70,18 @@ struct RunStats {
 
 /// Runs E7: four panels (latency/throughput x PM/DRAM), each with
 /// baseline and prefetching curves.
-pub fn run(params: &E7Params) -> Vec<ExpResult> {
+pub fn run(params: &E7Params) -> Result<Vec<ExpResult>, ExpError> {
+    if params.workers.is_empty() {
+        return Err(ExpError::BadParams("workers must be non-empty".into()));
+    }
+    if params.workers.contains(&0) {
+        return Err(ExpError::BadParams("worker counts must be nonzero".into()));
+    }
+    if params.inserts_per_worker == 0 {
+        return Err(ExpError::BadParams(
+            "inserts_per_worker must be nonzero".into(),
+        ));
+    }
     let mut out = Vec::new();
     for backing in [Backing::Pm, Backing::Dram] {
         let mem = match backing {
@@ -109,7 +120,7 @@ pub fn run(params: &E7Params) -> Vec<ExpResult> {
         out.push(latency);
         out.push(throughput);
     }
-    out
+    Ok(out)
 }
 
 fn measure_case(params: &E7Params, backing: Backing, workers: usize, helper: bool) -> RunStats {
@@ -170,12 +181,14 @@ fn measure_case(params: &E7Params, backing: Backing, workers: usize, helper: boo
     }
     let ops = n * workers as u64;
     let latency = total_cycles as f64 / ops as f64;
+    // `run` validated that the worker sweep has no zero entries, so the
+    // fallback is unreachable; it exists to keep this path panic-free.
     let makespan = worker_tids
         .iter()
         .zip(&start_times)
         .map(|(&t, &s)| m.now(t) - s)
         .max()
-        .expect("at least one worker");
+        .unwrap_or(1);
     let throughput = ops as f64 / makespan as f64 * params.ghz * 1e3; // Mops/s
     RunStats {
         latency,
@@ -200,6 +213,21 @@ mod tests {
             workers: vec![1, 4],
             ..E7Params::default()
         })
+        .expect("valid params")
+    }
+
+    #[test]
+    fn degenerate_params_are_a_typed_error() {
+        let empty = run(&E7Params {
+            workers: vec![],
+            ..E7Params::default()
+        });
+        assert!(matches!(empty, Err(ExpError::BadParams(_))));
+        let zero = run(&E7Params {
+            workers: vec![1, 0],
+            ..E7Params::default()
+        });
+        assert!(matches!(zero, Err(ExpError::BadParams(_))));
     }
 
     #[test]

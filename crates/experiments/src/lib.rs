@@ -21,12 +21,14 @@
 //! | [`e9_redirect`] | Figures 13–14, §4.3 | C9 |
 //! | [`ext_mixes`] | extension (§6 takeaway) | — |
 //! | [`e10_pmcheck`] | extension: persist-ordering lint | — |
+//! | [`e11_faultsim`] | extension: fault injection + crash-state exploration | — |
 
 #![forbid(unsafe_code)]
 
 pub mod common;
 pub mod e0_bandwidth;
 pub mod e10_pmcheck;
+pub mod e11_faultsim;
 pub mod e1_read_buffer;
 pub mod e2_prefetch;
 pub mod e3_write_amp;

@@ -1,0 +1,343 @@
+//! The crash-state explorer.
+//!
+//! At a persist boundary the ADR model makes every *accepted* write
+//! durable and every not-yet-accepted write uncertain: a crash at that
+//! instant may or may not have been preceded by the eviction that would
+//! have saved it. The legal crash states are therefore exactly the
+//! subsets of the uncertain set — `2^n` of them for `n` uncertain lines.
+//!
+//! [`Explorer::explore`] walks that space: exhaustively when `n` is small
+//! enough, otherwise by seeded sampling that always includes the two
+//! extreme states (everything lost, everything survived). For each state
+//! it materializes a fresh post-crash machine via
+//! [`Machine::from_crash_image`] and runs the caller's recovery oracle,
+//! accumulating an [`Exploration`] report with a deterministic JSON
+//! rendering — same seed, same image, same oracle ⇒ byte-identical
+//! output.
+
+use optane_core::{CrashImage, Machine};
+use simbase::SplitMix64;
+
+/// Hard ceiling on exhaustive enumeration (2^16 states), whatever the
+/// configuration asks for.
+const EXHAUSTIVE_HARD_CAP: u32 = 16;
+
+/// Exploration strategy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplorerConfig {
+    /// Enumerate all `2^n` states when the uncertain set has at most this
+    /// many lines (clamped to 16).
+    pub max_exhaustive_lines: u32,
+    /// Number of states to visit when sampling (at least 2: the all-lost
+    /// and all-survived extremes are always included).
+    pub samples: u64,
+    /// Seed for sampled survivor masks.
+    pub seed: u64,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            max_exhaustive_lines: 10,
+            samples: 64,
+            seed: 0xFA57_0001,
+        }
+    }
+}
+
+/// What a recovery oracle concluded about one crash state.
+#[derive(Debug, Clone)]
+pub struct StateVerdict {
+    /// `true` if every recovery invariant held (structure readable, no
+    /// torn node, no wrong values, replay idempotent, …). Losing
+    /// unacknowledged data is *not* a failure; returning wrong data or
+    /// wedging is.
+    pub ok: bool,
+    /// Acknowledged (persisted-according-to-the-program) items the
+    /// recovered structure lost in this state.
+    pub lost_keys: u64,
+    /// One-line diagnostic for the report.
+    pub detail: String,
+}
+
+/// One explored crash state.
+#[derive(Debug, Clone)]
+pub struct StateOutcome {
+    /// State index (in exhaustive mode, bit `i` of the index is uncertain
+    /// line `i`'s survival).
+    pub index: u64,
+    /// Uncertain lines that survived in this state.
+    pub survivors: u64,
+    /// Uncertain lines lost in this state.
+    pub dropped: u64,
+    /// The oracle's invariant verdict.
+    pub ok: bool,
+    /// Acknowledged items lost.
+    pub lost_keys: u64,
+    /// The oracle's diagnostic.
+    pub detail: String,
+}
+
+/// The explorer's report over all visited crash states.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Workload label.
+    pub workload: String,
+    /// Addresses of the uncertain lines, sorted.
+    pub uncertain_lines: Vec<u64>,
+    /// `true` if every legal crash state was visited.
+    pub exhaustive: bool,
+    /// States visited.
+    pub states_explored: u64,
+    /// States where an invariant broke.
+    pub failing_states: u64,
+    /// States that lost at least one acknowledged item.
+    pub lossy_states: u64,
+    /// Worst-case acknowledged loss over all states.
+    pub max_lost_keys: u64,
+    /// Per-state outcomes, in visit order.
+    pub outcomes: Vec<StateOutcome>,
+}
+
+impl Exploration {
+    /// `true` if every visited state recovered with invariants intact.
+    pub fn all_states_ok(&self) -> bool {
+        self.failing_states == 0
+    }
+
+    /// `true` if some visited state lost acknowledged data.
+    pub fn any_data_loss(&self) -> bool {
+        self.lossy_states > 0
+    }
+
+    /// The outcome of the all-survived state (nothing dropped), if it was
+    /// visited. It always is: exhaustive mode covers it and sampling pins
+    /// it.
+    pub fn full_survivor(&self) -> Option<&StateOutcome> {
+        self.outcomes.iter().find(|o| o.dropped == 0)
+    }
+
+    /// Deterministic JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"workload\": \"{}\",\n",
+            escape(&self.workload)
+        ));
+        s.push_str(&format!("  \"exhaustive\": {},\n", self.exhaustive));
+        let lines: Vec<String> = self.uncertain_lines.iter().map(u64::to_string).collect();
+        s.push_str(&format!("  \"uncertain_lines\": [{}],\n", lines.join(", ")));
+        s.push_str(&format!(
+            "  \"states_explored\": {},\n",
+            self.states_explored
+        ));
+        s.push_str(&format!("  \"failing_states\": {},\n", self.failing_states));
+        s.push_str(&format!("  \"lossy_states\": {},\n", self.lossy_states));
+        s.push_str(&format!("  \"max_lost_keys\": {},\n", self.max_lost_keys));
+        s.push_str("  \"outcomes\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"index\": {}, \"survivors\": {}, \"dropped\": {}, \"ok\": {}, \"lost_keys\": {}, \"detail\": \"{}\"}}{}\n",
+                o.index,
+                o.survivors,
+                o.dropped,
+                o.ok,
+                o.lost_keys,
+                escape(&o.detail),
+                if i + 1 < self.outcomes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push('}');
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Enumerates crash states and runs recovery oracles against them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Explorer {
+    cfg: ExplorerConfig,
+}
+
+impl Explorer {
+    /// Creates an explorer with the given strategy.
+    pub fn new(cfg: ExplorerConfig) -> Self {
+        Explorer { cfg }
+    }
+
+    /// The survivor masks to visit for `n` uncertain lines, and whether
+    /// they cover the whole space.
+    fn masks(&self, n: usize) -> (Vec<Vec<bool>>, bool) {
+        let bound = self.cfg.max_exhaustive_lines.min(EXHAUSTIVE_HARD_CAP);
+        if (n as u32) <= bound {
+            let total = 1u64 << n;
+            let masks = (0..total)
+                .map(|ix| (0..n).map(|i| (ix >> i) & 1 == 1).collect())
+                .collect();
+            return (masks, true);
+        }
+        // Sampled: pin both extremes, then seeded random subsets.
+        let mut rng = SplitMix64::new(self.cfg.seed);
+        let mut masks: Vec<Vec<bool>> = vec![vec![false; n], vec![true; n]];
+        for _ in 2..self.cfg.samples.max(2) {
+            masks.push((0..n).map(|_| rng.gen_bool(0.5)).collect());
+        }
+        (masks, false)
+    }
+
+    /// Visits the crash states of `image`, materializing a post-crash
+    /// machine for each and running `oracle` on it. The oracle also
+    /// receives the survivor mask (aligned with `image.uncertain`).
+    pub fn explore<F>(&self, workload: &str, image: &CrashImage, mut oracle: F) -> Exploration
+    where
+        F: FnMut(&mut Machine, &[bool]) -> StateVerdict,
+    {
+        let n = image.uncertain.len();
+        let (masks, exhaustive) = self.masks(n);
+        let mut outcomes = Vec::with_capacity(masks.len());
+        let mut failing = 0u64;
+        let mut lossy = 0u64;
+        let mut max_lost = 0u64;
+        for (index, mask) in masks.iter().enumerate() {
+            let mut m = Machine::from_crash_image(image, mask);
+            let verdict = oracle(&mut m, mask);
+            let survivors = mask.iter().filter(|&&b| b).count() as u64;
+            if !verdict.ok {
+                failing += 1;
+            }
+            if verdict.lost_keys > 0 {
+                lossy += 1;
+            }
+            max_lost = max_lost.max(verdict.lost_keys);
+            outcomes.push(StateOutcome {
+                index: index as u64,
+                survivors,
+                dropped: n as u64 - survivors,
+                ok: verdict.ok,
+                lost_keys: verdict.lost_keys,
+                detail: verdict.detail,
+            });
+        }
+        Exploration {
+            workload: workload.to_string(),
+            uncertain_lines: image.uncertain_lines(),
+            exhaustive,
+            states_explored: outcomes.len() as u64,
+            failing_states: failing,
+            lossy_states: lossy,
+            max_lost_keys: max_lost,
+            outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpucache::PrefetchConfig;
+    use optane_core::{CrashPolicy, MachineConfig};
+    use simbase::Addr;
+
+    /// Two unflushed lines -> a 4-state space; the oracle counts how many
+    /// of the two values are visible post-crash.
+    fn two_line_image() -> (CrashImage, Addr, Addr) {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let t = m.spawn(0);
+        let a = m.alloc_pm(128, 64);
+        let b = Addr(a.0 + 64);
+        m.store_u64(t, a, 1);
+        m.store_u64(t, b, 2);
+        (m.capture_crash_image(), a, b)
+    }
+
+    #[test]
+    fn exhaustive_covers_all_subsets() {
+        let (img, a, b) = two_line_image();
+        let ex = Explorer::new(ExplorerConfig::default());
+        let report = ex.explore("two-lines", &img, |m, _| {
+            let lost = u64::from(m.peek_u64(a) != 1) + u64::from(m.peek_u64(b) != 2);
+            StateVerdict {
+                ok: true,
+                lost_keys: lost,
+                detail: format!("lost {lost}"),
+            }
+        });
+        assert!(report.exhaustive);
+        assert_eq!(report.states_explored, 4);
+        assert_eq!(
+            report.lossy_states, 3,
+            "only the all-survive state is loss-free"
+        );
+        assert_eq!(report.max_lost_keys, 2);
+        assert!(report.all_states_ok());
+        assert_eq!(report.full_survivor().expect("visited").lost_keys, 0);
+    }
+
+    #[test]
+    fn sampling_pins_both_extremes() {
+        let (img, _, _) = two_line_image();
+        let cfg = ExplorerConfig {
+            max_exhaustive_lines: 1, // force sampling with n = 2
+            samples: 5,
+            seed: 42,
+        };
+        let report = Explorer::new(cfg).explore("sampled", &img, |_, mask| StateVerdict {
+            ok: true,
+            lost_keys: mask.iter().filter(|&&b| !b).count() as u64,
+            detail: String::new(),
+        });
+        assert!(!report.exhaustive);
+        assert_eq!(report.states_explored, 5);
+        assert_eq!(report.outcomes[0].dropped, 2, "all-lost extreme first");
+        assert_eq!(
+            report.outcomes[1].survivors, 2,
+            "all-survived extreme second"
+        );
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let run = || {
+            let (img, a, _) = two_line_image();
+            let cfg = ExplorerConfig {
+                max_exhaustive_lines: 1,
+                samples: 9,
+                seed: 1234,
+            };
+            Explorer::new(cfg)
+                .explore("det", &img, |m, _| StateVerdict {
+                    ok: true,
+                    lost_keys: u64::from(m.peek_u64(a) != 1),
+                    detail: "same".to_string(),
+                })
+                .to_json()
+        };
+        assert_eq!(run(), run(), "same seed, same image: byte-identical JSON");
+    }
+
+    #[test]
+    fn materialized_states_are_independent_machines() {
+        let (img, a, b) = two_line_image();
+        let ex = Explorer::new(ExplorerConfig::default());
+        // The oracle mutates each machine; later states must be unaffected.
+        let report = ex.explore("isolated", &img, |m, _| {
+            let t = m.spawn(0);
+            m.store_u64(t, a, 999);
+            m.clwb(t, a);
+            m.sfence(t);
+            m.power_fail(CrashPolicy::LoseUnflushed);
+            StateVerdict {
+                ok: m.peek_u64(a) == 999,
+                lost_keys: u64::from(m.peek_u64(b) != 2),
+                detail: String::new(),
+            }
+        });
+        assert!(report.all_states_ok());
+        assert_eq!(report.lossy_states, 2, "b lost exactly when its bit is off");
+    }
+}

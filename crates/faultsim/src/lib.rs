@@ -1,0 +1,46 @@
+//! Layered fault injection and systematic crash-state exploration.
+//!
+//! The simulator's baseline crash model (`Machine::power_fail`) answers
+//! one question: *what survives this particular crash?* This crate asks
+//! the stronger ones a robustness story needs:
+//!
+//! 1. **Fault injection** ([`plan`]): a [`FaultPlan`] describes one fault
+//!    class at one layer of the stack — flush/fence elision in software
+//!    ([`ElisionPlan`]/[`FaultyEnv`]), WPQ drop and partial drain at the
+//!    iMC, XPBuffer partial drain on the DIMM, and media poison
+//!    (uncorrectable errors) at the bottom. A [`FaultRegistry`] arms a
+//!    whole schedule of them on a machine deterministically.
+//! 2. **Crash-state exploration** ([`explore`]): at any persist boundary
+//!    the set of legal post-crash states is *every subset* of the
+//!    not-yet-accepted (crash-uncertain) lines. The [`Explorer`]
+//!    enumerates them — exhaustively when the uncertain set is small,
+//!    seeded-sampled (always including the all-lost and all-survived
+//!    extremes) when it is not — materializes a fresh machine for each,
+//!    and runs a caller-supplied recovery oracle against it.
+//!
+//! The explorer is deliberately generic over the oracle (a closure from
+//! post-crash [`Machine`] to a [`StateVerdict`]): datastore-specific
+//! invariants (no lost acknowledged key, no torn node, log replay
+//! idempotent) live with the datastores, not here. `repro faultsim` wires
+//! the two together and cross-validates `pmcheck`'s static verdicts
+//! against the explorer's ground truth.
+//!
+//! Everything is seeded: the same plan + seed over the same workload
+//! yields a byte-identical fault schedule and exploration report.
+
+#![forbid(unsafe_code)]
+
+pub mod elide;
+pub mod explore;
+pub mod plan;
+
+pub use elide::{ElisionPlan, FaultyEnv};
+pub use explore::{Exploration, Explorer, ExplorerConfig, StateOutcome, StateVerdict};
+pub use plan::{
+    FaultPlan, FaultRegistry, Layer, MediaPoisonPlan, WpqDropPlan, WpqPartialDrainPlan,
+    XpBufferPartialDrainPlan,
+};
+
+// The machine-level fault vocabulary the plans are built from, re-exported
+// so fault-injection users need only this crate.
+pub use optane_core::{CrashImage, FaultHooks, FaultStats, PartialDrain, ReadError, ScrubOutcome};

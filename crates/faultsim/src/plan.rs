@@ -1,0 +1,309 @@
+//! Fault plans: one injectable fault class per plan, tagged with the
+//! layer of the stack it corrupts.
+//!
+//! Hardware plans arm [`FaultHooks`] on the machine (or poison media
+//! lines directly); the software plan ([`ElisionPlan`]) is applied by
+//! wrapping the environment in a [`FaultyEnv`](crate::FaultyEnv) instead
+//! — eliding a flush is a program bug, not a machine state, so `arm` is a
+//! no-op for it. A [`FaultRegistry`] carries a whole schedule of plans
+//! and arms them in registration order.
+
+use optane_core::{FaultHooks, Machine, PartialDrain};
+use simbase::Addr;
+
+use crate::elide::ElisionPlan;
+
+/// Which layer of the stack a fault corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// The program's own persist ordering (elided flushes/fences).
+    Software,
+    /// The iMC write-pending queue.
+    Imc,
+    /// The on-DIMM write-combining buffer.
+    XpBuffer,
+    /// The 3D-XPoint media cells.
+    Media,
+}
+
+impl Layer {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Software => "software",
+            Layer::Imc => "imc",
+            Layer::XpBuffer => "xpbuffer",
+            Layer::Media => "media",
+        }
+    }
+}
+
+/// One injectable fault class.
+pub trait FaultPlan {
+    /// Stable name for reports and schedules.
+    fn name(&self) -> &'static str;
+
+    /// The layer this fault corrupts.
+    fn layer(&self) -> Layer;
+
+    /// Arms the fault on `m`. Software-layer plans are no-ops here (they
+    /// are applied by wrapping the environment instead).
+    fn arm(&self, m: &mut Machine);
+
+    /// One deterministic line describing the fault's parameters, for the
+    /// fault schedule in reports.
+    fn schedule_entry(&self) -> String;
+}
+
+/// The iMC acknowledges every Nth PM write but silently discards it.
+#[derive(Debug, Clone, Copy)]
+pub struct WpqDropPlan {
+    /// 1-indexed drop period.
+    pub every_nth: u64,
+}
+
+impl FaultPlan for WpqDropPlan {
+    fn name(&self) -> &'static str {
+        "wpq-drop"
+    }
+
+    fn layer(&self) -> Layer {
+        Layer::Imc
+    }
+
+    fn arm(&self, m: &mut Machine) {
+        let mut hooks = m.fault_hooks().clone();
+        hooks.wpq_drop_every_nth = Some(self.every_nth);
+        m.arm_faults(hooks);
+    }
+
+    fn schedule_entry(&self) -> String {
+        format!("wpq-drop(every_nth={})", self.every_nth)
+    }
+}
+
+/// At power failure, lines still draining from the WPQ are lost (and
+/// their interrupted media writes leave poisoned lines).
+#[derive(Debug, Clone, Copy)]
+pub struct WpqPartialDrainPlan {
+    /// Per-line loss probability.
+    pub drop_fraction: f64,
+    /// Seed for victim selection.
+    pub seed: u64,
+}
+
+impl FaultPlan for WpqPartialDrainPlan {
+    fn name(&self) -> &'static str {
+        "wpq-partial-drain"
+    }
+
+    fn layer(&self) -> Layer {
+        Layer::Imc
+    }
+
+    fn arm(&self, m: &mut Machine) {
+        let mut hooks = m.fault_hooks().clone();
+        hooks.wpq_partial_drain = Some(PartialDrain {
+            drop_fraction: self.drop_fraction,
+            seed: self.seed,
+        });
+        m.arm_faults(hooks);
+    }
+
+    fn schedule_entry(&self) -> String {
+        format!(
+            "wpq-partial-drain(drop_fraction={}, seed={:#x})",
+            self.drop_fraction, self.seed
+        )
+    }
+}
+
+/// At power failure, XPLines resident in the on-DIMM write-combining
+/// buffer are interrupted mid media-write with the given probability.
+#[derive(Debug, Clone, Copy)]
+pub struct XpBufferPartialDrainPlan {
+    /// Per-XPLine loss probability.
+    pub drop_fraction: f64,
+    /// Seed for victim selection.
+    pub seed: u64,
+}
+
+impl FaultPlan for XpBufferPartialDrainPlan {
+    fn name(&self) -> &'static str {
+        "xpbuffer-partial-drain"
+    }
+
+    fn layer(&self) -> Layer {
+        Layer::XpBuffer
+    }
+
+    fn arm(&self, m: &mut Machine) {
+        let mut hooks = m.fault_hooks().clone();
+        hooks.xpbuffer_partial_drain = Some(PartialDrain {
+            drop_fraction: self.drop_fraction,
+            seed: self.seed,
+        });
+        m.arm_faults(hooks);
+    }
+
+    fn schedule_entry(&self) -> String {
+        format!(
+            "xpbuffer-partial-drain(drop_fraction={}, seed={:#x})",
+            self.drop_fraction, self.seed
+        )
+    }
+}
+
+/// Uncorrectable errors injected into specific media lines.
+#[derive(Debug, Clone)]
+pub struct MediaPoisonPlan {
+    /// Addresses of the lines to poison (any address within each line).
+    pub lines: Vec<u64>,
+}
+
+impl FaultPlan for MediaPoisonPlan {
+    fn name(&self) -> &'static str {
+        "media-poison"
+    }
+
+    fn layer(&self) -> Layer {
+        Layer::Media
+    }
+
+    fn arm(&self, m: &mut Machine) {
+        for &line in &self.lines {
+            m.poison_line(Addr(line));
+        }
+    }
+
+    fn schedule_entry(&self) -> String {
+        let lines: Vec<String> = self.lines.iter().map(|l| format!("{l:#x}")).collect();
+        format!("media-poison(lines=[{}])", lines.join(", "))
+    }
+}
+
+impl FaultPlan for ElisionPlan {
+    fn name(&self) -> &'static str {
+        "flush-fence-elision"
+    }
+
+    fn layer(&self) -> Layer {
+        Layer::Software
+    }
+
+    fn arm(&self, _m: &mut Machine) {
+        // Software fault: applied by wrapping the environment in a
+        // `FaultyEnv`, not by machine state.
+    }
+
+    fn schedule_entry(&self) -> String {
+        format!(
+            "flush-fence-elision(drop_every_nth_flush={:?}, drop_every_nth_fence={:?})",
+            self.drop_every_nth_flush, self.drop_every_nth_fence
+        )
+    }
+}
+
+/// An ordered schedule of fault plans.
+#[derive(Default)]
+pub struct FaultRegistry {
+    plans: Vec<Box<dyn FaultPlan>>,
+}
+
+impl FaultRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        FaultRegistry::default()
+    }
+
+    /// Adds a plan to the schedule (builder style).
+    pub fn with(mut self, plan: Box<dyn FaultPlan>) -> Self {
+        self.plans.push(plan);
+        self
+    }
+
+    /// Adds a plan to the schedule.
+    pub fn register(&mut self, plan: Box<dyn FaultPlan>) {
+        self.plans.push(plan);
+    }
+
+    /// Arms every registered plan on `m`, in registration order.
+    pub fn arm_all(&self, m: &mut Machine) {
+        for plan in &self.plans {
+            plan.arm(m);
+        }
+    }
+
+    /// Disarms all machine-level hooks armed by this (or any) registry.
+    /// Media poison is stored cell damage, not a hook, and stays.
+    pub fn disarm(m: &mut Machine) {
+        m.arm_faults(FaultHooks::none());
+    }
+
+    /// The deterministic fault schedule: one line per plan, in order.
+    pub fn schedule(&self) -> Vec<String> {
+        self.plans
+            .iter()
+            .map(|p| format!("{}: {}", p.layer().name(), p.schedule_entry()))
+            .collect()
+    }
+
+    /// Returns the number of registered plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Returns `true` if no plans are registered.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpucache::PrefetchConfig;
+    use optane_core::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1))
+    }
+
+    #[test]
+    fn plans_compose_into_one_hook_set() {
+        let mut m = machine();
+        let reg = FaultRegistry::new()
+            .with(Box::new(WpqDropPlan { every_nth: 5 }))
+            .with(Box::new(XpBufferPartialDrainPlan {
+                drop_fraction: 0.5,
+                seed: 9,
+            }));
+        reg.arm_all(&mut m);
+        let hooks = m.fault_hooks();
+        assert_eq!(hooks.wpq_drop_every_nth, Some(5));
+        assert!(hooks.xpbuffer_partial_drain.is_some());
+        assert!(hooks.wpq_partial_drain.is_none());
+        FaultRegistry::disarm(&mut m);
+        assert!(!m.fault_hooks().is_armed());
+    }
+
+    #[test]
+    fn media_poison_plan_poisons_on_arm() {
+        let mut m = machine();
+        let a = m.alloc_pm(64, 64);
+        let reg = FaultRegistry::new().with(Box::new(MediaPoisonPlan { lines: vec![a.0] }));
+        reg.arm_all(&mut m);
+        assert!(m.line_poisoned(a));
+    }
+
+    #[test]
+    fn schedule_is_deterministic_text() {
+        let reg = FaultRegistry::new()
+            .with(Box::new(WpqDropPlan { every_nth: 3 }))
+            .with(Box::new(ElisionPlan::drop_flushes(2)));
+        let sched = reg.schedule();
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched[0], "imc: wpq-drop(every_nth=3)");
+        assert!(sched[1].starts_with("software: flush-fence-elision"));
+    }
+}

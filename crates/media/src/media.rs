@@ -1,5 +1,7 @@
 //! Timing and counter model of one DIMM's 3D-XPoint media.
 
+use std::collections::BTreeSet;
+
 use simbase::{Addr, ByteCounter, Cycles, Server, ServerPool, XPLINE_BYTES};
 
 use crate::ait::AitCache;
@@ -52,6 +54,12 @@ pub struct XpMedia {
     read_banks: ServerPool,
     write_port: Server,
     counters: ByteCounter,
+    /// Cacheline addresses whose cells hold an uncorrectable error. The
+    /// set is part of the media's *stored* state: it survives resets and
+    /// power failures, and is cleared only by an overwrite of the line
+    /// (write-in-place repair) or an address-range scrub.
+    poisoned: BTreeSet<u64>,
+    ue_reads: u64,
 }
 
 impl XpMedia {
@@ -65,6 +73,8 @@ impl XpMedia {
             read_banks,
             write_port: Server::new(),
             counters: ByteCounter::new(),
+            poisoned: BTreeSet::new(),
+            ue_reads: 0,
         }
     }
 
@@ -74,8 +84,17 @@ impl XpMedia {
     /// time of the read as observed by the requester.
     pub fn read_xpline(&mut self, now: Cycles, addr: Addr) -> Cycles {
         self.counters.add_read(XPLINE_BYTES);
+        let xp = addr.xpline();
+        if self
+            .poisoned
+            .range(xp.0..xp.0 + XPLINE_BYTES)
+            .next()
+            .is_some()
+        {
+            self.ue_reads += 1;
+        }
         let mut service = self.params.read_latency;
-        if !self.ait.access(addr.xpline()) {
+        if !self.ait.access(xp) {
             service += self.params.ait_miss_penalty;
         }
         self.read_banks.request(now, service)
@@ -92,6 +111,52 @@ impl XpMedia {
             service += self.params.ait_miss_penalty;
         }
         self.write_port.request(now, service)
+    }
+
+    // ----- uncorrectable errors (UE/poison) ---------------------------
+
+    /// Marks the cacheline containing `addr` as holding an uncorrectable
+    /// error: its cells lost their contents (e.g. power failed mid
+    /// media-write) and reads of the line must be surfaced as poisoned
+    /// instead of silently returning data.
+    pub fn inject_poison(&mut self, addr: Addr) {
+        self.poisoned.insert(addr.cacheline().0);
+    }
+
+    /// Clears poison on the cacheline containing `addr` (write-in-place
+    /// repair: an overwrite re-programs the cells). Returns `true` if the
+    /// line was poisoned.
+    pub fn clear_poison(&mut self, addr: Addr) -> bool {
+        self.poisoned.remove(&addr.cacheline().0)
+    }
+
+    /// Returns `true` if the cacheline containing `addr` is poisoned.
+    pub fn is_poisoned(&self, addr: Addr) -> bool {
+        self.poisoned.contains(&addr.cacheline().0)
+    }
+
+    /// Returns all poisoned cacheline addresses, sorted.
+    pub fn poisoned_lines(&self) -> Vec<u64> {
+        self.poisoned.iter().copied().collect()
+    }
+
+    /// Address-range scrub over `[start, start + len)`: clears and returns
+    /// the poisoned lines found in the range. The data in those lines is
+    /// gone — the scrub repairs the *addresses*, not the contents.
+    pub fn scrub_range(&mut self, start: Addr, len: u64) -> Vec<u64> {
+        let lo = start.cacheline().0;
+        let hi = start.0 + len;
+        let repaired: Vec<u64> = self.poisoned.range(lo..hi).copied().collect();
+        for cl in &repaired {
+            self.poisoned.remove(cl);
+        }
+        repaired
+    }
+
+    /// Returns how many XPLine reads touched a poisoned line (UE
+    /// detections at the media).
+    pub fn ue_reads(&self) -> u64 {
+        self.ue_reads
     }
 
     /// Returns the media-boundary byte counters (the `ipmwatch` media view).
@@ -121,11 +186,14 @@ impl XpMedia {
     }
 
     /// Resets everything: counters, bank occupancy, and AIT contents.
+    /// Poisoned lines are *kept* — an uncorrectable error lives in the
+    /// cells and survives any reset short of a repair write or scrub.
     pub fn reset_all(&mut self) {
         self.counters.reset();
         self.read_banks.reset();
         self.write_port.reset();
         self.ait.reset();
+        self.ue_reads = 0;
     }
 }
 
@@ -202,6 +270,56 @@ mod tests {
         // AIT still warm.
         let t = m.read_xpline(100_000, Addr(0));
         assert_eq!(t, 100_400);
+    }
+
+    #[test]
+    fn poison_is_cacheline_granular() {
+        let mut m = media();
+        m.inject_poison(Addr(64 + 3)); // anywhere within the line
+        assert!(m.is_poisoned(Addr(64)));
+        assert!(m.is_poisoned(Addr(127)));
+        assert!(!m.is_poisoned(Addr(0)));
+        assert!(!m.is_poisoned(Addr(128)));
+        assert_eq!(m.poisoned_lines(), vec![64]);
+    }
+
+    #[test]
+    fn reading_a_poisoned_xpline_counts_a_ue() {
+        let mut m = media();
+        m.inject_poison(Addr(128));
+        m.read_xpline(0, Addr(0)); // same XPLine as the poisoned line
+        assert_eq!(m.ue_reads(), 1);
+        m.read_xpline(1000, Addr(256)); // clean XPLine
+        assert_eq!(m.ue_reads(), 1);
+    }
+
+    #[test]
+    fn overwrite_repairs_poison() {
+        let mut m = media();
+        m.inject_poison(Addr(0));
+        assert!(m.clear_poison(Addr(0)));
+        assert!(!m.is_poisoned(Addr(0)));
+        assert!(!m.clear_poison(Addr(0)), "already clean");
+    }
+
+    #[test]
+    fn scrub_clears_only_the_range() {
+        let mut m = media();
+        m.inject_poison(Addr(0));
+        m.inject_poison(Addr(256));
+        m.inject_poison(Addr(1024));
+        let repaired = m.scrub_range(Addr(0), 512);
+        assert_eq!(repaired, vec![0, 256]);
+        assert!(!m.is_poisoned(Addr(0)));
+        assert!(m.is_poisoned(Addr(1024)), "outside the scrubbed range");
+    }
+
+    #[test]
+    fn poison_survives_reset_all() {
+        let mut m = media();
+        m.inject_poison(Addr(0));
+        m.reset_all();
+        assert!(m.is_poisoned(Addr(0)), "UEs live in the cells");
     }
 
     #[test]

@@ -180,6 +180,71 @@ impl PmController {
         }
     }
 
+    // ----- fault-injection surveys and UE routing ---------------------
+
+    /// Returns the cachelines accepted into a WPQ whose drain into the
+    /// on-DIMM buffers has not completed by `now`, sorted by address. At a
+    /// power failure these are the writes a WPQ partial-drain fault can
+    /// interrupt mid-flight.
+    pub fn undrained_lines(&self, now: Cycles) -> Vec<u64> {
+        let mut lines: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|&(_, &(drained, _))| drained > now)
+            .map(|(&cl, _)| cl)
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    /// Returns the XPLines resident in the on-DIMM write-combining
+    /// buffers across all DIMMs, sorted by address.
+    pub fn buffered_xplines(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self
+            .dimms
+            .iter()
+            .flat_map(|d| d.resident_write_xplines())
+            .map(|a| a.0)
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    /// Marks the cacheline containing `addr` as an uncorrectable error on
+    /// its DIMM.
+    pub fn poison_line(&mut self, addr: Addr) {
+        let d = self.dimm_of(addr);
+        self.dimms[d].poison_line(addr);
+    }
+
+    /// Returns `true` if the cacheline containing `addr` is poisoned.
+    pub fn line_poisoned(&self, addr: Addr) -> bool {
+        self.dimms[self.dimm_of(addr)].line_poisoned(addr)
+    }
+
+    /// Returns all poisoned cacheline addresses across DIMMs, sorted.
+    pub fn poisoned_lines(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self
+            .dimms
+            .iter()
+            .flat_map(DimmController::poisoned_lines)
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    /// Address-range scrub across all DIMMs: clears and returns the
+    /// poisoned lines within `[start, start + len)`, sorted.
+    pub fn scrub_range(&mut self, start: Addr, len: u64) -> Vec<u64> {
+        let mut repaired: Vec<u64> = self
+            .dimms
+            .iter_mut()
+            .flat_map(|d| d.scrub_range(start, len))
+            .collect();
+        repaired.sort_unstable();
+        repaired
+    }
+
     /// Returns the iMC-boundary counters summed over DIMMs (the `ipmwatch`
     /// "controller" view).
     pub fn imc_counters(&self) -> ByteCounter {
@@ -386,6 +451,36 @@ mod tests {
         // After recovery, reads see no stale persist stalls.
         let (done, _) = c.read(50_000, Addr(0), PersistWait::Full);
         assert!(done < 52_500);
+    }
+
+    #[test]
+    fn undrained_lines_tracks_inflight_writes() {
+        let mut c = pm(1);
+        let t = c.write(0, Addr(0));
+        c.write(0, Addr(128));
+        assert_eq!(c.undrained_lines(0), vec![0, 128]);
+        // After the drain-visible window both writes have left the WPQ.
+        assert!(c.undrained_lines(t.drained + 10_000).is_empty());
+    }
+
+    #[test]
+    fn buffered_xplines_surveys_all_dimms() {
+        let mut c = pm(2);
+        c.write(0, Addr(0)); // DIMM 0
+        c.write(0, Addr(4096)); // DIMM 1
+        assert_eq!(c.buffered_xplines(), vec![0, 4096]);
+    }
+
+    #[test]
+    fn poison_routes_through_interleaving() {
+        let mut c = pm(2);
+        c.poison_line(Addr(4096)); // lives on DIMM 1
+        assert!(c.line_poisoned(Addr(4096)));
+        assert!(!c.line_poisoned(Addr(0)));
+        assert_eq!(c.poisoned_lines(), vec![4096]);
+        let repaired = c.scrub_range(Addr(0), 1 << 20);
+        assert_eq!(repaired, vec![4096]);
+        assert!(!c.line_poisoned(Addr(4096)));
     }
 
     #[test]

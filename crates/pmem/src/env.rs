@@ -10,7 +10,7 @@
 //!    a short-lived [`SimEnv`] borrowing the machine, which is how
 //!    multi-threaded experiments interleave operations.
 
-use optane_core::{Machine, ThreadId};
+use optane_core::{Machine, ReadError, ThreadId};
 use simbase::{Addr, Cycles};
 use xpmedia::SparseStore;
 
@@ -18,6 +18,14 @@ use xpmedia::SparseStore;
 pub trait PmemEnv {
     /// Loads `buf.len()` bytes from `addr`.
     fn load(&mut self, addr: Addr, buf: &mut [u8]);
+
+    /// Like [`PmemEnv::load`], but surfaces uncorrectable media errors as
+    /// a typed [`ReadError`] instead of silently returning garbled bytes.
+    /// Backends without a media fault model always succeed.
+    fn try_load(&mut self, addr: Addr, buf: &mut [u8]) -> Result<(), ReadError> {
+        self.load(addr, buf);
+        Ok(())
+    }
 
     /// Stores `data` at `addr` through the cache hierarchy.
     fn store(&mut self, addr: Addr, data: &[u8]);
@@ -133,6 +141,10 @@ impl<'a> SimEnv<'a> {
 impl PmemEnv for SimEnv<'_> {
     fn load(&mut self, addr: Addr, buf: &mut [u8]) {
         self.machine.load(self.tid, addr, buf);
+    }
+
+    fn try_load(&mut self, addr: Addr, buf: &mut [u8]) -> Result<(), ReadError> {
+        self.machine.load_checked(self.tid, addr, buf)
     }
 
     fn store(&mut self, addr: Addr, data: &[u8]) {

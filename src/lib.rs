@@ -8,6 +8,7 @@
 
 pub use cpucache;
 pub use experiments;
+pub use faultsim;
 pub use imc;
 pub use optane_core as core;
 pub use pmcheck;

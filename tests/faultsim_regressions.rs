@@ -1,0 +1,91 @@
+//! Pinned counterexamples found by the faultsim crash-state explorer.
+//!
+//! Each test replays one explorer-found counterexample at smoke scale
+//! with the pinned seed `0xFA57_0001` (the `ExplorerConfig` default,
+//! also used by `E11Params::smoke`). The explorer is deterministic —
+//! same seed, same plan, same workload ⇒ the same fault schedule and
+//! the same crash-state verdicts — so these assert the *exact* numbers
+//! the exploration originally produced, one datastore each:
+//!
+//! * CCEH + elided flushes: the sampled all-lost extreme loses 19
+//!   acknowledged keys, yet the hash table recovers cleanly in every
+//!   state (loss is detectable, never silent corruption).
+//! * FAST-FAIR + redo logging: pmcheck flags the deferred node writes
+//!   as missing flushes, but replay makes every one of the explored
+//!   crash states loss-free — the lint's documented blind spot, proven
+//!   benign by ground truth.
+//! * Chase list + elided pad flushes: 3 dropped `clwb`s give a 2^3
+//!   exhaustive space where 7 of 8 states read stale lap tokens, but
+//!   no state ever tears a token or breaks the ring.
+//!
+//! If a refactor of the machine, the buffers, or the recovery paths
+//! shifts any of these numbers, the fault model changed — rerun
+//! `repro faultsim` and re-pin deliberately rather than loosening the
+//! assertions.
+
+use optane_study::core::Generation;
+use optane_study::experiments::e11_faultsim::{run, E11Params, FaultsimOutcome};
+use optane_study::pmcheck::Severity;
+
+/// Error-severity diagnostics in a workload's checker report.
+fn errors(o: &FaultsimOutcome) -> usize {
+    o.report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count()
+}
+
+/// Runs the smoke-scale G1 suite and returns the named workload.
+fn outcome(name: &str) -> FaultsimOutcome {
+    let outcomes = run(&E11Params::smoke(Generation::G1)).expect("smoke params are valid");
+    outcomes
+        .into_iter()
+        .find(|o| o.name == name)
+        .unwrap_or_else(|| panic!("workload {name} missing from the suite"))
+}
+
+#[test]
+fn pinned_cceh_missing_flush_counterexample() {
+    let o = outcome("cceh-missing-flush");
+    assert!(o.validated, "verdict must agree with ground truth");
+    // The lint sees every elided flush...
+    assert_eq!(errors(&o), 19, "pinned missing-flush count");
+    // ...and the explorer confirms the loss is real: sampling visits 12
+    // states (extremes pinned first), 11 of them lose data, and the
+    // all-lost extreme loses every key whose flush was dropped.
+    assert!(!o.exploration.exhaustive, "uncertain set is sampled");
+    assert_eq!(o.exploration.states_explored, 12);
+    assert_eq!(o.exploration.lossy_states, 11);
+    assert_eq!(o.exploration.max_lost_keys, 19);
+    assert_eq!(o.exploration.failing_states, 0, "loss, never corruption");
+    let full = o.exploration.full_survivor().expect("extreme pinned");
+    assert_eq!(full.lost_keys, 0, "all-survived state loses nothing");
+}
+
+#[test]
+fn pinned_fastfair_redo_blind_spot_is_benign() {
+    let o = outcome("fastfair-redo");
+    assert!(o.validated, "verdict must agree with ground truth");
+    // pmcheck cannot see that the redo log covers the deferred plain
+    // stores; the explorer proves that every crash state replays to a
+    // complete, sorted tree.
+    assert_eq!(errors(&o), 24, "pinned deferred-store flags");
+    assert_eq!(o.exploration.states_explored, 12);
+    assert_eq!(o.exploration.lossy_states, 0, "replay recovers every state");
+    assert_eq!(o.exploration.failing_states, 0);
+}
+
+#[test]
+fn pinned_chase_missing_flush_counterexample() {
+    let o = outcome("chase-missing-flush");
+    assert!(o.validated, "verdict must agree with ground truth");
+    // 3 pad lines with elided flushes ⇒ an exhaustive 2^3 space.
+    assert_eq!(errors(&o), 3, "pinned elided-flush count");
+    assert!(o.exploration.exhaustive);
+    assert_eq!(o.exploration.uncertain_lines.len(), 3);
+    assert_eq!(o.exploration.states_explored, 8);
+    assert_eq!(o.exploration.lossy_states, 7, "only all-survived is clean");
+    assert_eq!(o.exploration.max_lost_keys, 3);
+    assert_eq!(o.exploration.failing_states, 0, "tokens never tear");
+}

@@ -47,6 +47,7 @@ fn c5_rap_fixed_by_g2_clwb_only() {
             distances: vec![0],
             iters: 300,
         })
+        .expect("valid params")
     };
     let g1 = run_gen(Generation::G1);
     let g2 = run_gen(Generation::G2);
