@@ -51,6 +51,7 @@ pub mod config;
 pub mod crash;
 pub mod fault;
 pub mod machine;
+pub mod snapshot;
 pub mod telemetry;
 pub mod trace;
 
@@ -58,5 +59,6 @@ pub use config::{Generation, MachineConfig};
 pub use crash::CrashImage;
 pub use fault::{FaultHooks, FaultStats, PartialDrain, ReadError, ScrubOutcome};
 pub use machine::{CrashPolicy, Machine, MemRegion, ThreadId};
+pub use snapshot::{MachineSnapshot, SnapshotError, ThreadSnapshot};
 pub use telemetry::TelemetrySnapshot;
 pub use trace::{FenceKind, FlushKind, TraceEvent, TraceSink};

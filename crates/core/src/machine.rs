@@ -28,6 +28,7 @@ use xpmedia::SparseStore;
 use crate::config::MachineConfig;
 use crate::crash::CrashImage;
 use crate::fault::{FaultHooks, FaultStats, ReadError, ScrubOutcome};
+use crate::snapshot::{MachineSnapshot, SnapshotError, ThreadSnapshot};
 use crate::telemetry::TelemetrySnapshot;
 use crate::trace::{FenceKind, FlushKind, TraceEvent, TraceSink, TraceSlot};
 
@@ -948,6 +949,82 @@ impl Machine {
         }
     }
 
+    // ----- checkpoint / restore ---------------------------------------
+
+    /// Quiesces the machine and captures a full experiment checkpoint.
+    ///
+    /// Quiescing folds the volatile overlay into the persistent image and
+    /// resets all transient timing state (caches, controller queues,
+    /// in-flight fills), exactly like [`Machine::cold_reset`] — but the
+    /// demand byte counters are preserved and captured. Armed fault hooks
+    /// are disarmed and fault statistics cleared (see the
+    /// [`snapshot`](crate::snapshot) module docs).
+    ///
+    /// After this call, the live machine is in *precisely* the state that
+    /// [`Machine::restore`] reproduces from the returned snapshot, so a
+    /// run that checkpoints and continues is identical to one that is
+    /// killed here and resumed.
+    pub fn checkpoint(&mut self) -> MachineSnapshot {
+        let demand = self.demand;
+        self.cold_reset();
+        self.demand = demand;
+        self.faults = FaultHooks::none();
+        self.fault_stats = FaultStats::default();
+        // Re-seat the crash RNG at a recorded state so the continued and
+        // the restored machine draw the same stream.
+        let rng_state = self.crash_rng.state();
+        MachineSnapshot {
+            cfg_fingerprint: crate::snapshot::config_fingerprint(&self.cfg),
+            persistent: self.persistent.clone(),
+            dram_image: self.dram_image.clone(),
+            pm_next: self.pm_next,
+            dram_next: self.dram_next,
+            poisoned: self.pm.poisoned_lines(),
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadSnapshot {
+                    socket: t.socket,
+                    core: t.core,
+                    now: t.clock.now(),
+                })
+                .collect(),
+            next_core: [self.next_core[0], self.next_core[1]],
+            crash_rng_state: rng_state,
+            demand,
+        }
+    }
+
+    /// Materializes a machine from a checkpoint captured by
+    /// [`Machine::checkpoint`]. The supplied configuration must match the
+    /// capturing machine's (validated by fingerprint); reconstruct it the
+    /// same way the original experiment did.
+    pub fn restore(cfg: MachineConfig, snap: &MachineSnapshot) -> Result<Machine, SnapshotError> {
+        let expected = crate::snapshot::config_fingerprint(&cfg);
+        if expected != snap.cfg_fingerprint {
+            return Err(SnapshotError::ConfigMismatch {
+                expected,
+                found: snap.cfg_fingerprint,
+            });
+        }
+        let mut m = Machine::new(cfg);
+        m.persistent = snap.persistent.clone();
+        m.dram_image = snap.dram_image.clone();
+        m.pm_next = snap.pm_next;
+        m.dram_next = snap.dram_next;
+        for t in &snap.threads {
+            let tid = m.spawn_on(t.socket, t.core);
+            m.threads[tid.0].clock = ThreadClock::starting_at(t.now);
+        }
+        m.next_core = vec![snap.next_core[0], snap.next_core[1]];
+        m.crash_rng = SplitMix64::from_state(snap.crash_rng_state);
+        m.demand = snap.demand;
+        for &cl in &snap.poisoned {
+            m.pm.poison_line(Addr(cl));
+        }
+        Ok(m)
+    }
+
     // ----- fault injection, UE/poison, crash images -------------------
 
     /// Arms (or, with [`FaultHooks::none`], disarms) the hardware fault
@@ -1512,6 +1589,80 @@ mod tests {
         let mut kept = kept;
         let t2 = kept.spawn(0);
         assert_eq!(kept.load_u64(t2, b), 20);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_functional_and_clock_state() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let pm = m.alloc_pm(128, 64);
+        let dr = m.alloc_dram(64, 64);
+        m.store_u64(t, pm, 11);
+        m.clwb(t, pm);
+        m.sfence(t);
+        m.store_u64(t, Addr(pm.0 + 64), 22); // unflushed: folded by quiesce
+        m.store_u64(t, dr, 33);
+        let now_before = m.now(t);
+        let snap = m.checkpoint();
+        let bytes = snap.encode();
+        let decoded = crate::snapshot::MachineSnapshot::decode(&bytes).unwrap();
+        let r = Machine::restore(MachineConfig::g1(PrefetchConfig::none(), 1), &decoded).unwrap();
+        assert_eq!(r.peek_u64(pm), 11);
+        assert_eq!(r.peek_u64(Addr(pm.0 + 64)), 22);
+        assert_eq!(r.peek_u64(dr), 33);
+        assert_eq!(r.now(t), now_before);
+        assert_eq!(r.telemetry().demand, m.telemetry().demand);
+    }
+
+    #[test]
+    fn checkpointed_machine_and_restored_machine_step_identically() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(4096, 256);
+        for i in 0..8u64 {
+            m.store_u64(t, a.add_cachelines(i), i);
+        }
+        let snap = m.checkpoint();
+        let mut r = Machine::restore(MachineConfig::g1(PrefetchConfig::none(), 1), &snap).unwrap();
+        // Step both machines through the same op sequence.
+        for machine in [&mut m, &mut r] {
+            for i in 0..32u64 {
+                machine.store_u64(t, a.add_cachelines(i % 8), i * 7);
+                machine.clwb(t, a.add_cachelines(i % 8));
+                machine.sfence(t);
+                machine.load_u64(t, a.add_cachelines((i + 3) % 8));
+            }
+        }
+        assert_eq!(m.now(t), r.now(t), "clocks advanced identically");
+        assert_eq!(
+            m.checkpoint().encode(),
+            r.checkpoint().encode(),
+            "full state is byte-identical after stepping"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let mut m = g1();
+        let _t = m.spawn(0);
+        let snap = m.checkpoint();
+        let err = Machine::restore(MachineConfig::g2(PrefetchConfig::none(), 1), &snap);
+        assert!(matches!(err, Err(SnapshotError::ConfigMismatch { .. })));
+    }
+
+    #[test]
+    fn checkpoint_preserves_poisoned_lines() {
+        let mut m = g1();
+        let t = m.spawn(0);
+        let a = m.alloc_pm(128, 64);
+        m.store_u64(t, a, 5);
+        m.clwb(t, a);
+        m.sfence(t);
+        m.poison_line(a);
+        let snap = m.checkpoint();
+        let r = Machine::restore(MachineConfig::g1(PrefetchConfig::none(), 1), &snap).unwrap();
+        assert!(r.line_poisoned(a));
+        assert!(m.line_poisoned(a), "live machine keeps poison too");
     }
 
     #[test]

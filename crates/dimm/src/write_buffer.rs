@@ -71,6 +71,7 @@ pub struct WriteBuffer {
     entries: Vec<WriteEntry>,
     capacity: usize,
     rng: SplitMix64,
+    seed: u64,
     hits: u64,
     misses: u64,
 }
@@ -87,6 +88,7 @@ impl WriteBuffer {
             entries: Vec::with_capacity(capacity_lines),
             capacity: capacity_lines,
             rng: SplitMix64::new(seed),
+            seed,
             hits: 0,
             misses: 0,
         }
@@ -247,9 +249,14 @@ impl WriteBuffer {
         (self.hits, self.misses)
     }
 
-    /// Clears contents and statistics (the RNG stream continues).
+    /// Clears contents and statistics and rewinds the victim-selection
+    /// RNG to its seed, so a reset buffer is indistinguishable from a
+    /// freshly constructed one. Checkpoint/restore relies on this: a
+    /// cold-reset machine and a machine rebuilt from its snapshot must
+    /// behave identically from then on.
     pub fn reset(&mut self) {
         self.entries.clear();
+        self.rng = SplitMix64::new(self.seed);
         self.hits = 0;
         self.misses = 0;
     }

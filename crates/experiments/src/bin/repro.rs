@@ -1,42 +1,61 @@
-//! `repro`: regenerates every table and figure of the paper's evaluation.
+//! `repro`: regenerates every table and figure of the paper's evaluation
+//! under a supervised job scheduler.
 //!
 //! Usage:
 //!
 //! ```text
 //! repro [e0|e1|..|e9|table1|mixes|pmcheck|faultsim|all] \
-//!       [--full | --smoke] [--out DIR] [--gen g1|g2|both]
+//!       [--full | --smoke] [--out DIR] [--gen g1|g2|both] \
+//!       [--parallel N] [--resume] [--deadline SECS] [--seed N] \
+//!       [--inject panic:JOB|hang:JOB]
 //! ```
 //!
-//! Prints each figure as an aligned table and writes a CSV per panel into
-//! the output directory (default `results/`). `--full` runs closer to
-//! paper scale (larger working sets and op counts; minutes instead of
-//! seconds); `--smoke` shrinks the validation suites (`pmcheck`,
-//! `faultsim`) to CI scale.
+//! Every experiment runs as an independent job on a worker pool
+//! (`--parallel N`, default 1). A panicking or hanging experiment is
+//! isolated — its failure is recorded with a typed error in
+//! `results/manifest.json` and the remaining matrix still runs. Long
+//! jobs checkpoint periodically; a killed run restarted with `--resume`
+//! skips completed jobs and resumes interrupted ones from their last
+//! checkpoint, producing byte-identical results to an uninterrupted run
+//! at the same seed.
 //!
-//! Exit codes: 0 on success, 1 when a run fails or a cross-validation
-//! (`pmcheck`, `faultsim`) finds a mismatch, 2 on bad arguments.
+//! Exit codes: 0 when every selected job succeeded, 1 when any job
+//! failed (panic, timeout, validation mismatch, I/O), 2 on bad
+//! arguments.
 
 #![forbid(unsafe_code)]
 
-use std::fs;
 use std::path::PathBuf;
+use std::time::Duration;
 
-use experiments::common::log_sweep;
-use experiments::common::ExpResult;
-use experiments::e0_bandwidth;
-use experiments::ext_mixes;
-use experiments::{
-    e10_pmcheck, e11_faultsim, e1_read_buffer, e2_prefetch, e3_write_amp, e4_wb_hit, e5_rap,
-    e6_latency, e7_cceh, e8_btree, e9_redirect, table1,
-};
+use experiments::jobs::{self, Inject, Scale};
+use harness::{write_atomic, RunConfig, Scheduler};
 use optane_core::Generation;
 
 struct Options {
     which: Vec<String>,
-    full: bool,
-    smoke: bool,
+    scale: Scale,
     out: PathBuf,
     gens: Vec<Generation>,
+    parallel: usize,
+    resume: bool,
+    deadline: Option<Duration>,
+    seed: u64,
+    injections: Vec<(String, Inject)>,
+}
+
+fn usage() -> ! {
+    println!(
+        "usage: repro [e0|e1|..|e9|table1|mixes|pmcheck|faultsim|all] \
+         [--full | --smoke] [--out DIR] [--gen g1|g2|both] [--parallel N] \
+         [--resume] [--deadline SECS] [--seed N] [--inject panic:JOB|hang:JOB]"
+    );
+    std::process::exit(0);
+}
+
+fn bad_args(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Options {
@@ -45,16 +64,22 @@ fn parse_args() -> Options {
     let mut smoke = false;
     let mut out = PathBuf::from("results");
     let mut gens = vec![Generation::G1, Generation::G2];
+    let mut parallel = 1usize;
+    let mut resume = false;
+    let mut deadline = None;
+    let mut seed = 42u64;
+    let mut injections = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => full = true,
             "--smoke" => smoke = true,
+            "--resume" => resume = true,
             "--out" => {
-                out = PathBuf::from(args.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a directory");
-                    std::process::exit(2);
-                }));
+                out = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| bad_args("--out needs a directory")),
+                );
             }
             "--gen" => {
                 let g = args.next().unwrap_or_default();
@@ -62,19 +87,48 @@ fn parse_args() -> Options {
                     "g1" | "G1" => vec![Generation::G1],
                     "g2" | "G2" => vec![Generation::G2],
                     "both" => vec![Generation::G1, Generation::G2],
-                    other => {
-                        eprintln!("unknown generation: {other}");
-                        std::process::exit(2);
-                    }
+                    other => bad_args(&format!("unknown generation: {other}")),
                 };
             }
-            "-h" | "--help" => {
-                println!(
-                    "usage: repro [e0|e1|..|e9|table1|mixes|pmcheck|faultsim|all] \
-                     [--full | --smoke] [--out DIR] [--gen g1|g2|both]"
-                );
-                std::process::exit(0);
+            "--parallel" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| bad_args("--parallel needs a positive integer"));
+                if n == 0 {
+                    bad_args("--parallel needs a positive integer");
+                }
+                parallel = n;
             }
+            "--deadline" => {
+                let secs = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .unwrap_or_else(|| bad_args("--deadline needs seconds"));
+                if secs <= 0.0 || !secs.is_finite() {
+                    bad_args("--deadline needs positive seconds");
+                }
+                deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| bad_args("--seed needs an integer"));
+            }
+            "--inject" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| bad_args("--inject needs panic:JOB or hang:JOB"));
+                let (mode, job) = match spec.split_once(':') {
+                    Some(("panic", j)) => (Inject::Panic, j),
+                    Some(("hang", j)) => (Inject::Hang, j),
+                    _ => bad_args(&format!("bad --inject spec '{spec}'")),
+                };
+                injections.push((job.to_string(), mode));
+            }
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => bad_args(&format!("unknown flag: {other}")),
             other => which.push(other.to_string()),
         }
     }
@@ -82,276 +136,97 @@ fn parse_args() -> Options {
         which.push("all".to_string());
     }
     if full && smoke {
-        eprintln!("--full and --smoke are mutually exclusive");
-        std::process::exit(2);
+        bad_args("--full and --smoke are mutually exclusive");
     }
+    let scale = if full {
+        Scale::Full
+    } else if smoke {
+        Scale::Smoke
+    } else {
+        Scale::Default
+    };
     Options {
         which,
-        full,
-        smoke,
+        scale,
         out,
         gens,
-    }
-}
-
-/// Unwraps an experiment result or exits with code 1 and the typed error.
-fn run_or_die<T>(name: &str, r: Result<T, experiments::common::ExpError>) -> T {
-    match r {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("{name}: {e}");
-            std::process::exit(1);
-        }
-    }
-}
-
-fn emit(out_dir: &std::path::Path, results: &[ExpResult]) {
-    for r in results {
-        println!("{}", r.to_table());
-        let slug: String = r
-            .name
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-            .collect::<String>()
-            .to_lowercase();
-        let path = out_dir.join(format!("{slug}.csv"));
-        if let Err(e) = fs::write(&path, r.to_csv()) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        }
+        parallel,
+        resume,
+        deadline,
+        seed,
+        injections,
     }
 }
 
 fn main() {
     let opts = parse_args();
-    if let Err(e) = fs::create_dir_all(&opts.out) {
-        eprintln!("cannot create {}: {e}", opts.out.display());
-        std::process::exit(1);
+    let mut job_list = jobs::matrix(&opts.which, &opts.gens, opts.scale, &opts.out);
+    if job_list.is_empty() {
+        bad_args(&format!("no experiments match selection {:?}", opts.which));
     }
-    let run_all = opts.which.iter().any(|w| w == "all");
-    let wants = |name: &str| run_all || opts.which.iter().any(|w| w == name);
-    let max_wss: u64 = if opts.full { 1 << 30 } else { 64 << 20 };
-    let t_start = std::time::Instant::now();
-    // Set when a cross-validation suite reports a mismatch; the process
-    // exits 1 so CI catches it.
-    let mut validation_failed = false;
+    let known_ids: Vec<String> = job_list.iter().map(|j| j.id()).collect();
+    for (target, mode) in &opts.injections {
+        if !jobs::apply_injection(&mut job_list, target, *mode) {
+            bad_args(&format!(
+                "--inject target '{target}' is not in the matrix; jobs: {known_ids:?}"
+            ));
+        }
+    }
 
-    if wants("e0") {
-        for &gen in &opts.gens {
-            let r = e0_bandwidth::run(&e0_bandwidth::E0Params {
-                generation: gen,
-                blocks_per_thread: if opts.full { 50_000 } else { 10_000 },
-                ..Default::default()
-            });
-            emit(&opts.out, &[r]);
+    let mut cfg = RunConfig::new(&opts.out);
+    cfg.parallel = opts.parallel;
+    cfg.deadline = opts.deadline;
+    cfg.base_seed = opts.seed;
+    cfg.scale = opts.scale.tag().to_string();
+    cfg.resume = opts.resume;
+
+    let t_start = std::time::Instant::now();
+    let report = match Scheduler::new(cfg).run(job_list) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scheduler error: {e}");
+            std::process::exit(1);
         }
-    }
-    if wants("e1") {
-        for &gen in &opts.gens {
-            let r = e1_read_buffer::run(&e1_read_buffer::E1Params {
-                generation: gen,
-                ..Default::default()
-            });
-            emit(&opts.out, &[r]);
-        }
-    }
-    if wants("e2") {
-        for &gen in &opts.gens {
-            let r = e2_prefetch::run(&e2_prefetch::E2Params {
-                generation: gen,
-                wss_points: log_sweep(4 << 10, max_wss, 1),
-                ..Default::default()
-            });
-            emit(&opts.out, &r);
-        }
-    }
-    if wants("e3") {
-        for &gen in &opts.gens {
-            let r = e3_write_amp::run(&e3_write_amp::E3Params {
-                generation: gen,
-                ..Default::default()
-            });
-            emit(&opts.out, &[r]);
-        }
-    }
-    if wants("e4") {
-        let r = e4_wb_hit::run(&e4_wb_hit::E4Params::default());
-        emit(&opts.out, &[r]);
-    }
-    if wants("e5") {
-        for &gen in &opts.gens {
-            let r = run_or_die(
-                "e5",
-                e5_rap::run(&e5_rap::E5Params {
-                    generation: gen,
-                    iters: if opts.full { 20_000 } else { 3000 },
-                    ..Default::default()
-                }),
-            );
-            emit(&opts.out, &r);
-        }
-    }
-    if wants("e6") {
-        for &gen in &opts.gens {
-            let r = run_or_die(
-                "e6",
-                e6_latency::run(&e6_latency::E6Params {
-                    generation: gen,
-                    wss_points: log_sweep(4 << 10, max_wss, 1),
-                    ..Default::default()
-                }),
-            );
-            emit(&opts.out, &r);
-        }
-    }
-    if wants("table1") {
-        let r = table1::run(&table1::Table1Params {
-            inserts: if opts.full { 2_000_000 } else { 100_000 },
-            ..Default::default()
-        });
-        println!("# Table 1: time breakdown of key insertion in CCEH (G1)");
-        println!("{r}");
-        let _ = fs::write(opts.out.join("table1.txt"), format!("{r}"));
-    }
-    if wants("e7") {
-        let r = run_or_die(
-            "e7",
-            e7_cceh::run(&e7_cceh::E7Params {
-                inserts_per_worker: if opts.full { 200_000 } else { 20_000 },
-                ..Default::default()
-            }),
-        );
-        emit(&opts.out, &r);
-    }
-    if wants("e8") {
-        let r = e8_btree::run(&e8_btree::E8Params {
-            inserts: if opts.full { 400_000 } else { 40_000 },
-            generations: opts.gens.clone(),
-            ..Default::default()
-        });
-        emit(&opts.out, &r);
-    }
-    if wants("mixes") {
-        for &gen in &opts.gens {
-            let r = ext_mixes::run(&ext_mixes::MixParams {
-                generation: gen,
-                records: if opts.full { 500_000 } else { 50_000 },
-                ops: if opts.full { 500_000 } else { 50_000 },
-                ..Default::default()
-            });
-            emit(&opts.out, &[r]);
-        }
-    }
-    if wants("pmcheck") {
-        let mut text = String::new();
-        let mut all_validated = true;
-        for &gen in &opts.gens {
-            let outcomes = e10_pmcheck::run(&e10_pmcheck::E10Params {
-                generation: gen,
-                cceh_inserts: if opts.full {
-                    5000
-                } else if opts.smoke {
-                    150
-                } else {
-                    400
-                },
-                btree_inserts: if opts.full {
-                    2000
-                } else if opts.smoke {
-                    120
-                } else {
-                    300
-                },
-                ..Default::default()
-            });
-            println!("# pmcheck: persist-ordering analysis, {gen}");
-            for o in &outcomes {
-                println!("{}", o.summary());
-                text.push_str(&format!("== {gen} ==\n"));
-                text.push_str(&o.report.to_text());
-                text.push('\n');
-                all_validated &= o.validated;
+    };
+
+    // Print summaries in submission (matrix) order — parallel workers
+    // never interleave output — and assemble the deterministic report
+    // file. Failures contribute only their error *kind* to report.txt so
+    // resumed and uninterrupted runs stay byte-comparable (timeout
+    // details carry wall-clock durations).
+    let mut report_text = String::new();
+    for j in &report.jobs {
+        report_text.push_str(&format!("== {} ==\n", j.job_id));
+        match &j.outcome {
+            Ok(out) => {
+                println!("{}\n", out.summary);
+                report_text.push_str(&out.summary);
+                report_text.push('\n');
             }
-            let json = e10_pmcheck::to_json(&outcomes);
-            let path = opts
-                .out
-                .join(format!("pmcheck_{}.json", gen.to_string().to_lowercase()));
-            if let Err(e) = fs::write(&path, json) {
-                eprintln!("warning: could not write {}: {e}", path.display());
+            Err(e) => {
+                report_text.push_str(&format!("FAILED ({})\n", e.kind()));
             }
         }
-        let _ = fs::write(opts.out.join("pmcheck.txt"), text);
-        println!(
-            "pmcheck cross-validation: {}",
-            if all_validated {
-                "all verdicts agree with simulated crash outcomes"
-            } else {
-                "MISMATCH between checker verdicts and crash outcomes"
-            }
-        );
-        validation_failed |= !all_validated;
     }
-    if wants("faultsim") {
-        let mut all_validated = true;
-        for &gen in &opts.gens {
-            let params = if opts.smoke {
-                e11_faultsim::E11Params::smoke(gen)
-            } else {
-                e11_faultsim::E11Params {
-                    generation: gen,
-                    cceh_inserts: if opts.full { 2000 } else { 240 },
-                    btree_inserts: if opts.full { 1000 } else { 160 },
-                    ..Default::default()
-                }
-            };
-            let outcomes = run_or_die("faultsim", e11_faultsim::run(&params));
-            println!("# faultsim: fault injection + crash-state exploration, {gen}");
-            for o in &outcomes {
-                println!("{}", o.summary());
-                all_validated &= o.validated;
-            }
-            let json = e11_faultsim::to_json(&outcomes);
-            let path = opts
-                .out
-                .join(format!("faultsim_{}.json", gen.to_string().to_lowercase()));
-            if let Err(e) = fs::write(&path, json) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
-        }
-        println!(
-            "faultsim cross-validation: {}",
-            if all_validated {
-                "all faultsim verdicts agree with crash-state exploration"
-            } else {
-                "MISMATCH between checker verdicts and explored crash states"
-            }
-        );
-        validation_failed |= !all_validated;
+    if let Err(e) = write_atomic(&opts.out.join("report.txt"), report_text.as_bytes()) {
+        eprintln!("warning: could not write report.txt: {e}");
     }
-    if wants("e9") {
-        for &gen in &opts.gens {
-            let threads = match gen {
-                Generation::G1 => vec![1, 2, 4, 8, 12, 16],
-                Generation::G2 => vec![1, 2, 4, 8, 12, 16, 20, 24],
-            };
-            let p = e9_redirect::E9Params {
-                generation: gen,
-                wss_points: log_sweep(4 << 10, max_wss, 1),
-                visits: if opts.full { 200_000 } else { 40_000 },
-                threads,
-                ..Default::default()
-            };
-            let f13 = e9_redirect::run_fig13(&p);
-            emit(&opts.out, &[f13]);
-            let f14 = e9_redirect::run_fig14(&p);
-            emit(&opts.out, &f14);
-        }
-    }
+
+    let failures = report.failures();
+    let skipped = report.jobs.iter().filter(|j| j.skipped).count();
     eprintln!(
-        "done in {:.1}s; CSVs in {}",
+        "done in {:.1}s; {}/{} jobs succeeded ({} resumed as complete); results in {}",
         t_start.elapsed().as_secs_f64(),
+        report.completed(),
+        report.jobs.len(),
+        skipped,
         opts.out.display()
     );
-    if validation_failed {
+    if !failures.is_empty() {
+        eprintln!("failed jobs:");
+        for (id, err) in &failures {
+            eprintln!("  {id}: {err}");
+        }
         std::process::exit(1);
     }
 }

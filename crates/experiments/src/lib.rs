@@ -39,6 +39,7 @@ pub mod e7_cceh;
 pub mod e8_btree;
 pub mod e9_redirect;
 pub mod ext_mixes;
+pub mod jobs;
 pub mod table1;
 
 pub use common::{Curve, ExpResult};

@@ -1,0 +1,64 @@
+//! Crash-safe file writes.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the bytes go to a `*.tmp`
+/// sibling first and are renamed into place, so a crash mid-write can
+/// never leave a torn file at `path` — readers see either the old
+/// contents or the new ones, nothing in between.
+///
+/// The temporary name is derived from the target name (not a random
+/// one), so a crashed writer's leftovers are bounded to one stale `.tmp`
+/// per target, overwritten by the next successful write.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("harness_fsutil_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces_atomically() {
+        let d = scratch_dir("replace");
+        let p = d.join("report.json");
+        write_atomic(&p, b"one").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"one");
+        write_atomic(&p, b"two").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"two");
+        // No stray temp file remains.
+        assert!(!tmp_path(&p).exists());
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let d = scratch_dir("parents");
+        let p = d.join("a/b/c.txt");
+        write_atomic(&p, b"deep").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"deep");
+        let _ = fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,724 @@
+//! The supervised scheduler: worker pool, panic isolation, watchdog
+//! deadlines, retry with backoff, and manifest-driven resume.
+//!
+//! Threading model: each running job gets its own OS thread whose body is
+//! wrapped in `catch_unwind`, so a panicking experiment becomes a typed
+//! [`JobError::Panic`] instead of tearing the process down. Rust cannot
+//! kill a thread, so deadlines are enforced cooperatively: the supervisor
+//! sets the attempt's cancel flag when the wall- or simulated-clock
+//! budget is exhausted, waits a short grace period, and — if the job
+//! still refuses to yield — *abandons* the thread (records a
+//! [`JobError::Timeout`], frees the worker slot, and lets the detached
+//! thread die with the process). A well-behaved job polls
+//! [`JobCtx::cancelled`] at natural boundaries and exits promptly.
+//!
+//! All scheduling decisions are deterministic functions of the job list
+//! and configuration; only *timing* (and therefore failure of hung jobs)
+//! depends on the wall clock. Seeds are derived per `(job, attempt)` so a
+//! retried attempt replays the exact same stimulus.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::checkpoint::CheckpointStore;
+use crate::error::JobError;
+use crate::job::{Job, JobCtx, JobOutput};
+use crate::manifest::{JobStatus, Manifest};
+
+/// Derives the seed for one `(base, job, attempt)` triple. FNV-1a over
+/// the job id folded with the base seed and attempt, then finalized with
+/// a SplitMix64-style mix so adjacent attempts land far apart.
+pub fn derive_seed(base_seed: u64, job_id: &str, attempt: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in job_id.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let mut z = base_seed
+        .wrapping_add(h)
+        .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(attempt as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Retry policy for failed attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per job (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before attempt N+1 is `base_backoff * 2^(N-1)`.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to apply after the given (1-based) failed attempt.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        self.base_backoff.saturating_mul(1u32 << shift)
+    }
+
+    /// Whether a job that has consumed `attempts` attempts may retry.
+    /// Timeouts are not retried: a hung job would hang again and each
+    /// abandoned attempt leaks a thread for the process lifetime.
+    pub fn should_retry(&self, attempts: u32, err: &JobError) -> bool {
+        !matches!(err, JobError::Timeout { .. }) && attempts < self.max_attempts
+    }
+}
+
+/// Scheduler configuration for one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Worker slots (>= 1).
+    pub parallel: usize,
+    /// Wall-clock deadline per attempt; `None` = unlimited.
+    pub deadline: Option<Duration>,
+    /// Simulated-cycle deadline per attempt (compared against
+    /// [`JobCtx::report_sim_time`] values); `None` = unlimited.
+    pub sim_deadline: Option<u64>,
+    /// Retry policy.
+    pub retry: RetryPolicy,
+    /// Base seed; per-attempt seeds derive from it.
+    pub base_seed: u64,
+    /// Scale tag recorded in the manifest (`smoke`/`default`/`full`).
+    pub scale: String,
+    /// Output directory (manifest + artifacts live here).
+    pub out_dir: PathBuf,
+    /// Resume from `out_dir/manifest.json` when compatible.
+    pub resume: bool,
+    /// Suppress panic backtraces on worker threads (keeps expected-panic
+    /// tests and injected-fault runs quiet). The panic payload is still
+    /// captured into [`JobError::Panic`].
+    pub quiet_panics: bool,
+}
+
+impl RunConfig {
+    /// A config with sensible defaults for `out_dir`.
+    pub fn new(out_dir: impl Into<PathBuf>) -> Self {
+        RunConfig {
+            parallel: 1,
+            deadline: None,
+            sim_deadline: None,
+            retry: RetryPolicy::default(),
+            base_seed: 42,
+            scale: "default".to_string(),
+            out_dir: out_dir.into(),
+            resume: false,
+            quiet_panics: true,
+        }
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.out_dir.join("manifest.json")
+    }
+
+    fn checkpoint_dir(&self) -> PathBuf {
+        self.out_dir.join("checkpoints")
+    }
+}
+
+/// Outcome of one finished job (after retries).
+#[derive(Debug)]
+pub struct JobResult {
+    /// The job id.
+    pub job_id: String,
+    /// `Ok` with the final output, or the last attempt's error.
+    pub outcome: Result<JobOutput, JobError>,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// `true` when the job was skipped because a compatible manifest
+    /// already recorded it as done.
+    pub skipped: bool,
+}
+
+/// The whole run's report.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Per-job results in the order jobs were submitted.
+    pub jobs: Vec<JobResult>,
+}
+
+impl RunReport {
+    /// Number of jobs that completed (including skipped-as-done).
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_ok()).count()
+    }
+
+    /// Jobs that failed, with their final errors.
+    pub fn failures(&self) -> Vec<(&str, &JobError)> {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.outcome.as_ref().err().map(|e| (j.job_id.as_str(), e)))
+            .collect()
+    }
+
+    /// `true` when every job succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.jobs.iter().all(|j| j.outcome.is_ok())
+    }
+}
+
+/// One queued attempt.
+struct PendingAttempt {
+    job_index: usize,
+    attempt: u32,
+    /// Earliest instant this attempt may start (backoff).
+    not_before: Instant,
+}
+
+/// One in-flight attempt.
+struct RunningAttempt {
+    job_index: usize,
+    attempt: u32,
+    started: Instant,
+    cancel: Arc<AtomicBool>,
+    sim_now: Arc<AtomicU64>,
+    result: Arc<Mutex<Option<Result<JobOutput, JobError>>>>,
+    done: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+    /// Set once the watchdog has cancelled this attempt; when the grace
+    /// period expires the attempt is abandoned.
+    cancelled_at: Option<Instant>,
+}
+
+/// How long a cancelled attempt gets to acknowledge the cancel flag
+/// before its thread is abandoned.
+const CANCEL_GRACE: Duration = Duration::from_millis(500);
+
+/// Supervisor poll interval.
+const POLL: Duration = Duration::from_millis(10);
+
+/// The supervised scheduler.
+pub struct Scheduler {
+    cfg: RunConfig,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given config.
+    pub fn new(cfg: RunConfig) -> Self {
+        Scheduler { cfg }
+    }
+
+    /// Runs all `jobs` to completion (success, typed failure, or
+    /// timeout). Never panics because of a job; never aborts the matrix
+    /// because one job failed.
+    pub fn run(&self, jobs: Vec<Box<dyn Job>>) -> Result<RunReport, JobError> {
+        let cfg = &self.cfg;
+        std::fs::create_dir_all(&cfg.out_dir)?;
+        let checkpoints = CheckpointStore::new(cfg.checkpoint_dir())?;
+
+        // Load or start the manifest. A manifest from a different seed or
+        // scale cannot be merged deterministically — start fresh.
+        let mut manifest = if cfg.resume {
+            match Manifest::load(&cfg.manifest_path()) {
+                Some(m) if m.base_seed == cfg.base_seed && m.scale == cfg.scale => m,
+                Some(_) => {
+                    eprintln!("[harness] manifest is from a different seed/scale; starting fresh");
+                    Manifest::new(cfg.base_seed, cfg.scale.clone())
+                }
+                None => Manifest::new(cfg.base_seed, cfg.scale.clone()),
+            }
+        } else {
+            Manifest::new(cfg.base_seed, cfg.scale.clone())
+        };
+
+        // Register the full matrix up front so a killed run's manifest
+        // shows what was planned, and decide which jobs to skip.
+        let mut results: Vec<Option<JobResult>> = Vec::with_capacity(jobs.len());
+        let mut queue: VecDeque<PendingAttempt> = VecDeque::new();
+        let now0 = Instant::now();
+        for (i, job) in jobs.iter().enumerate() {
+            let id = job.id();
+            if cfg.resume && manifest.is_complete(&id, &cfg.out_dir) {
+                let rec = &manifest.jobs[&id];
+                results.push(Some(JobResult {
+                    job_id: id,
+                    outcome: Ok(JobOutput {
+                        artifacts: rec.artifacts.clone(),
+                        summary: rec.summary.clone(),
+                        validated: true,
+                    }),
+                    attempts: rec.attempts,
+                    skipped: true,
+                }));
+                continue;
+            }
+            // (Re)queue: reset any stale running/failed record.
+            let rec = manifest.record_mut(&id);
+            rec.status = JobStatus::Pending;
+            rec.attempts = 0;
+            results.push(None);
+            queue.push_back(PendingAttempt {
+                job_index: i,
+                attempt: 1,
+                not_before: now0,
+            });
+        }
+        manifest.save(&cfg.manifest_path())?;
+
+        let jobs: Vec<Arc<dyn Job>> = jobs.into_iter().map(Arc::from).collect();
+        let mut running: Vec<RunningAttempt> = Vec::new();
+        let parallel = cfg.parallel.max(1);
+
+        while !queue.is_empty() || !running.is_empty() {
+            // Launch attempts while slots are free. Backoff-delayed
+            // attempts rotate to the back so ready work is not starved.
+            let mut rotated = 0;
+            while running.len() < parallel && rotated < queue.len() {
+                let Some(p) = queue.pop_front() else { break };
+                if p.not_before > Instant::now() {
+                    queue.push_back(p);
+                    rotated += 1;
+                    continue;
+                }
+                let job = Arc::clone(&jobs[p.job_index]);
+                let id = job.id();
+                let rec = manifest.record_mut(&id);
+                rec.status = JobStatus::Running;
+                rec.attempts = p.attempt;
+                manifest.save(&cfg.manifest_path())?;
+
+                let cancel = Arc::new(AtomicBool::new(false));
+                let sim_now = Arc::new(AtomicU64::new(0));
+                let result: Arc<Mutex<Option<Result<JobOutput, JobError>>>> =
+                    Arc::new(Mutex::new(None));
+                let done = Arc::new(AtomicBool::new(false));
+                let ctx = JobCtx::new(
+                    id.clone(),
+                    p.attempt,
+                    derive_seed(cfg.base_seed, &id, p.attempt),
+                    Arc::clone(&cancel),
+                    Arc::clone(&sim_now),
+                    Some(checkpoints.clone()),
+                );
+                if cfg.quiet_panics {
+                    install_quiet_panic_hook();
+                }
+                let worker_result = Arc::clone(&result);
+                let worker_done = Arc::clone(&done);
+                let handle = thread::Builder::new()
+                    .name(format!("job-{id}"))
+                    .spawn(move || {
+                        let out = catch_unwind(AssertUnwindSafe(|| job.run(&ctx)));
+                        let out = match out {
+                            Ok(r) => r,
+                            Err(payload) => Err(JobError::Panic(panic_message(payload.as_ref()))),
+                        };
+                        *worker_result.lock().expect("result lock") = Some(out);
+                        worker_done.store(true, Ordering::SeqCst);
+                    })
+                    .map_err(|e| JobError::Io(format!("spawn worker: {e}")))?;
+                running.push(RunningAttempt {
+                    job_index: p.job_index,
+                    attempt: p.attempt,
+                    started: Instant::now(),
+                    cancel,
+                    sim_now,
+                    result,
+                    done,
+                    handle: Some(handle),
+                    cancelled_at: None,
+                });
+            }
+
+            // Poll running attempts.
+            let mut i = 0;
+            while i < running.len() {
+                let finished = running[i].done.load(Ordering::SeqCst);
+                let elapsed = running[i].started.elapsed();
+                if finished {
+                    let mut r = running.swap_remove(i);
+                    if let Some(h) = r.handle.take() {
+                        let _ = h.join();
+                    }
+                    let outcome =
+                        r.result
+                            .lock()
+                            .expect("result lock")
+                            .take()
+                            .unwrap_or_else(|| {
+                                Err(JobError::Failed("worker exited without a result".into()))
+                            });
+                    // A run that finished after cancellation still counts
+                    // as a timeout: its output may be truncated.
+                    let outcome = if r.cancelled_at.is_some() {
+                        Err(timeout_error(cfg, elapsed))
+                    } else {
+                        match outcome {
+                            Ok(out) if !out.validated => Err(JobError::Validation(format!(
+                                "validation failed: {}",
+                                out.summary
+                            ))),
+                            other => other,
+                        }
+                    };
+                    self.settle(
+                        &jobs,
+                        &mut manifest,
+                        &checkpoints,
+                        &mut queue,
+                        &mut results,
+                        r.job_index,
+                        r.attempt,
+                        elapsed,
+                        outcome,
+                    )?;
+                    continue;
+                }
+
+                // Watchdog: wall-clock and simulated-clock deadlines.
+                let over_wall = cfg.deadline.is_some_and(|d| elapsed > d);
+                let over_sim = cfg
+                    .sim_deadline
+                    .is_some_and(|d| running[i].sim_now.load(Ordering::Relaxed) > d);
+                if (over_wall || over_sim) && running[i].cancelled_at.is_none() {
+                    running[i].cancel.store(true, Ordering::SeqCst);
+                    running[i].cancelled_at = Some(Instant::now());
+                }
+                if let Some(t) = running[i].cancelled_at {
+                    if t.elapsed() > CANCEL_GRACE {
+                        // Abandon the thread: it cannot be killed, but it
+                        // no longer owns a worker slot. It dies with the
+                        // process.
+                        let r = running.swap_remove(i);
+                        drop(r.handle);
+                        self.settle(
+                            &jobs,
+                            &mut manifest,
+                            &checkpoints,
+                            &mut queue,
+                            &mut results,
+                            r.job_index,
+                            r.attempt,
+                            elapsed,
+                            Err(timeout_error(cfg, elapsed)),
+                        )?;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+
+            if !running.is_empty() || !queue.is_empty() {
+                thread::sleep(POLL);
+            }
+        }
+
+        let report = RunReport {
+            jobs: results
+                .into_iter()
+                .map(|r| r.expect("every job settled"))
+                .collect(),
+        };
+        manifest.save(&cfg.manifest_path())?;
+        Ok(report)
+    }
+
+    /// Records a finished attempt: success and final failures go to the
+    /// manifest and results; retryable failures re-queue with backoff.
+    #[allow(clippy::too_many_arguments)]
+    fn settle(
+        &self,
+        jobs: &[Arc<dyn Job>],
+        manifest: &mut Manifest,
+        checkpoints: &CheckpointStore,
+        queue: &mut VecDeque<PendingAttempt>,
+        results: &mut [Option<JobResult>],
+        job_index: usize,
+        attempt: u32,
+        elapsed: Duration,
+        outcome: Result<JobOutput, JobError>,
+    ) -> Result<(), JobError> {
+        let id = jobs[job_index].id();
+        match outcome {
+            Ok(out) => {
+                let rec = manifest.record_mut(&id);
+                rec.status = JobStatus::Done;
+                rec.attempts = attempt;
+                rec.wall_ms = elapsed.as_millis() as u64;
+                rec.artifacts = out.artifacts.clone();
+                rec.summary = out.summary.clone();
+                checkpoints.clear(&id)?;
+                results[job_index] = Some(JobResult {
+                    job_id: id,
+                    outcome: Ok(out),
+                    attempts: attempt,
+                    skipped: false,
+                });
+            }
+            Err(err) => {
+                if self.cfg.retry.should_retry(attempt, &err) {
+                    eprintln!(
+                        "[harness] {id} attempt {attempt} failed ({err}); retrying with backoff"
+                    );
+                    queue.push_back(PendingAttempt {
+                        job_index,
+                        attempt: attempt + 1,
+                        not_before: Instant::now() + self.cfg.retry.backoff_after(attempt),
+                    });
+                } else {
+                    eprintln!("[harness] {id} failed after {attempt} attempt(s): {err}");
+                    let rec = manifest.record_mut(&id);
+                    rec.status = JobStatus::Failed(err.clone());
+                    rec.attempts = attempt;
+                    rec.wall_ms = elapsed.as_millis() as u64;
+                    results[job_index] = Some(JobResult {
+                        job_id: id,
+                        outcome: Err(err),
+                        attempts: attempt,
+                        skipped: false,
+                    });
+                }
+            }
+        }
+        manifest.save(&self.cfg.manifest_path())
+    }
+}
+
+fn timeout_error(cfg: &RunConfig, elapsed: Duration) -> JobError {
+    JobError::Timeout {
+        elapsed,
+        deadline: cfg.deadline.unwrap_or(elapsed),
+    }
+}
+
+/// Replaces the default panic hook with one that only prints panics from
+/// non-worker threads. The hook is process-global, so it is installed at
+/// most once; worker panics are still captured into [`JobError::Panic`]
+/// via `catch_unwind`, they just stop spraying backtraces over the
+/// progress output.
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let is_worker = thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("job-"));
+            if !is_worker {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("harness_sched_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    struct OkJob(String);
+    impl Job for OkJob {
+        fn id(&self) -> String {
+            self.0.clone()
+        }
+        fn run(&self, _ctx: &JobCtx) -> Result<JobOutput, JobError> {
+            Ok(JobOutput::ok(format!("{} done", self.0)))
+        }
+    }
+
+    struct PanicJob;
+    impl Job for PanicJob {
+        fn id(&self) -> String {
+            "panics".into()
+        }
+        fn run(&self, _ctx: &JobCtx) -> Result<JobOutput, JobError> {
+            panic!("injected panic for testing");
+        }
+    }
+
+    struct HangJob;
+    impl Job for HangJob {
+        fn id(&self) -> String {
+            "hangs".into()
+        }
+        fn run(&self, ctx: &JobCtx) -> Result<JobOutput, JobError> {
+            // Cooperative hang: spins until cancelled, so the test does
+            // not leak a thread past its own lifetime.
+            while !ctx.cancelled() {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Ok(JobOutput::ok("woke up"))
+        }
+    }
+
+    /// Fails on attempt 1, succeeds on attempt 2.
+    struct FlakyJob(Arc<AtomicU32>);
+    impl Job for FlakyJob {
+        fn id(&self) -> String {
+            "flaky".into()
+        }
+        fn run(&self, ctx: &JobCtx) -> Result<JobOutput, JobError> {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            if ctx.attempt == 1 {
+                Err(JobError::Failed("transient".into()))
+            } else {
+                Ok(JobOutput::ok(format!("attempt {}", ctx.attempt)))
+            }
+        }
+    }
+
+    struct InvalidJob;
+    impl Job for InvalidJob {
+        fn id(&self) -> String {
+            "invalid".into()
+        }
+        fn run(&self, _ctx: &JobCtx) -> Result<JobOutput, JobError> {
+            Ok(JobOutput {
+                artifacts: vec![],
+                summary: "model disagrees with table".into(),
+                validated: false,
+            })
+        }
+    }
+
+    #[test]
+    fn panic_is_isolated_and_other_jobs_complete() {
+        let out = scratch("panic");
+        let mut cfg = RunConfig::new(&out);
+        cfg.parallel = 2;
+        cfg.retry.max_attempts = 1;
+        let report = Scheduler::new(cfg)
+            .run(vec![
+                Box::new(OkJob("a".into())),
+                Box::new(PanicJob),
+                Box::new(OkJob("b".into())),
+            ])
+            .unwrap();
+        assert_eq!(report.completed(), 2);
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "panics");
+        assert_eq!(failures[0].1.kind(), "panic");
+        assert!(failures[0].1.detail().contains("injected panic"));
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn hang_times_out_with_typed_error() {
+        let out = scratch("hang");
+        let mut cfg = RunConfig::new(&out);
+        cfg.deadline = Some(Duration::from_millis(50));
+        cfg.retry.max_attempts = 3; // timeouts must NOT be retried
+        let report = Scheduler::new(cfg)
+            .run(vec![Box::new(HangJob), Box::new(OkJob("ok".into()))])
+            .unwrap();
+        assert_eq!(report.completed(), 1);
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].1.kind(), "timeout");
+        // Only one attempt was made.
+        assert_eq!(report.jobs[0].attempts, 1);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn transient_failure_retries_and_succeeds() {
+        let out = scratch("retry");
+        let mut cfg = RunConfig::new(&out);
+        cfg.retry = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+        };
+        let calls = Arc::new(AtomicU32::new(0));
+        let report = Scheduler::new(cfg)
+            .run(vec![Box::new(FlakyJob(Arc::clone(&calls)))])
+            .unwrap();
+        assert!(report.all_ok());
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(report.jobs[0].attempts, 2);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn unvalidated_output_becomes_validation_error() {
+        let out = scratch("valid");
+        let mut cfg = RunConfig::new(&out);
+        cfg.retry.max_attempts = 1;
+        let report = Scheduler::new(cfg).run(vec![Box::new(InvalidJob)]).unwrap();
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].1.kind(), "validation");
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn resume_skips_completed_jobs() {
+        let out = scratch("resume");
+        // First run: "a" completes, write its (empty) artifact list.
+        let cfg1 = RunConfig::new(&out);
+        let report1 = Scheduler::new(cfg1)
+            .run(vec![Box::new(OkJob("a".into()))])
+            .unwrap();
+        assert!(report1.all_ok());
+        // Second run with resume: "a" skipped, "b" runs.
+        let mut cfg2 = RunConfig::new(&out);
+        cfg2.resume = true;
+        let report2 = Scheduler::new(cfg2)
+            .run(vec![
+                Box::new(OkJob("a".into())),
+                Box::new(OkJob("b".into())),
+            ])
+            .unwrap();
+        assert!(report2.all_ok());
+        assert!(report2.jobs[0].skipped, "completed job must be skipped");
+        assert!(!report2.jobs[1].skipped);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn resume_under_different_seed_reruns_everything() {
+        let out = scratch("reseed");
+        let cfg1 = RunConfig::new(&out);
+        Scheduler::new(cfg1)
+            .run(vec![Box::new(OkJob("a".into()))])
+            .unwrap();
+        let mut cfg2 = RunConfig::new(&out);
+        cfg2.resume = true;
+        cfg2.base_seed = 7; // different seed → manifest discarded
+        let report = Scheduler::new(cfg2)
+            .run(vec![Box::new(OkJob("a".into()))])
+            .unwrap();
+        assert!(!report.jobs[0].skipped);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_varies_by_attempt_and_job() {
+        assert_eq!(derive_seed(42, "e0", 1), derive_seed(42, "e0", 1));
+        assert_ne!(derive_seed(42, "e0", 1), derive_seed(42, "e0", 2));
+        assert_ne!(derive_seed(42, "e0", 1), derive_seed(42, "e1", 1));
+        assert_ne!(derive_seed(42, "e0", 1), derive_seed(43, "e0", 1));
+    }
+}

@@ -81,6 +81,35 @@ impl SparseStore {
         self.pages.len()
     }
 
+    /// Size in bytes of one allocation unit, for page-level snapshots.
+    pub const PAGE_BYTES: u64 = PAGE_BYTES;
+
+    /// Returns `(page_number, contents)` for every resident page, sorted
+    /// by page number so snapshot encodings are deterministic.
+    pub fn sorted_pages(&self) -> Vec<(u64, &[u8])> {
+        let mut pages: Vec<(u64, &[u8])> =
+            self.pages.iter().map(|(&n, p)| (n, p.as_slice())).collect();
+        pages.sort_unstable_by_key(|&(n, _)| n);
+        pages
+    }
+
+    /// Installs a full page at `page_number` (inverse of
+    /// [`SparseStore::sorted_pages`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contents` is not exactly one page long.
+    pub fn install_page(&mut self, page_number: u64, contents: &[u8]) {
+        assert_eq!(
+            contents.len() as u64,
+            PAGE_BYTES,
+            "a page is exactly {PAGE_BYTES} bytes"
+        );
+        let mut boxed = Box::new([0u8; PAGE_BYTES as usize]);
+        boxed.copy_from_slice(contents);
+        self.pages.insert(page_number, boxed);
+    }
+
     /// Drops all contents, returning the store to all-zero.
     pub fn clear(&mut self) {
         self.pages.clear();
@@ -154,6 +183,25 @@ mod tests {
         s.clear();
         assert_eq!(s.read_u64(Addr(0)), 0);
         assert_eq!(s.resident_pages(), 0);
+    }
+
+    #[test]
+    fn page_snapshot_round_trips_and_is_sorted() {
+        let mut s = SparseStore::new();
+        s.write_u64(Addr(3 * PAGE_BYTES), 3);
+        s.write_u64(Addr(0), 1);
+        s.write_u64(Addr(7 * PAGE_BYTES + 100), 7);
+        let pages = s.sorted_pages();
+        let ids: Vec<u64> = pages.iter().map(|&(n, _)| n).collect();
+        assert_eq!(ids, vec![0, 3, 7]);
+        let mut restored = SparseStore::new();
+        for (n, contents) in pages {
+            restored.install_page(n, contents);
+        }
+        assert_eq!(restored.read_u64(Addr(0)), 1);
+        assert_eq!(restored.read_u64(Addr(3 * PAGE_BYTES)), 3);
+        assert_eq!(restored.read_u64(Addr(7 * PAGE_BYTES + 100)), 7);
+        assert_eq!(restored.resident_pages(), 3);
     }
 
     #[test]

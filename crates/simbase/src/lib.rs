@@ -11,7 +11,8 @@
 //!   bit-reproducible,
 //! - [`resource`]: server-queue primitives used to model contention on
 //!   shared hardware resources (media banks, iMC queues, DRAM channels),
-//! - [`stats`]: event and byte counters plus latency aggregation.
+//! - [`stats`]: event and byte counters plus latency aggregation,
+//! - [`wire`]: a checked little-endian codec for checkpoint payloads.
 
 #![forbid(unsafe_code)]
 
@@ -20,9 +21,11 @@ pub mod clock;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod wire;
 
 pub use addr::{Addr, CACHELINES_PER_XPLINE, CACHELINE_BYTES, XPLINE_BYTES};
 pub use clock::Cycles;
 pub use resource::{BandwidthGate, Server, ServerPool};
 pub use rng::SplitMix64;
 pub use stats::{ByteCounter, Counter, LatencyStats};
+pub use wire::{WireError, WireReader, WireWriter};

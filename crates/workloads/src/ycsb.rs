@@ -7,6 +7,25 @@
 
 use simbase::SplitMix64;
 
+/// Typed workload-generation errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// An existing key was requested before any key was inserted.
+    NoKeysInserted,
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::NoKeysInserted => {
+                write!(f, "cannot sample an existing key: no keys inserted yet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// Key popularity distribution for the operation phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KeyDistribution {
@@ -82,11 +101,36 @@ impl OpMix {
 #[derive(Debug)]
 pub struct YcsbGenerator {
     rng: SplitMix64,
-    distribution: KeyDistribution,
+    /// Sampler with its distribution-specific state embedded, so a
+    /// zipfian sampler can never exist without its precomputed constants
+    /// (no `Option` to unwrap at sample time).
+    sampler: DistSampler,
     /// Number of keys inserted so far (insert keys are `hash(0..n)`).
     inserted: u64,
-    /// Precomputed zipfian state.
-    zipf: Option<ZipfState>,
+}
+
+/// A key-popularity sampler with its state.
+#[derive(Debug)]
+enum DistSampler {
+    /// Every loaded key equally likely.
+    Uniform,
+    /// Zipfian with precomputed constants.
+    Zipfian(ZipfState),
+    /// Skewed towards recently inserted keys.
+    Latest,
+}
+
+/// Resumable generator state: everything that evolves as the generator
+/// runs. The distribution constants are *not* part of the state — a
+/// restored generator is constructed with the same
+/// [`YcsbGenerator::new`] arguments and then rewound with
+/// [`YcsbGenerator::restore_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YcsbState {
+    /// The RNG's internal state word.
+    pub rng_state: u64,
+    /// Number of keys inserted so far.
+    pub inserted: u64,
 }
 
 #[derive(Debug)]
@@ -156,16 +200,34 @@ fn spread(idx: u64) -> u64 {
 impl YcsbGenerator {
     /// Creates a generator.
     pub fn new(seed: u64, distribution: KeyDistribution, expected_keys: u64) -> Self {
-        let zipf = match distribution {
-            KeyDistribution::Zipfian(theta) => Some(ZipfState::new(expected_keys.max(2), theta)),
-            _ => None,
+        let sampler = match distribution {
+            KeyDistribution::Uniform => DistSampler::Uniform,
+            KeyDistribution::Zipfian(theta) => {
+                DistSampler::Zipfian(ZipfState::new(expected_keys.max(2), theta))
+            }
+            KeyDistribution::Latest => DistSampler::Latest,
         };
         YcsbGenerator {
             rng: SplitMix64::new(seed),
-            distribution,
+            sampler,
             inserted: 0,
-            zipf,
         }
+    }
+
+    /// Captures the generator's evolving state for checkpointing.
+    pub fn state(&self) -> YcsbState {
+        YcsbState {
+            rng_state: self.rng.state(),
+            inserted: self.inserted,
+        }
+    }
+
+    /// Rewinds this generator to a previously captured state. The
+    /// generator must have been constructed with the same `new` arguments
+    /// as the one that captured the state.
+    pub fn restore_state(&mut self, s: &YcsbState) {
+        self.rng = SplitMix64::from_state(s.rng_state);
+        self.inserted = s.inserted;
     }
 
     /// Standard zipfian constant used by YCSB.
@@ -183,39 +245,54 @@ impl YcsbGenerator {
         self.inserted
     }
 
-    /// Samples an existing key according to the distribution.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no key has been inserted yet.
-    pub fn sample_existing_key(&mut self) -> u64 {
-        assert!(self.inserted > 0, "no keys inserted yet");
-        let idx = match self.distribution {
-            KeyDistribution::Uniform => self.rng.gen_range(self.inserted),
-            KeyDistribution::Zipfian(_) => {
+    /// Samples an existing key according to the distribution, or reports
+    /// that no key exists to sample.
+    pub fn try_sample_existing_key(&mut self) -> Result<u64, WorkloadError> {
+        if self.inserted == 0 {
+            return Err(WorkloadError::NoKeysInserted);
+        }
+        let idx = match &self.sampler {
+            DistSampler::Uniform => self.rng.gen_range(self.inserted),
+            DistSampler::Zipfian(z) => {
                 let u = self.rng.gen_f64();
-                let z = self.zipf.as_ref().expect("zipf state exists");
                 z.sample(u).min(self.inserted - 1)
             }
-            KeyDistribution::Latest => {
+            DistSampler::Latest => {
                 // Exponentially biased to recent inserts.
                 let u = self.rng.gen_f64();
                 let back = ((-u.ln()) * (self.inserted as f64 / 8.0)) as u64;
                 self.inserted - 1 - back.min(self.inserted - 1)
             }
         };
-        spread(idx)
+        Ok(spread(idx))
     }
 
-    /// Draws the next operation from `mix`.
+    /// Samples an existing key according to the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no key has been inserted yet; use
+    /// [`YcsbGenerator::try_sample_existing_key`] to handle that case.
+    pub fn sample_existing_key(&mut self) -> u64 {
+        match self.try_sample_existing_key() {
+            Ok(k) => k,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Draws the next operation from `mix`. When no key exists yet the
+    /// operation degrades to an insert regardless of the mix.
     pub fn next_op(&mut self, mix: &OpMix) -> (OpKind, u64) {
         let u = self.rng.gen_f64();
         if u < mix.insert || self.inserted == 0 {
-            (OpKind::Insert, self.next_insert_key())
-        } else if u < mix.insert + mix.read {
-            (OpKind::Read, self.sample_existing_key())
-        } else {
-            (OpKind::Update, self.sample_existing_key())
+            return (OpKind::Insert, self.next_insert_key());
+        }
+        let read = u < mix.insert + mix.read;
+        match self.try_sample_existing_key() {
+            Ok(k) if read => (OpKind::Read, k),
+            Ok(k) => (OpKind::Update, k),
+            // Unreachable given the guard above, but degrade gracefully.
+            Err(_) => (OpKind::Insert, self.next_insert_key()),
         }
     }
 
@@ -313,6 +390,43 @@ mod tests {
             }
         }
         assert!(reads > 9000 && updates < 1000, "r={reads} u={updates}");
+    }
+
+    #[test]
+    fn sampling_before_any_insert_is_a_typed_error() {
+        let mut g = YcsbGenerator::new(1, KeyDistribution::Zipfian(0.99), 100);
+        assert_eq!(
+            g.try_sample_existing_key(),
+            Err(WorkloadError::NoKeysInserted)
+        );
+        g.next_insert_key();
+        assert!(g.try_sample_existing_key().is_ok());
+    }
+
+    #[test]
+    fn state_restore_resumes_the_exact_stream() {
+        for dist in [
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipfian(0.99),
+            KeyDistribution::Latest,
+        ] {
+            let mut g = YcsbGenerator::new(7, dist, 1000);
+            for _ in 0..200 {
+                g.next_insert_key();
+            }
+            let mix = OpMix::ycsb_a();
+            for _ in 0..57 {
+                g.next_op(&mix);
+            }
+            let state = g.state();
+            let tail: Vec<_> = (0..100).map(|_| g.next_op(&mix)).collect();
+            // A fresh generator with the same constructor args, rewound to
+            // the captured state, continues with the identical stream.
+            let mut h = YcsbGenerator::new(7, dist, 1000);
+            h.restore_state(&state);
+            let resumed: Vec<_> = (0..100).map(|_| h.next_op(&mix)).collect();
+            assert_eq!(tail, resumed, "distribution {dist:?}");
+        }
     }
 
     #[test]
