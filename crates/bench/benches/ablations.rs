@@ -31,7 +31,7 @@ fn read_buffer_capacity(c: &mut Criterion) {
                         m.clflushopt(t, a);
                     }
                 }
-                m.telemetry().read_amplification()
+                m.metrics().telemetry.read_amplification()
             })
         });
     }
@@ -62,7 +62,7 @@ fn periodic_writeback(c: &mut Criterion) {
                     }
                     m.sfence(t);
                 }
-                m.telemetry().write_amplification()
+                m.metrics().telemetry.write_amplification()
             })
         });
     }

@@ -18,6 +18,7 @@ fn fig02_read_buffer(c: &mut Criterion) {
                 generation: Generation::G1,
                 wss_points: vec![8 << 10, 24 << 10],
                 rounds: 2,
+                metrics: None,
             })
         })
     });
@@ -30,6 +31,7 @@ fn fig03_write_amp(c: &mut Criterion) {
                 generation: Generation::G1,
                 wss_points: vec![8 << 10, 24 << 10],
                 rounds: 4,
+                metrics: None,
             })
         })
     });

@@ -27,6 +27,9 @@ pub mod prefetch;
 pub mod setassoc;
 pub mod system;
 
-pub use prefetch::{PrefetchConfig, Prefetchers};
+pub use prefetch::{PrefetchConfig, PrefetcherStats, Prefetchers};
 pub use setassoc::{Cache, Evicted};
-pub use system::{AccessResult, CacheParams, CacheSystem, FlushMode, HitLevel};
+pub use system::{
+    AccessResult, CacheHierarchyStats, CacheLevelStats, CacheParams, CacheSystem, FlushMode,
+    HitLevel,
+};

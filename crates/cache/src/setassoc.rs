@@ -5,7 +5,7 @@
 //! persistent image; the cache only decides hits, misses, evictions, and
 //! write-backs.
 
-use simbase::{Addr, CACHELINE_BYTES};
+use simbase::{Addr, HitMiss, CACHELINE_BYTES};
 
 /// Metadata for one resident cacheline.
 #[derive(Debug, Clone, Copy)]
@@ -158,7 +158,13 @@ impl Cache {
         dirty
     }
 
+    /// Returns the hit/miss counters observed so far.
+    pub fn counters(&self) -> HitMiss {
+        HitMiss::of(self.hits, self.misses)
+    }
+
     /// Returns `(hits, misses)` observed so far.
+    #[deprecated(since = "0.1.0", note = "use `counters()`, which returns named fields")]
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
@@ -171,6 +177,12 @@ impl Cache {
     /// Returns `true` if no lines are resident.
     pub fn is_empty(&self) -> bool {
         self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// Clears hit/miss statistics without disturbing resident lines.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
     }
 
     /// Clears contents and statistics.
@@ -194,7 +206,29 @@ mod tests {
         assert!(!c.access(Addr(0), false));
         c.fill(Addr(0), false);
         assert!(c.access(Addr(0), false));
-        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.counters(), HitMiss::of(1, 1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn stats_shim_agrees_with_counters() {
+        let mut c = Cache::new(4096, 4);
+        c.access(Addr(0), false);
+        c.fill(Addr(0), false);
+        c.access(Addr(0), false);
+        let hm = c.counters();
+        assert_eq!(c.stats(), (hm.hits, hm.misses));
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = Cache::new(4096, 4);
+        c.access(Addr(0), false);
+        c.fill(Addr(0), false);
+        c.access(Addr(0), false);
+        c.reset_stats();
+        assert_eq!(c.counters(), HitMiss::new());
+        assert!(c.peek(Addr(0)), "resident lines survive a stats reset");
     }
 
     #[test]
@@ -279,7 +313,7 @@ mod tests {
         c.fill(Addr(0), false);
         assert!(c.peek(Addr(0)));
         assert!(!c.peek(Addr(64)));
-        assert_eq!(c.stats(), (0, 0));
+        assert_eq!(c.counters(), HitMiss::new());
     }
 
     #[test]
@@ -295,8 +329,7 @@ mod tests {
                 }
             }
         }
-        let (h, _) = c.stats();
-        assert_eq!(h, 64, "two warm passes fully hit");
+        assert_eq!(c.counters().hits, 64, "two warm passes fully hit");
         // Over-capacity sequential scan: every access misses.
         let mut c = Cache::new(64 * 64, 8);
         for _ in 0..3 {
@@ -306,8 +339,11 @@ mod tests {
                 }
             }
         }
-        let (h, m) = c.stats();
-        assert_eq!(h, 0, "sequential over-capacity scan never hits with LRU");
-        assert_eq!(m, 384);
+        let hm = c.counters();
+        assert_eq!(
+            hm.hits, 0,
+            "sequential over-capacity scan never hits with LRU"
+        );
+        assert_eq!(hm.misses, 384);
     }
 }

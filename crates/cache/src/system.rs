@@ -13,9 +13,9 @@
 //! persistence semantics and is modelled faithfully, including the G1/G2
 //! `clwb` difference.
 
-use simbase::{Addr, Cycles};
+use simbase::{Addr, Cycles, HitMiss};
 
-use crate::prefetch::{PrefetchConfig, Prefetchers};
+use crate::prefetch::{PrefetchConfig, PrefetcherStats, Prefetchers};
 use crate::setassoc::Cache;
 
 /// Geometry and latency of the cache hierarchy.
@@ -93,6 +93,72 @@ pub struct AccessResult {
     pub prefetch: Vec<Addr>,
 }
 
+/// Aggregated counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLevelStats {
+    /// Demand accesses served by this level.
+    pub hits: u64,
+    /// Demand accesses this level could not serve.
+    pub misses: u64,
+    /// Lines installed into this level by the hardware prefetchers rather
+    /// than by demand fills. Prefetches land in L2 (a later demand access
+    /// promotes them), so this is zero for L1 and L3.
+    pub prefetch_fills: u64,
+}
+
+impl CacheLevelStats {
+    /// Builds level stats from a hit/miss pair and a prefetch-fill count.
+    pub fn from_parts(hm: HitMiss, prefetch_fills: u64) -> Self {
+        CacheLevelStats {
+            hits: hm.hits,
+            misses: hm.misses,
+            prefetch_fills,
+        }
+    }
+
+    /// Returns the demand hit/miss counters as a pair-structure.
+    pub fn hit_miss(&self) -> HitMiss {
+        HitMiss::of(self.hits, self.misses)
+    }
+
+    /// Returns `hits / (hits + misses)`, or 0 when nothing was recorded.
+    pub fn hit_ratio(&self) -> f64 {
+        self.hit_miss().hit_ratio()
+    }
+
+    /// Adds another level's counters into this one.
+    pub fn merge(&mut self, other: &CacheLevelStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.prefetch_fills += other.prefetch_fills;
+    }
+}
+
+/// Aggregated counters for a whole socket's hierarchy: the three levels
+/// plus the per-prefetcher issue counts, summed over cores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheHierarchyStats {
+    /// Per-core L1d, aggregated.
+    pub l1: CacheLevelStats,
+    /// Per-core L2, aggregated.
+    pub l2: CacheLevelStats,
+    /// The shared L3.
+    pub l3: CacheLevelStats,
+    /// Prefetch suggestions issued, per prefetcher, aggregated over cores.
+    pub prefetch: PrefetcherStats,
+}
+
+impl CacheHierarchyStats {
+    /// Adds another hierarchy's counters into this one (multi-socket
+    /// aggregation).
+    pub fn merge(&mut self, other: &CacheHierarchyStats) {
+        self.l1.merge(&other.l1);
+        self.l2.merge(&other.l2);
+        self.l3.merge(&other.l3);
+        self.prefetch.merge(&other.prefetch);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct CoreCaches {
     l1: Cache,
@@ -106,6 +172,8 @@ pub struct CacheSystem {
     cores: Vec<CoreCaches>,
     l3: Cache,
     params: CacheParams,
+    /// Prefetched lines installed into L2 via [`CacheSystem::fill_prefetch`].
+    prefetch_fills: u64,
 }
 
 impl CacheSystem {
@@ -127,6 +195,7 @@ impl CacheSystem {
             cores,
             l3: Cache::new(params.l3_bytes, params.l3_ways),
             params,
+            prefetch_fills: 0,
         }
     }
 
@@ -217,6 +286,7 @@ impl CacheSystem {
     pub fn fill_prefetch(&mut self, core: usize, addr: Addr) -> Vec<Addr> {
         let mut wb = Vec::new();
         self.insert_l2(core, addr.cacheline(), false, &mut wb);
+        self.prefetch_fills += 1;
         wb
     }
 
@@ -285,19 +355,49 @@ impl CacheSystem {
         dirty
     }
 
-    /// Returns `(l1, l2, l3)` hit/miss pairs aggregated over all cores.
-    pub fn stats(&self) -> [(u64, u64); 3] {
-        let mut l1 = (0, 0);
-        let mut l2 = (0, 0);
+    /// Returns per-level and per-prefetcher counters aggregated over all
+    /// cores.
+    pub fn hierarchy_stats(&self) -> CacheHierarchyStats {
+        let mut l1 = HitMiss::new();
+        let mut l2 = HitMiss::new();
+        let mut prefetch = PrefetcherStats::default();
         for c in &self.cores {
-            let s1 = c.l1.stats();
-            l1.0 += s1.0;
-            l1.1 += s1.1;
-            let s2 = c.l2.stats();
-            l2.0 += s2.0;
-            l2.1 += s2.1;
+            l1.merge(&c.l1.counters());
+            l2.merge(&c.l2.counters());
+            prefetch.merge(&c.pf.stats());
         }
-        [l1, l2, self.l3.stats()]
+        CacheHierarchyStats {
+            l1: CacheLevelStats::from_parts(l1, 0),
+            l2: CacheLevelStats::from_parts(l2, self.prefetch_fills),
+            l3: CacheLevelStats::from_parts(self.l3.counters(), 0),
+            prefetch,
+        }
+    }
+
+    /// Clears every hit/miss and prefetch counter without disturbing
+    /// resident lines or prefetcher training state.
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.cores {
+            c.l1.reset_stats();
+            c.l2.reset_stats();
+            c.pf.reset_stats();
+        }
+        self.l3.reset_stats();
+        self.prefetch_fills = 0;
+    }
+
+    /// Returns `(l1, l2, l3)` hit/miss pairs aggregated over all cores.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `hierarchy_stats()`, which returns named fields"
+    )]
+    pub fn stats(&self) -> [(u64, u64); 3] {
+        let s = self.hierarchy_stats();
+        [
+            (s.l1.hits, s.l1.misses),
+            (s.l2.hits, s.l2.misses),
+            (s.l3.hits, s.l3.misses),
+        ]
     }
 }
 
@@ -440,12 +540,52 @@ mod tests {
                 s.access(0, Addr(i * 64), false);
             }
         }
-        let [_, _, l3] = s.stats();
+        let l3 = s.hierarchy_stats().l3;
         assert!(
-            l3.0 < lines / 4,
+            l3.hits < lines / 4,
             "sequential over-capacity scan should mostly miss L3, hits={}",
-            l3.0
+            l3.hits
         );
+    }
+
+    #[test]
+    fn hierarchy_stats_aggregate_cores_and_attribute_prefetch_fills() {
+        let mut s = small_system(PrefetchConfig::dcu_only());
+        s.access(0, Addr(0), false);
+        s.access(1, Addr(0), false);
+        let r = s.access(0, Addr(64), false);
+        assert!(!r.prefetch.is_empty());
+        for &a in &r.prefetch {
+            s.fill_prefetch(0, a);
+        }
+        let st = s.hierarchy_stats();
+        assert_eq!(st.l1.misses, 3, "both cores' L1 misses aggregate");
+        assert_eq!(st.l2.prefetch_fills, r.prefetch.len() as u64);
+        assert_eq!(st.l1.prefetch_fills, 0, "prefetches land in L2");
+        assert_eq!(st.prefetch.dcu, r.prefetch.len() as u64);
+        assert_eq!(st.prefetch.total(), st.prefetch.dcu);
+
+        s.reset_stats();
+        let st = s.hierarchy_stats();
+        assert_eq!(st, CacheHierarchyStats::default());
+        assert_eq!(
+            s.contains(0, Addr(0)),
+            Some(HitLevel::L1),
+            "stats reset keeps contents"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn stats_shim_agrees_with_hierarchy_stats() {
+        let mut s = small_system(PrefetchConfig::none());
+        s.access(0, Addr(0), false);
+        s.access(0, Addr(0), false);
+        let named = s.hierarchy_stats();
+        let [l1, l2, l3] = s.stats();
+        assert_eq!(l1, (named.l1.hits, named.l1.misses));
+        assert_eq!(l2, (named.l2.hits, named.l2.misses));
+        assert_eq!(l3, (named.l3.hits, named.l3.misses));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod config;
 pub mod crash;
 pub mod fault;
 pub mod machine;
+pub mod metrics;
 pub mod snapshot;
 pub mod telemetry;
 pub mod trace;
@@ -58,7 +59,11 @@ pub mod trace;
 pub use config::{Generation, MachineConfig};
 pub use crash::CrashImage;
 pub use fault::{FaultHooks, FaultStats, PartialDrain, ReadError, ScrubOutcome};
+pub use imc::ImcQueueStats;
 pub use machine::{CrashPolicy, Machine, MemRegion, ThreadId};
+pub use metrics::{
+    machine_registry, machine_row, machine_schema_json, MachineMetrics, MachineSampler,
+};
 pub use snapshot::{MachineSnapshot, SnapshotError, ThreadSnapshot};
 pub use telemetry::TelemetrySnapshot;
 pub use trace::{FenceKind, FlushKind, TraceEvent, TraceSink};

@@ -28,6 +28,7 @@ use xpmedia::SparseStore;
 use crate::config::MachineConfig;
 use crate::crash::CrashImage;
 use crate::fault::{FaultHooks, FaultStats, ReadError, ScrubOutcome};
+use crate::metrics::MachineMetrics;
 use crate::snapshot::{MachineSnapshot, SnapshotError, ThreadSnapshot};
 use crate::telemetry::TelemetrySnapshot;
 use crate::trace::{FenceKind, FlushKind, TraceEvent, TraceSink, TraceSlot};
@@ -119,6 +120,12 @@ pub struct Machine {
     trace: TraceSlot,
     faults: FaultHooks,
     fault_stats: FaultStats,
+    /// Counters accumulated before the last checkpoint quiesce. The
+    /// metrics view is `baseline + live`, which is what lets a restored
+    /// machine report the same cumulative numbers as one that never
+    /// stopped. `baseline.telemetry.demand` is always zero: the demand
+    /// counter itself survives quiescing.
+    metrics_baseline: MachineMetrics,
 }
 
 /// Garble pattern written over a line whose media cells lost their data.
@@ -154,6 +161,7 @@ impl Machine {
             trace: TraceSlot::default(),
             faults: FaultHooks::none(),
             fault_stats: FaultStats::default(),
+            metrics_baseline: MachineMetrics::default(),
         }
     }
 
@@ -830,28 +838,75 @@ impl Machine {
         }
     }
 
-    // ----- telemetry, crash, reset ------------------------------------
+    // ----- metrics, crash, reset --------------------------------------
 
-    /// Returns the current traffic counters.
-    pub fn telemetry(&self) -> TelemetrySnapshot {
-        TelemetrySnapshot {
-            imc: self.pm.imc_counters(),
-            media: self.pm.media_counters(),
-            dram: self.dram.counters(),
-            demand: self.demand,
+    /// Counters accumulated since construction, before any checkpoint
+    /// baseline is folded in.
+    fn live_metrics(&self) -> MachineMetrics {
+        MachineMetrics {
+            telemetry: TelemetrySnapshot {
+                imc: self.pm.imc_counters(),
+                media: self.pm.media_counters(),
+                dram: self.dram.counters(),
+                demand: self.demand,
+            },
+            sockets: self
+                .caches
+                .iter()
+                .map(CacheSystem::hierarchy_stats)
+                .collect(),
+            dimms: self.pm.dimm_stats(),
+            queues: self.pm.queue_stats(),
         }
     }
 
-    /// Returns per-DIMM statistics.
-    pub fn dimm_stats(&self) -> Vec<xpdimm::DimmStats> {
-        self.pm.dimm_stats()
+    /// Returns the unified metrics view: byte taps at every boundary,
+    /// per-socket cache and prefetcher counters, per-DIMM buffer/AIT
+    /// activity, and RPQ/WPQ occupancy.
+    ///
+    /// Counters are cumulative since construction (or the last
+    /// [`Machine::reset_metrics`]) and survive checkpoint/restore.
+    pub fn metrics(&self) -> MachineMetrics {
+        let mut m = self.live_metrics();
+        m.merge(&self.metrics_baseline);
+        m
     }
 
-    /// Resets traffic counters, keeping all cache/buffer contents warm.
-    pub fn reset_counters(&mut self) {
+    /// Zeroes every counter in the metrics view, keeping all cache and
+    /// buffer *contents* warm. Used between experiment warm-up and
+    /// measurement windows.
+    pub fn reset_metrics(&mut self) {
+        self.metrics_baseline = MachineMetrics::default();
         self.pm.reset_counters();
         self.dram.reset_all();
         self.demand.reset();
+        for c in &mut self.caches {
+            c.reset_stats();
+        }
+    }
+
+    /// Returns the current traffic counters.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `metrics()`, whose `.telemetry` field carries the byte taps"
+    )]
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.metrics().telemetry
+    }
+
+    /// Returns per-DIMM statistics.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `metrics()`, whose `.dimms` field carries per-DIMM stats"
+    )]
+    pub fn dimm_stats(&self) -> Vec<xpdimm::DimmStats> {
+        self.metrics().dimms
+    }
+
+    /// Resets traffic counters, keeping all cache/buffer contents warm.
+    #[deprecated(since = "0.1.0", note = "use `reset_metrics()`")]
+    pub fn reset_counters(&mut self) {
+        self.reset_metrics();
     }
 
     /// Simulates a power failure.
@@ -944,6 +999,7 @@ impl Machine {
         self.inflight_fills.clear();
         self.recent_flush.clear();
         self.demand.reset();
+        self.metrics_baseline = MachineMetrics::default();
         for t in &mut self.threads {
             t.outstanding_accept = 0;
         }
@@ -966,8 +1022,14 @@ impl Machine {
     /// killed here and resumed.
     pub fn checkpoint(&mut self) -> MachineSnapshot {
         let demand = self.demand;
+        // Fold the live counters into the baseline so the metrics view is
+        // continuous across the quiesce. Demand is kept out of the
+        // baseline: the counter itself survives (and is captured) below.
+        let mut baseline = self.metrics();
+        baseline.telemetry.demand = ByteCounter::new();
         self.cold_reset();
         self.demand = demand;
+        self.metrics_baseline = baseline.clone();
         self.faults = FaultHooks::none();
         self.fault_stats = FaultStats::default();
         // Re-seat the crash RNG at a recorded state so the continued and
@@ -992,6 +1054,7 @@ impl Machine {
             next_core: [self.next_core[0], self.next_core[1]],
             crash_rng_state: rng_state,
             demand,
+            metrics_baseline: baseline,
         }
     }
 
@@ -1019,6 +1082,7 @@ impl Machine {
         m.next_core = vec![snap.next_core[0], snap.next_core[1]];
         m.crash_rng = SplitMix64::from_state(snap.crash_rng_state);
         m.demand = snap.demand;
+        m.metrics_baseline = snap.metrics_baseline.clone();
         for &cl in &snap.poisoned {
             m.pm.poison_line(Addr(cl));
         }
@@ -1420,9 +1484,9 @@ mod tests {
         }
         m.sfence(t);
         m.cold_reset();
-        let before = m.telemetry();
+        let before = m.metrics().telemetry;
         m.copy_xpline_streaming(t, src, dst);
-        let d = m.telemetry().delta(&before);
+        let d = m.metrics().telemetry.delta(&before);
         assert_eq!(d.media.read, 256, "exactly one XPLine from the media");
         for i in 0..4u64 {
             assert_eq!(m.peek_u64(dst.add_cachelines(i)), 100 + i);
@@ -1438,7 +1502,7 @@ mod tests {
         m.cold_reset();
         assert_eq!(m.peek_u64(a), 77);
         assert_eq!(m.load_u64(t, a), 77);
-        let tel = m.telemetry();
+        let tel = m.metrics().telemetry;
         assert!(tel.media.read > 0, "caches are cold after reset");
     }
 
@@ -1452,7 +1516,7 @@ mod tests {
             m.load_u64(t, a.add_xplines(i));
             m.clflushopt(t, a.add_xplines(i));
         }
-        let tel = m.telemetry();
+        let tel = m.metrics().telemetry;
         assert_eq!(tel.imc.read, 16 * 64);
         assert_eq!(tel.media.read, 16 * 256);
         assert!((tel.read_amplification() - 4.0).abs() < 1e-9);
@@ -1611,7 +1675,7 @@ mod tests {
         assert_eq!(r.peek_u64(Addr(pm.0 + 64)), 22);
         assert_eq!(r.peek_u64(dr), 33);
         assert_eq!(r.now(t), now_before);
-        assert_eq!(r.telemetry().demand, m.telemetry().demand);
+        assert_eq!(r.metrics().telemetry.demand, m.metrics().telemetry.demand);
     }
 
     #[test]
@@ -1670,16 +1734,16 @@ mod tests {
         let mut m = g1();
         let t = m.spawn(0);
         let a = m.alloc_pm(64, 64);
-        let before = m.telemetry();
+        let before = m.metrics().telemetry;
         m.store_u64(t, a, 5);
-        let d = m.telemetry().delta(&before);
+        let d = m.metrics().telemetry.delta(&before);
         assert_eq!(d.imc.read, 64, "write-allocate fetches the line");
-        let before = m.telemetry();
+        let before = m.metrics().telemetry;
         let b = m.alloc_pm(64, 64);
         let mut line = [0u8; 64];
         line[0] = 9;
         m.store_full_cacheline(t, b, &line);
-        let d = m.telemetry().delta(&before);
+        let d = m.metrics().telemetry.delta(&before);
         assert_eq!(d.imc.read, 0, "full-line store skips the fetch");
         assert_eq!(m.peek_u64(b) & 0xFF, 9);
     }

@@ -1,0 +1,393 @@
+//! The unified machine metrics view and its `simwatch` schema.
+//!
+//! Before this module existed, every layer exported counters through its
+//! own ad-hoc surface — tuple-returning `stats()` methods, the standalone
+//! [`TelemetrySnapshot`], a `Vec` of per-DIMM structs — and callers glued
+//! them together by positional convention. [`MachineMetrics`] is the one
+//! stats view: byte taps at the iMC and media boundaries (the paper's two
+//! §2.4 `ipmwatch` observation points), per-socket cache and prefetcher
+//! counters, per-DIMM buffer/AIT activity, and RPQ/WPQ occupancy.
+//!
+//! The [`machine_registry`]/[`machine_row`] pair bridges the view into the
+//! [`obs`] sampled-metrics subsystem: the registry names every column once
+//! and a row renders one snapshot, so a sim-clock-driven sampler can emit
+//! a deterministic time series without knowing anything about the machine.
+
+use cpucache::CacheHierarchyStats;
+use imc::ImcQueueStats;
+use obs::{MetricKind, Registry, Value};
+use simbase::stats::ratio;
+use xpdimm::DimmStats;
+
+use crate::telemetry::TelemetrySnapshot;
+
+/// Every counter the machine exposes, in one named structure.
+///
+/// Counters are cumulative since machine construction (or the last
+/// [`Machine::reset_metrics`](crate::Machine::reset_metrics)) and survive
+/// checkpoint/restore: [`Machine::checkpoint`](crate::Machine::checkpoint)
+/// folds the live counters into a baseline carried by the snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineMetrics {
+    /// Byte taps: iMC boundary, media boundary, DRAM channel, demand.
+    pub telemetry: TelemetrySnapshot,
+    /// Cache hierarchy and prefetcher counters, one entry per socket.
+    pub sockets: Vec<CacheHierarchyStats>,
+    /// On-DIMM buffer, AIT, and media counters, one entry per DIMM.
+    pub dimms: Vec<DimmStats>,
+    /// iMC RPQ/WPQ occupancy, one entry per DIMM.
+    pub queues: Vec<ImcQueueStats>,
+}
+
+fn merge_vecs<T: Default + Clone>(into: &mut Vec<T>, from: &[T], merge: impl Fn(&mut T, &T)) {
+    if into.len() < from.len() {
+        into.resize(from.len(), T::default());
+    }
+    for (a, b) in into.iter_mut().zip(from) {
+        merge(a, b);
+    }
+}
+
+impl MachineMetrics {
+    /// Folds another window of observations into this one (checkpoint
+    /// epochs, or aggregation across machines).
+    pub fn merge(&mut self, other: &MachineMetrics) {
+        self.telemetry.merge(&other.telemetry);
+        merge_vecs(&mut self.sockets, &other.sockets, |a, b| a.merge(b));
+        merge_vecs(&mut self.dimms, &other.dimms, |a, b| a.merge(b));
+        merge_vecs(&mut self.queues, &other.queues, |a, b| a.merge(b));
+    }
+
+    /// Cache counters summed over both sockets.
+    pub fn cache_total(&self) -> CacheHierarchyStats {
+        let mut total = CacheHierarchyStats::default();
+        for s in &self.sockets {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// DIMM counters summed over all DIMMs.
+    pub fn dimm_total(&self) -> DimmStats {
+        let mut total = DimmStats::default();
+        for d in &self.dimms {
+            total.merge(d);
+        }
+        total
+    }
+
+    /// Queue occupancy folded over all DIMMs (`max_depth` is the deepest
+    /// any single queue got; counters add).
+    pub fn queue_total(&self) -> ImcQueueStats {
+        let mut total = ImcQueueStats::default();
+        for q in &self.queues {
+            total.merge(q);
+        }
+        total
+    }
+}
+
+/// Builds the machine's `simwatch` metric registry.
+///
+/// The column set is aggregated (summed over sockets and DIMMs) so the
+/// schema is identical for every machine configuration; per-DIMM drill-down
+/// stays available through [`MachineMetrics::dimms`].
+pub fn machine_registry() -> Registry {
+    let mut r = Registry::new();
+    let mut c = |name: &str, help: &str| {
+        r.register(name, MetricKind::Counter, help);
+    };
+    c(
+        "imc_read_bytes",
+        "bytes read at the iMC boundary (64 B lines)",
+    );
+    c("imc_write_bytes", "bytes written at the iMC boundary");
+    c(
+        "media_read_bytes",
+        "bytes read at the media boundary (256 B XPLines)",
+    );
+    c("media_write_bytes", "bytes written at the media boundary");
+    c("dram_read_bytes", "bytes read on the DRAM channel");
+    c("dram_write_bytes", "bytes written on the DRAM channel");
+    c("demand_read_bytes", "bytes the program demanded via loads");
+    c(
+        "demand_write_bytes",
+        "bytes the program demanded via stores",
+    );
+    c("l1_hits", "L1 hits, summed over sockets");
+    c("l1_misses", "L1 misses, summed over sockets");
+    c("l2_hits", "L2 hits, summed over sockets");
+    c("l2_misses", "L2 misses, summed over sockets");
+    c("l3_hits", "L3 hits, summed over sockets");
+    c("l3_misses", "L3 misses, summed over sockets");
+    c(
+        "prefetch_dcu",
+        "lines suggested by the DCU next-line prefetcher",
+    );
+    c(
+        "prefetch_adjacent",
+        "lines suggested by the adjacent/buddy prefetcher",
+    );
+    c("prefetch_stream", "lines suggested by the L2 streamer");
+    c(
+        "prefetch_fills",
+        "prefetch suggestions that filled a cache level",
+    );
+    c("rb_hits", "on-DIMM read-buffer hits, summed over DIMMs");
+    c("rb_misses", "on-DIMM read-buffer misses");
+    c("wb_hits", "on-DIMM write-buffer (XPBuffer) hits");
+    c("wb_misses", "on-DIMM write-buffer misses");
+    c("ait_hits", "AIT cache hits");
+    c("ait_misses", "AIT cache misses");
+    c(
+        "rmw_reads",
+        "media read-modify-writes from partial-line evictions",
+    );
+    c("periodic_writebacks", "G1 periodic full-line write-backs");
+    c("wb_evictions", "write-buffer capacity evictions");
+    c("rpq_accepts", "reads accepted into any RPQ");
+    c("wpq_accepts", "writes accepted into any WPQ");
+    c("wpq_stall_cycles", "cycles writes stalled on a full WPQ");
+    r.register(
+        "rpq_max_depth",
+        MetricKind::Gauge,
+        "deepest single-DIMM RPQ backlog",
+    );
+    r.register(
+        "wpq_max_depth",
+        MetricKind::Gauge,
+        "deepest single-DIMM WPQ backlog",
+    );
+    r.register(
+        "read_amp",
+        MetricKind::Ratio,
+        "media read bytes / iMC read bytes",
+    );
+    r.register(
+        "write_amp",
+        MetricKind::Ratio,
+        "media write bytes / iMC write bytes",
+    );
+    r.register(
+        "rb_hit_ratio",
+        MetricKind::Ratio,
+        "read-buffer hits / lookups (null before any lookup)",
+    );
+    r.register(
+        "wb_hit_ratio",
+        MetricKind::Ratio,
+        "write-buffer hits / lookups (null before any lookup)",
+    );
+    r.register(
+        "write_absorption",
+        MetricKind::Ratio,
+        "fraction of iMC write bytes coalesced on-DIMM (null with no writes)",
+    );
+    r
+}
+
+fn ratio_or_null(num: u64, den: u64) -> Value {
+    if den == 0 {
+        Value::F64(f64::NAN) // renders as null
+    } else {
+        Value::F64(ratio(num, den))
+    }
+}
+
+/// Renders one [`MachineMetrics`] snapshot as a row matching
+/// [`machine_registry`]'s column order.
+pub fn machine_row(m: &MachineMetrics) -> Vec<Value> {
+    let tel = &m.telemetry;
+    let cache = m.cache_total();
+    let dimm = m.dimm_total();
+    let queue = m.queue_total();
+    let prefetch_fills =
+        cache.l1.prefetch_fills + cache.l2.prefetch_fills + cache.l3.prefetch_fills;
+    vec![
+        Value::U64(tel.imc.read),
+        Value::U64(tel.imc.write),
+        Value::U64(tel.media.read),
+        Value::U64(tel.media.write),
+        Value::U64(tel.dram.read),
+        Value::U64(tel.dram.write),
+        Value::U64(tel.demand.read),
+        Value::U64(tel.demand.write),
+        Value::U64(cache.l1.hits),
+        Value::U64(cache.l1.misses),
+        Value::U64(cache.l2.hits),
+        Value::U64(cache.l2.misses),
+        Value::U64(cache.l3.hits),
+        Value::U64(cache.l3.misses),
+        Value::U64(cache.prefetch.dcu),
+        Value::U64(cache.prefetch.adjacent),
+        Value::U64(cache.prefetch.stream),
+        Value::U64(prefetch_fills),
+        Value::U64(dimm.read_buffer.hits),
+        Value::U64(dimm.read_buffer.misses),
+        Value::U64(dimm.write_buffer.hits),
+        Value::U64(dimm.write_buffer.misses),
+        Value::U64(dimm.ait.hits),
+        Value::U64(dimm.ait.misses),
+        Value::U64(dimm.rmw_reads),
+        Value::U64(dimm.periodic_writebacks),
+        Value::U64(dimm.evictions),
+        Value::U64(queue.rpq.accepts),
+        Value::U64(queue.wpq.accepts),
+        Value::U64(queue.wpq.stall_cycles),
+        Value::U64(queue.rpq.max_depth),
+        Value::U64(queue.wpq.max_depth),
+        ratio_or_null(tel.media.read, tel.imc.read),
+        ratio_or_null(tel.media.write, tel.imc.write),
+        ratio_or_null(dimm.read_buffer.hits, dimm.read_buffer.total()),
+        ratio_or_null(dimm.write_buffer.hits, dimm.write_buffer.total()),
+        match tel.write_absorption() {
+            Some(a) => Value::F64(a),
+            None => Value::F64(f64::NAN),
+        },
+    ]
+}
+
+/// A sim-clock-driven sampler over the machine's metric registry: the
+/// simulator's `ipmwatch -t`.
+///
+/// Poll it from the experiment loop with the driving thread's clock; it
+/// emits at most one row per crossed sampling boundary, stamped at the
+/// boundary, so the resulting time series is a pure function of the
+/// instruction stream — byte-identical across same-seed runs.
+#[derive(Debug)]
+pub struct MachineSampler {
+    sampler: obs::Sampler,
+}
+
+impl MachineSampler {
+    /// Creates a sampler emitting every `interval` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: simbase::Cycles) -> Self {
+        MachineSampler {
+            sampler: obs::Sampler::new(machine_registry(), interval),
+        }
+    }
+
+    /// Labels subsequent rows (e.g. the current sweep point).
+    pub fn set_context(&mut self, ctx: impl Into<String>) {
+        self.sampler.set_context(ctx);
+    }
+
+    /// Samples the machine if `now` crossed a sampling boundary.
+    pub fn poll(&mut self, machine: &crate::Machine, now: simbase::Cycles) {
+        if self.sampler.due(now) {
+            self.sampler.record(now, machine_row(&machine.metrics()));
+        }
+    }
+
+    /// Unconditionally appends a final row at `now` (end-of-point totals).
+    pub fn record_final(&mut self, machine: &crate::Machine, now: simbase::Cycles) {
+        self.sampler
+            .record_final(now, machine_row(&machine.metrics()));
+    }
+
+    /// Renders all rows as JSON lines.
+    pub fn to_jsonl(&self) -> String {
+        self.sampler.to_jsonl()
+    }
+
+    /// Renders all rows as CSV.
+    pub fn to_csv(&self) -> String {
+        self.sampler.to_csv()
+    }
+
+    /// Number of rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.sampler.len()
+    }
+
+    /// Returns `true` when no row has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sampler.is_empty()
+    }
+}
+
+/// The machine schema as JSON (for the checked-in
+/// `schemas/metrics.schema.json` and external validators).
+pub fn machine_schema_json() -> String {
+    machine_registry().schema_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simbase::{ByteCounter, HitMiss};
+
+    fn sample() -> MachineMetrics {
+        let mut m = MachineMetrics::default();
+        m.telemetry.imc = ByteCounter {
+            read: 640,
+            write: 128,
+        };
+        m.telemetry.media = ByteCounter {
+            read: 2560,
+            write: 256,
+        };
+        m.dimms.push(DimmStats {
+            read_buffer: HitMiss::of(3, 1),
+            write_buffer: HitMiss::of(5, 5),
+            ..DimmStats::default()
+        });
+        m.queues.push(ImcQueueStats::default());
+        m
+    }
+
+    #[test]
+    fn row_width_matches_registry() {
+        let reg = machine_registry();
+        let row = machine_row(&sample());
+        assert_eq!(row.len(), reg.len());
+    }
+
+    #[test]
+    fn derived_columns_compute_from_taps() {
+        let reg = machine_registry();
+        let row = machine_row(&sample());
+        let col = |name: &str| {
+            let idx = reg
+                .defs()
+                .iter()
+                .position(|d| d.name == name)
+                .expect("column exists");
+            row[idx].render()
+        };
+        assert_eq!(col("read_amp"), "4");
+        assert_eq!(col("write_amp"), "2");
+        assert_eq!(col("rb_hit_ratio"), "0.75");
+        assert_eq!(col("wb_hit_ratio"), "0.5");
+        // 1 - min(256/128, 1) = 0: media wrote more than the iMC sent.
+        assert_eq!(col("write_absorption"), "0");
+    }
+
+    #[test]
+    fn empty_machine_renders_null_ratios() {
+        let reg = machine_registry();
+        let row = machine_row(&MachineMetrics::default());
+        let idx = reg
+            .defs()
+            .iter()
+            .position(|d| d.name == "write_absorption")
+            .unwrap();
+        assert_eq!(row[idx].render(), "null");
+    }
+
+    #[test]
+    fn merge_extends_and_accumulates() {
+        let mut a = MachineMetrics::default();
+        let b = sample();
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.telemetry.imc.read, 1280);
+        assert_eq!(a.dimms.len(), 1);
+        assert_eq!(a.dimms[0].read_buffer, HitMiss::of(6, 2));
+        assert_eq!(a.queue_total(), ImcQueueStats::default());
+    }
+}

@@ -34,13 +34,22 @@
 
 use std::fmt;
 
-use simbase::{ByteCounter, WireError, WireReader, WireWriter};
+use cpucache::{CacheHierarchyStats, CacheLevelStats, PrefetcherStats};
+use imc::ImcQueueStats;
+use simbase::{ByteCounter, HitMiss, QueueStats, WireError, WireReader, WireWriter};
+use xpdimm::DimmStats;
 use xpmedia::SparseStore;
 
 use crate::config::MachineConfig;
+use crate::metrics::MachineMetrics;
+use crate::telemetry::TelemetrySnapshot;
 
 /// Magic + version prefix of an encoded snapshot.
-const MAGIC: &[u8; 8] = b"OPSNAP01";
+///
+/// `02` added the folded metrics baseline; `01` snapshots are rejected
+/// (jobs restart from scratch rather than resume with silently dropped
+/// counters).
+const MAGIC: &[u8; 8] = b"OPSNAP02";
 
 /// A malformed, truncated, or mismatched snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +125,10 @@ pub struct MachineSnapshot {
     pub crash_rng_state: u64,
     /// Demand byte counters at capture.
     pub demand: ByteCounter,
+    /// Cumulative metrics folded at the quiesce point (demand zeroed —
+    /// it travels in [`MachineSnapshot::demand`]). Restore seeds the
+    /// machine's baseline from this so the metrics view is continuous.
+    pub metrics_baseline: MachineMetrics,
 }
 
 /// FNV-1a over the `Debug` rendering of the configuration. The config is
@@ -129,6 +142,136 @@ pub fn config_fingerprint(cfg: &MachineConfig) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+fn put_byte_counter(w: &mut WireWriter, c: &ByteCounter) {
+    w.put_u64(c.read);
+    w.put_u64(c.write);
+}
+
+fn get_byte_counter(r: &mut WireReader<'_>) -> Result<ByteCounter, SnapshotError> {
+    let mut c = ByteCounter::new();
+    c.add_read(r.get_u64()?);
+    c.add_write(r.get_u64()?);
+    Ok(c)
+}
+
+fn put_hit_miss(w: &mut WireWriter, hm: &HitMiss) {
+    w.put_u64(hm.hits);
+    w.put_u64(hm.misses);
+}
+
+fn get_hit_miss(r: &mut WireReader<'_>) -> Result<HitMiss, SnapshotError> {
+    Ok(HitMiss::of(r.get_u64()?, r.get_u64()?))
+}
+
+fn put_queue_stats(w: &mut WireWriter, q: &QueueStats) {
+    w.put_u64(q.accepts);
+    w.put_u64(q.max_depth);
+    w.put_u64(q.stall_cycles);
+}
+
+fn get_queue_stats(r: &mut WireReader<'_>) -> Result<QueueStats, SnapshotError> {
+    Ok(QueueStats {
+        accepts: r.get_u64()?,
+        max_depth: r.get_u64()?,
+        stall_cycles: r.get_u64()?,
+    })
+}
+
+fn put_cache_level(w: &mut WireWriter, l: &CacheLevelStats) {
+    w.put_u64(l.hits);
+    w.put_u64(l.misses);
+    w.put_u64(l.prefetch_fills);
+}
+
+fn get_cache_level(r: &mut WireReader<'_>) -> Result<CacheLevelStats, SnapshotError> {
+    Ok(CacheLevelStats {
+        hits: r.get_u64()?,
+        misses: r.get_u64()?,
+        prefetch_fills: r.get_u64()?,
+    })
+}
+
+fn encode_metrics(w: &mut WireWriter, m: &MachineMetrics) {
+    put_byte_counter(w, &m.telemetry.imc);
+    put_byte_counter(w, &m.telemetry.media);
+    put_byte_counter(w, &m.telemetry.dram);
+    put_byte_counter(w, &m.telemetry.demand);
+    w.put_u64(m.sockets.len() as u64);
+    for s in &m.sockets {
+        put_cache_level(w, &s.l1);
+        put_cache_level(w, &s.l2);
+        put_cache_level(w, &s.l3);
+        w.put_u64(s.prefetch.dcu);
+        w.put_u64(s.prefetch.adjacent);
+        w.put_u64(s.prefetch.stream);
+    }
+    w.put_u64(m.dimms.len() as u64);
+    for d in &m.dimms {
+        put_hit_miss(w, &d.read_buffer);
+        put_hit_miss(w, &d.write_buffer);
+        put_byte_counter(w, &d.media);
+        put_hit_miss(w, &d.ait);
+        w.put_u64(d.rmw_reads);
+        w.put_u64(d.periodic_writebacks);
+        w.put_u64(d.evictions);
+    }
+    w.put_u64(m.queues.len() as u64);
+    for q in &m.queues {
+        put_queue_stats(w, &q.rpq);
+        put_queue_stats(w, &q.wpq);
+    }
+}
+
+fn decode_metrics(r: &mut WireReader<'_>) -> Result<MachineMetrics, SnapshotError> {
+    let telemetry = TelemetrySnapshot {
+        imc: get_byte_counter(r)?,
+        media: get_byte_counter(r)?,
+        dram: get_byte_counter(r)?,
+        demand: get_byte_counter(r)?,
+    };
+    let n_sockets = r.get_u64()?;
+    let mut sockets = Vec::with_capacity(n_sockets.min(1 << 8) as usize);
+    for _ in 0..n_sockets {
+        sockets.push(CacheHierarchyStats {
+            l1: get_cache_level(r)?,
+            l2: get_cache_level(r)?,
+            l3: get_cache_level(r)?,
+            prefetch: PrefetcherStats {
+                dcu: r.get_u64()?,
+                adjacent: r.get_u64()?,
+                stream: r.get_u64()?,
+            },
+        });
+    }
+    let n_dimms = r.get_u64()?;
+    let mut dimms = Vec::with_capacity(n_dimms.min(1 << 8) as usize);
+    for _ in 0..n_dimms {
+        dimms.push(DimmStats {
+            read_buffer: get_hit_miss(r)?,
+            write_buffer: get_hit_miss(r)?,
+            media: get_byte_counter(r)?,
+            ait: get_hit_miss(r)?,
+            rmw_reads: r.get_u64()?,
+            periodic_writebacks: r.get_u64()?,
+            evictions: r.get_u64()?,
+        });
+    }
+    let n_queues = r.get_u64()?;
+    let mut queues = Vec::with_capacity(n_queues.min(1 << 8) as usize);
+    for _ in 0..n_queues {
+        queues.push(ImcQueueStats {
+            rpq: get_queue_stats(r)?,
+            wpq: get_queue_stats(r)?,
+        });
+    }
+    Ok(MachineMetrics {
+        telemetry,
+        sockets,
+        dimms,
+        queues,
+    })
 }
 
 fn encode_store(w: &mut WireWriter, s: &SparseStore) {
@@ -181,6 +324,7 @@ impl MachineSnapshot {
         w.put_u64(self.crash_rng_state);
         w.put_u64(self.demand.read);
         w.put_u64(self.demand.write);
+        encode_metrics(&mut w, &self.metrics_baseline);
         w.into_bytes()
     }
 
@@ -213,6 +357,7 @@ impl MachineSnapshot {
         let mut demand = ByteCounter::new();
         demand.add_read(r.get_u64()?);
         demand.add_write(r.get_u64()?);
+        let metrics_baseline = decode_metrics(&mut r)?;
         Ok(MachineSnapshot {
             cfg_fingerprint,
             persistent,
@@ -224,6 +369,7 @@ impl MachineSnapshot {
             next_core,
             crash_rng_state,
             demand,
+            metrics_baseline,
         })
     }
 }
@@ -267,6 +413,35 @@ mod tests {
                 d.add_write(200);
                 d
             },
+            metrics_baseline: {
+                let mut m = MachineMetrics::default();
+                m.telemetry.imc = ByteCounter {
+                    read: 640,
+                    write: 320,
+                };
+                m.sockets.push(CacheHierarchyStats {
+                    l1: CacheLevelStats {
+                        hits: 10,
+                        misses: 2,
+                        prefetch_fills: 0,
+                    },
+                    ..CacheHierarchyStats::default()
+                });
+                m.dimms.push(DimmStats {
+                    read_buffer: HitMiss::of(7, 3),
+                    evictions: 5,
+                    ..DimmStats::default()
+                });
+                m.queues.push(ImcQueueStats {
+                    wpq: QueueStats {
+                        accepts: 9,
+                        max_depth: 4,
+                        stall_cycles: 123,
+                    },
+                    ..ImcQueueStats::default()
+                });
+                m
+            },
         }
     }
 
@@ -283,6 +458,7 @@ mod tests {
         assert_eq!(d.next_core, s.next_core);
         assert_eq!(d.crash_rng_state, s.crash_rng_state);
         assert_eq!(d.demand, s.demand);
+        assert_eq!(d.metrics_baseline, s.metrics_baseline);
         assert_eq!(d.persistent.read_u64(Addr(0x1000)), 42);
         assert_eq!(d.dram_image.read_u64(Addr(0x2000)), 7);
         // Deterministic encoding: re-encoding the decoded snapshot is

@@ -47,11 +47,15 @@ impl TelemetrySnapshot {
 
     /// Write-buffer efficiency: fraction of iMC-issued write bytes that
     /// never reached the media (coalesced on-DIMM).
-    pub fn write_absorption(&self) -> f64 {
+    ///
+    /// Returns `None` when no write bytes crossed the iMC — "no writes"
+    /// and "no absorption" are different findings, and conflating them as
+    /// `0.0` skewed idle-window averages.
+    pub fn write_absorption(&self) -> Option<f64> {
         if self.imc.write == 0 {
-            0.0
+            None
         } else {
-            1.0 - ratio(self.media.write, self.imc.write).min(1.0)
+            Some(1.0 - ratio(self.media.write, self.imc.write).min(1.0))
         }
     }
 
@@ -62,6 +66,19 @@ impl TelemetrySnapshot {
             media: self.media.delta(&earlier.media),
             dram: self.dram.delta(&earlier.dram),
             demand: self.demand.delta(&earlier.demand),
+        }
+    }
+
+    /// Counter-wise accumulation (folding checkpoint epochs together).
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (into, from) in [
+            (&mut self.imc, &other.imc),
+            (&mut self.media, &other.media),
+            (&mut self.dram, &other.dram),
+            (&mut self.demand, &other.demand),
+        ] {
+            into.read += from.read;
+            into.write += from.write;
         }
     }
 }
@@ -107,9 +124,19 @@ mod tests {
     #[test]
     fn absorption_is_one_minus_wa() {
         let s = snap(0, 1000, 0, 250, 0, 0);
-        assert!((s.write_absorption() - 0.75).abs() < 1e-9);
+        let a = s.write_absorption().expect("writes crossed the iMC");
+        assert!((a - 0.75).abs() < 1e-9);
         let none = snap(0, 0, 0, 0, 0, 0);
-        assert_eq!(none.write_absorption(), 0.0);
+        assert_eq!(none.write_absorption(), None, "no writes, no verdict");
+    }
+
+    #[test]
+    fn merge_accumulates_fieldwise() {
+        let mut a = snap(100, 200, 300, 400, 500, 600);
+        a.merge(&snap(1, 2, 3, 4, 5, 6));
+        assert_eq!(a.imc.read, 101);
+        assert_eq!(a.media.write, 404);
+        assert_eq!(a.demand.write, 606);
     }
 
     #[test]

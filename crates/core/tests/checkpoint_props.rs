@@ -110,7 +110,28 @@ proptest! {
         }
 
         prop_assert_eq!(base.m.now(base.t), resumed.m.now(resumed.t));
-        prop_assert_eq!(base.m.telemetry(), resumed.m.telemetry());
+        // The whole unified metrics view — byte taps, cache counters,
+        // per-DIMM buffer stats, queue occupancy — must be continuous
+        // across the kill/restore, not just the demand counter.
+        prop_assert_eq!(base.m.metrics(), resumed.m.metrics());
         prop_assert_eq!(base.m.checkpoint().encode(), resumed.m.checkpoint().encode());
+    }
+
+    #[test]
+    fn quiescing_does_not_lose_accumulated_metrics(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut a = build(Generation::G1);
+        for op in &ops {
+            apply(&mut a, *op);
+        }
+        let before = a.m.metrics();
+        let _ = a.m.checkpoint();
+        prop_assert_eq!(a.m.metrics(), before.clone());
+        // And a machine restored from the snapshot reports the same
+        // cumulative counters as the live one.
+        let cfg = MachineConfig::for_generation(Generation::G1, PrefetchConfig::none(), 1);
+        let r = Machine::restore(cfg, &a.m.checkpoint()).unwrap();
+        prop_assert_eq!(r.metrics(), before);
     }
 }

@@ -1,0 +1,22 @@
+//! Keeps the checked-in metrics schema in lockstep with the registry.
+//!
+//! `schemas/metrics.schema.json` is the contract CI validates emitted
+//! `simwatch` series against (via `metricsval`). It must be exactly
+//! what [`optane_core::machine_schema_json`] produces — regenerate it
+//! with `cargo run -p experiments --bin metricsval -- --print-schema`
+//! whenever the registry changes.
+
+use std::path::Path;
+
+#[test]
+fn checked_in_schema_matches_the_registry() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../schemas/metrics.schema.json");
+    let on_disk = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        on_disk,
+        optane_core::machine_schema_json(),
+        "schemas/metrics.schema.json is stale; regenerate with \
+         `cargo run -p experiments --bin metricsval -- --print-schema`"
+    );
+}

@@ -565,11 +565,11 @@ mod tests {
         let mut t = Cceh::create(&mut env, 2);
         t.insert(&mut env, 42, 1);
         drop(env);
-        let before = m.telemetry();
+        let before = m.metrics().telemetry;
         let mut env = SimEnv::new(&mut m, tid);
         t.prefetch_for_key(&mut env, 42);
         drop(env);
-        let d = m.telemetry().delta(&before);
+        let d = m.metrics().telemetry.delta(&before);
         assert_eq!(d.demand.write, 0, "helper performs no stores");
     }
 

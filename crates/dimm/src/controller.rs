@@ -2,7 +2,7 @@
 //! buffer, and the media into the cacheline-granularity DDR-T endpoint the
 //! iMC talks to.
 
-use simbase::{Addr, ByteCounter, Counter, Cycles};
+use simbase::{Addr, ByteCounter, Counter, Cycles, HitMiss};
 use xpmedia::{MediaParams, XpMedia};
 
 use crate::read_buffer::{RbLookup, ReadBuffer};
@@ -59,22 +59,37 @@ pub enum ReadSource {
 
 /// Aggregated DIMM statistics (the simulator's `ipmwatch` media view plus
 /// buffer internals).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DimmStats {
-    /// Read buffer `(hits, misses)`.
-    pub read_buffer: (u64, u64),
-    /// Write buffer `(hits, misses)`.
-    pub write_buffer: (u64, u64),
+    /// Read buffer hit/miss counters.
+    pub read_buffer: HitMiss,
+    /// Write buffer hit/miss counters.
+    pub write_buffer: HitMiss,
     /// Media-boundary byte counters.
     pub media: ByteCounter,
-    /// AIT cache `(hits, misses)`.
-    pub ait: (u64, u64),
+    /// AIT cache hit/miss counters.
+    pub ait: HitMiss,
     /// Read-modify-write media reads caused by partial-line evictions.
     pub rmw_reads: u64,
     /// Lines flushed by the G1 periodic full-line write-back.
     pub periodic_writebacks: u64,
     /// Capacity evictions from the write buffer.
     pub evictions: u64,
+}
+
+impl DimmStats {
+    /// Adds another snapshot's counters into this one (aggregation across
+    /// DIMMs or across checkpoint epochs).
+    pub fn merge(&mut self, other: &DimmStats) {
+        self.read_buffer.merge(&other.read_buffer);
+        self.write_buffer.merge(&other.write_buffer);
+        self.media.read += other.media.read;
+        self.media.write += other.media.write;
+        self.ait.merge(&other.ait);
+        self.rmw_reads += other.rmw_reads;
+        self.periodic_writebacks += other.periodic_writebacks;
+        self.evictions += other.evictions;
+    }
 }
 
 /// One simulated Optane DIMM.
@@ -213,10 +228,10 @@ impl DimmController {
     /// Returns a consistent statistics snapshot.
     pub fn stats(&self) -> DimmStats {
         DimmStats {
-            read_buffer: self.rb.stats(),
-            write_buffer: self.wb.stats(),
+            read_buffer: self.rb.counters(),
+            write_buffer: self.wb.counters(),
             media: self.media.counters(),
-            ait: self.media.ait_stats(),
+            ait: self.media.ait_counters(),
             rmw_reads: self.rmw_reads.get(),
             periodic_writebacks: self.periodic_writebacks.get(),
             evictions: self.evictions.get(),
@@ -241,6 +256,8 @@ impl DimmController {
     /// Resets counters but keeps buffer and AIT contents (between benchmark
     /// phases).
     pub fn reset_counters(&mut self) {
+        self.rb.reset_stats();
+        self.wb.reset_stats();
         self.media.reset_counters();
         self.rmw_reads.reset();
         self.periodic_writebacks.reset();

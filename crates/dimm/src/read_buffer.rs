@@ -16,7 +16,7 @@
 
 use std::collections::VecDeque;
 
-use simbase::{Addr, CACHELINES_PER_XPLINE};
+use simbase::{Addr, HitMiss, CACHELINES_PER_XPLINE};
 
 /// One buffered XPLine.
 #[derive(Debug, Clone, Copy)]
@@ -145,16 +145,27 @@ impl ReadBuffer {
         self.capacity
     }
 
+    /// Returns the hit/miss counters observed so far.
+    pub fn counters(&self) -> HitMiss {
+        HitMiss::of(self.hits, self.misses)
+    }
+
     /// Returns `(hits, misses)` observed so far.
+    #[deprecated(since = "0.1.0", note = "use `counters()`, which returns named fields")]
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Clears statistics only; buffered contents stay warm.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
     }
 
     /// Clears contents and statistics.
     pub fn reset(&mut self) {
         self.entries.clear();
-        self.hits = 0;
-        self.misses = 0;
+        self.reset_stats();
     }
 }
 
@@ -256,6 +267,6 @@ mod tests {
         rb.lookup_consume(Addr(64));
         rb.reset();
         assert!(rb.is_empty());
-        assert_eq!(rb.stats(), (0, 0));
+        assert_eq!(rb.counters(), HitMiss::new());
     }
 }

@@ -16,7 +16,7 @@
 //!   amplification 1 even for tiny working sets; G2 disables the periodic
 //!   write-back.
 
-use simbase::{Addr, Cycles, SplitMix64, CACHELINES_PER_XPLINE};
+use simbase::{Addr, Cycles, HitMiss, SplitMix64, CACHELINES_PER_XPLINE};
 
 /// One write-buffer slot.
 #[derive(Debug, Clone, Copy)]
@@ -244,7 +244,13 @@ impl WriteBuffer {
         self.capacity
     }
 
+    /// Returns the hit/miss counters observed so far.
+    pub fn counters(&self) -> HitMiss {
+        HitMiss::of(self.hits, self.misses)
+    }
+
     /// Returns `(hits, misses)` observed so far.
+    #[deprecated(since = "0.1.0", note = "use `counters()`, which returns named fields")]
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
@@ -257,6 +263,12 @@ impl WriteBuffer {
     pub fn reset(&mut self) {
         self.entries.clear();
         self.rng = SplitMix64::new(self.seed);
+        self.reset_stats();
+    }
+
+    /// Clears statistics only; buffered contents and the RNG stream stay
+    /// untouched.
+    pub fn reset_stats(&mut self) {
         self.hits = 0;
         self.misses = 0;
     }
@@ -355,13 +367,12 @@ mod tests {
             let line = rng.gen_range(wss_lines);
             b.write(0, Addr(line * 256));
         }
-        let (h0, m0) = b.stats();
+        let warm = b.counters();
         for _ in 0..20_000 {
             let line = rng.gen_range(wss_lines);
             b.write(0, Addr(line * 256));
         }
-        let (h1, m1) = b.stats();
-        let hit_ratio = (h1 - h0) as f64 / ((h1 - h0) + (m1 - m0)) as f64;
+        let hit_ratio = b.counters().delta(&warm).hit_ratio();
         assert!(
             (0.3..0.7).contains(&hit_ratio),
             "expected graceful decay near cap/wss = 0.5, got {hit_ratio}"

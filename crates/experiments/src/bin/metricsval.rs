@@ -1,0 +1,223 @@
+//! `metricsval`: validates a `simwatch` JSONL time series against the
+//! metrics schema.
+//!
+//! Usage:
+//!
+//! ```text
+//! metricsval [--schema PATH] FILE.jsonl   # validate a series
+//! metricsval --print-schema               # print the built-in schema
+//! ```
+//!
+//! The emitter ([`obs::Sampler`]) writes keys in a fixed order — `t`,
+//! `ctx`, then the registry columns — so validation is a strict
+//! in-order scan, not a general JSON parse: every row must carry every
+//! column, counters and gauges must be non-negative integers, and
+//! ratios must be finite numbers or `null`. CI runs this against the
+//! checked-in `schemas/metrics.schema.json` so a drifting emitter (or
+//! a drifting schema) fails the build rather than silently producing
+//! artifacts nothing can read.
+//!
+//! Exit codes: 0 when every row validates, 1 on any mismatch, 2 on bad
+//! arguments or unreadable files.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use optane_core::machine_schema_json;
+
+/// One schema column: name plus the value shape it allows.
+struct Column {
+    name: String,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Non-negative integer (counters, depth gauges).
+    Integer,
+    /// Finite number or `null` (ratios with an empty denominator).
+    Number,
+}
+
+fn bad_args(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: metricsval [--schema PATH] FILE.jsonl | metricsval --print-schema");
+    std::process::exit(2);
+}
+
+/// Extracts the ordered `(name, kind)` column list from the schema
+/// JSON. The schema is machine-written with one column object per
+/// line, so a line scan is exact.
+fn parse_schema(schema: &str) -> Vec<Column> {
+    let mut cols = Vec::new();
+    for line in schema.lines() {
+        let Some(name) = field(line, "name") else {
+            continue;
+        };
+        let kind = match field(line, "kind").as_deref() {
+            Some("counter") | Some("gauge") => Kind::Integer,
+            Some("ratio") => Kind::Number,
+            other => bad_args(&format!("schema column {name:?} has bad kind {other:?}")),
+        };
+        cols.push(Column { name, kind });
+    }
+    if cols.is_empty() {
+        bad_args("schema declares no columns");
+    }
+    cols
+}
+
+/// Returns the string value of `"key": "..."` on this line, if present.
+fn field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// A strict in-order scanner over one JSONL row.
+struct Scan<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Scan<'a> {
+    fn expect(&mut self, lit: &str) -> Result<(), String> {
+        match self.rest.strip_prefix(lit) {
+            Some(r) => {
+                self.rest = r;
+                Ok(())
+            }
+            None => Err(format!(
+                "expected {lit:?} at ...{:?}",
+                &self.rest[..self.rest.len().min(40)]
+            )),
+        }
+    }
+
+    /// Consumes a JSON string body up to the closing quote (the emitter
+    /// escapes embedded quotes, so a backslash-aware scan suffices).
+    fn string_body(&mut self) -> Result<(), String> {
+        let bytes = self.rest.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(());
+                }
+                _ => i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    /// Consumes a numeric/null value token and checks it against `kind`.
+    fn value(&mut self, kind: Kind) -> Result<(), String> {
+        if let Some(r) = self.rest.strip_prefix("null") {
+            if kind == Kind::Integer {
+                return Err("integer column is null".into());
+            }
+            self.rest = r;
+            return Ok(());
+        }
+        let end = self
+            .rest
+            .find([',', '}'])
+            .ok_or_else(|| "unterminated value".to_string())?;
+        let tok = &self.rest[..end];
+        match kind {
+            Kind::Integer => {
+                tok.parse::<u64>()
+                    .map_err(|_| format!("bad integer {tok:?}"))?;
+            }
+            Kind::Number => {
+                let v = tok
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad number {tok:?}"))?;
+                if !v.is_finite() {
+                    return Err(format!("non-finite number {tok:?}"));
+                }
+            }
+        }
+        self.rest = &self.rest[end..];
+        Ok(())
+    }
+}
+
+/// Validates one row against the column list.
+fn check_row(line: &str, cols: &[Column]) -> Result<(), String> {
+    let mut s = Scan { rest: line };
+    s.expect("{\"t\":")?;
+    s.value(Kind::Integer)?;
+    s.expect(",\"ctx\":\"")?;
+    s.string_body()?;
+    for c in cols {
+        s.expect(&format!(",\"{}\":", c.name))?;
+        s.value(c.kind)
+            .map_err(|e| format!("column {:?}: {e}", c.name))?;
+    }
+    s.expect("}")?;
+    if !s.rest.is_empty() {
+        return Err(format!("trailing bytes {:?}", s.rest));
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut schema_path: Option<PathBuf> = None;
+    let mut file: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--print-schema" => {
+                print!("{}", machine_schema_json());
+                return;
+            }
+            "--schema" => {
+                schema_path = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| bad_args("--schema needs a file path")),
+                ));
+            }
+            "-h" | "--help" => bad_args("validate simwatch JSONL output"),
+            other if other.starts_with('-') => bad_args(&format!("unknown flag: {other}")),
+            other => {
+                if file.replace(PathBuf::from(other)).is_some() {
+                    bad_args("exactly one FILE.jsonl expected");
+                }
+            }
+        }
+    }
+    let Some(file) = file else {
+        bad_args("missing FILE.jsonl to validate");
+    };
+    let schema = match &schema_path {
+        Some(p) => std::fs::read_to_string(p)
+            .unwrap_or_else(|e| bad_args(&format!("cannot read schema {}: {e}", p.display()))),
+        None => machine_schema_json(),
+    };
+    let cols = parse_schema(&schema);
+    let series = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| bad_args(&format!("cannot read {}: {e}", file.display())));
+
+    let mut rows = 0u64;
+    let mut errors = 0u64;
+    for (i, line) in series.lines().enumerate() {
+        rows += 1;
+        if let Err(e) = check_row(line, &cols) {
+            errors += 1;
+            eprintln!("{}:{}: {e}", file.display(), i + 1);
+        }
+    }
+    if errors > 0 {
+        eprintln!("{errors}/{rows} rows failed validation");
+        std::process::exit(1);
+    }
+    println!(
+        "{}: {rows} rows valid against {} columns",
+        file.display(),
+        cols.len()
+    );
+}

@@ -7,8 +7,19 @@
 //! repro [e0|e1|..|e9|table1|mixes|pmcheck|faultsim|all] \
 //!       [--full | --smoke] [--out DIR] [--gen g1|g2|both] \
 //!       [--parallel N] [--resume] [--deadline SECS] [--seed N] \
+//!       [--metrics PATH] [--sample-interval CYCLES] \
 //!       [--inject panic:JOB|hang:JOB]
 //! ```
+//!
+//! `--metrics PATH` turns on `simwatch` sampling: the sampling-capable
+//! experiments (E1, E3) poll the unified machine metrics every
+//! `--sample-interval` simulated cycles (default 100 000) and emit
+//! per-job `metrics_*.jsonl` artifacts; after the run those are
+//! concatenated, in matrix order, into PATH. The series is a pure
+//! function of the simulated instruction stream, so two runs at the
+//! same seed produce byte-identical files. The end-of-run report gains
+//! a queue-occupancy section (RPQ/WPQ max depth, WPQ time-at-full)
+//! summarized from the final sample of each context.
 //!
 //! Every experiment runs as an independent job on a worker pool
 //! (`--parallel N`, default 1). A panicking or hanging experiment is
@@ -28,9 +39,13 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use experiments::common::MetricsSpec;
 use experiments::jobs::{self, Inject, Scale};
 use harness::{write_atomic, RunConfig, Scheduler};
 use optane_core::Generation;
+
+/// Default `--sample-interval`, in simulated cycles.
+const DEFAULT_SAMPLE_INTERVAL: u64 = 100_000;
 
 struct Options {
     which: Vec<String>,
@@ -41,6 +56,8 @@ struct Options {
     resume: bool,
     deadline: Option<Duration>,
     seed: u64,
+    metrics: Option<PathBuf>,
+    sample_interval: u64,
     injections: Vec<(String, Inject)>,
 }
 
@@ -48,7 +65,8 @@ fn usage() -> ! {
     println!(
         "usage: repro [e0|e1|..|e9|table1|mixes|pmcheck|faultsim|all] \
          [--full | --smoke] [--out DIR] [--gen g1|g2|both] [--parallel N] \
-         [--resume] [--deadline SECS] [--seed N] [--inject panic:JOB|hang:JOB]"
+         [--resume] [--deadline SECS] [--seed N] [--metrics PATH] \
+         [--sample-interval CYCLES] [--inject panic:JOB|hang:JOB]"
     );
     std::process::exit(0);
 }
@@ -68,6 +86,8 @@ fn parse_args() -> Options {
     let mut resume = false;
     let mut deadline = None;
     let mut seed = 42u64;
+    let mut metrics = None;
+    let mut sample_interval = DEFAULT_SAMPLE_INTERVAL;
     let mut injections = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -116,6 +136,21 @@ fn parse_args() -> Options {
                     .and_then(|v| v.parse::<u64>().ok())
                     .unwrap_or_else(|| bad_args("--seed needs an integer"));
             }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| bad_args("--metrics needs a file path")),
+                ));
+            }
+            "--sample-interval" => {
+                sample_interval = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| bad_args("--sample-interval needs a cycle count"));
+                if sample_interval == 0 {
+                    bad_args("--sample-interval needs a positive cycle count");
+                }
+            }
             "--inject" => {
                 let spec = args
                     .next()
@@ -154,13 +189,18 @@ fn parse_args() -> Options {
         resume,
         deadline,
         seed,
+        metrics,
+        sample_interval,
         injections,
     }
 }
 
 fn main() {
     let opts = parse_args();
-    let mut job_list = jobs::matrix(&opts.which, &opts.gens, opts.scale, &opts.out);
+    let spec = opts.metrics.as_ref().map(|_| MetricsSpec {
+        interval: opts.sample_interval,
+    });
+    let mut job_list = jobs::matrix(&opts.which, &opts.gens, opts.scale, &opts.out, spec);
     if job_list.is_empty() {
         bad_args(&format!("no experiments match selection {:?}", opts.which));
     }
@@ -210,6 +250,38 @@ fn main() {
     }
     if let Err(e) = write_atomic(&opts.out.join("report.txt"), report_text.as_bytes()) {
         eprintln!("warning: could not write report.txt: {e}");
+    }
+
+    // Concatenate the per-job simwatch time series — in matrix order, so
+    // parallel and resumed runs produce byte-identical files — into the
+    // path named by --metrics.
+    if let Some(metrics_path) = &opts.metrics {
+        let mut series = String::new();
+        for j in &report.jobs {
+            if let Ok(out) = &j.outcome {
+                for rel in &out.artifacts {
+                    let name = rel.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                    if name.starts_with("metrics_") && name.ends_with(".jsonl") {
+                        match std::fs::read_to_string(opts.out.join(rel)) {
+                            Ok(s) => series.push_str(&s),
+                            Err(e) => eprintln!(
+                                "warning: could not read metrics artifact {}: {e}",
+                                rel.display()
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+        if let Err(e) = write_atomic(metrics_path, series.as_bytes()) {
+            eprintln!("warning: could not write {}: {e}", metrics_path.display());
+        } else {
+            eprintln!(
+                "simwatch time series ({} samples) in {}",
+                series.lines().count(),
+                metrics_path.display()
+            );
+        }
     }
 
     let failures = report.failures();

@@ -3,6 +3,18 @@
 
 use std::fmt;
 
+use simbase::Cycles;
+
+/// A request for `simwatch` sampled metrics, threaded through experiment
+/// parameters. Experiments that honour it poll a
+/// [`MachineSampler`](optane_core::MachineSampler) from their measurement
+/// loop and surface the time series via [`ExpResult::metrics_jsonl`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSpec {
+    /// Sampling interval in simulated cycles.
+    pub interval: Cycles,
+}
+
 /// A typed experiment failure: the run could not produce results. Runner
 /// `run` functions return this instead of panicking so the `repro` binary
 /// can report the problem and exit nonzero.
@@ -76,6 +88,11 @@ pub struct ExpResult {
     pub y_label: String,
     /// The curves.
     pub curves: Vec<Curve>,
+    /// `simwatch` time series (JSON lines), present when the experiment
+    /// was asked to sample metrics (see [`MetricsSpec`]).
+    pub metrics_jsonl: Option<String>,
+    /// Free-form notes rendered under the table (queue occupancy, …).
+    pub notes: Vec<String>,
 }
 
 impl ExpResult {
@@ -90,6 +107,8 @@ impl ExpResult {
             x_label: x_label.into(),
             y_label: y_label.into(),
             curves: Vec::new(),
+            metrics_jsonl: None,
+            notes: Vec::new(),
         }
     }
 
@@ -124,6 +143,9 @@ impl ExpResult {
                 }
             }
             out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
         }
         out
     }
@@ -178,6 +200,16 @@ fn format_num(v: f64) -> String {
     } else {
         format!("{v:.3}")
     }
+}
+
+/// Renders a queue-occupancy summary line for an experiment's notes:
+/// the §2.4 RPQ/WPQ pressure view of a whole run.
+pub fn occupancy_note(q: &optane_core::ImcQueueStats) -> String {
+    format!(
+        "queue occupancy: rpq max depth {}, wpq max depth {}, wpq time-at-full {} cycles \
+         over {} writes",
+        q.rpq.max_depth, q.wpq.max_depth, q.wpq.stall_cycles, q.wpq.accepts
+    )
 }
 
 /// Formats a byte count like the paper's axes (4KB, 16MB, 1GB).

@@ -7,11 +7,11 @@
 //! capacity (claim C1).
 
 use cpucache::PrefetchConfig;
-use optane_core::{Generation, Machine, MachineConfig};
+use optane_core::{Generation, ImcQueueStats, Machine, MachineConfig, MachineSampler};
 use simbase::XPLINE_BYTES;
 use workloads::strided_sequence;
 
-use crate::common::{Curve, ExpResult};
+use crate::common::{occupancy_note, Curve, ExpResult, MetricsSpec};
 
 /// Parameters for E1.
 #[derive(Debug, Clone)]
@@ -22,6 +22,8 @@ pub struct E1Params {
     pub wss_points: Vec<u64>,
     /// Measured rounds per point (after one warm-up round).
     pub rounds: u64,
+    /// When set, sample `simwatch` metrics at this interval.
+    pub metrics: Option<MetricsSpec>,
 }
 
 impl Default for E1Params {
@@ -30,6 +32,7 @@ impl Default for E1Params {
             generation: Generation::G1,
             wss_points: (1..=18).map(|k| k * 2048).collect(), // 2 KB .. 36 KB
             rounds: 3,
+            metrics: None,
         }
     }
 }
@@ -41,42 +44,77 @@ pub fn run(params: &E1Params) -> ExpResult {
         "WSS(bytes)",
         "read amplification",
     );
+    let mut series = params.metrics.map(|_| String::new());
+    let mut queues = ImcQueueStats::default();
     for cpx in (1..=4u64).rev() {
         let mut curve = Curve::new(format!(
             "read {cpx} cacheline{}",
             if cpx > 1 { "s" } else { "" }
         ));
         for &wss in &params.wss_points {
-            let ra = measure_point(params.generation, wss, cpx, params.rounds);
-            curve.push(wss as f64, ra);
+            let point = measure_point(params.generation, wss, cpx, params.rounds, params.metrics);
+            curve.push(wss as f64, point.ra);
+            if let (Some(all), Some(s)) = (&mut series, point.jsonl) {
+                all.push_str(&s);
+            }
+            queues.merge(&point.queues);
         }
         result.curves.push(curve);
     }
+    result.metrics_jsonl = series;
+    result.notes.push(occupancy_note(&queues));
     result
 }
 
-fn measure_point(gen: Generation, wss: u64, cpx: u64, rounds: u64) -> f64 {
+struct PointOutcome {
+    ra: f64,
+    jsonl: Option<String>,
+    queues: ImcQueueStats,
+}
+
+fn measure_point(
+    gen: Generation,
+    wss: u64,
+    cpx: u64,
+    rounds: u64,
+    metrics: Option<MetricsSpec>,
+) -> PointOutcome {
     let cfg = MachineConfig::for_generation(gen, PrefetchConfig::none(), 1);
     let mut m = Machine::new(cfg);
     let t = m.spawn(0);
     let base = m.alloc_pm(wss, XPLINE_BYTES);
-    let run_round = |m: &mut Machine| {
+    let mut sampler = metrics.map(|spec| {
+        let mut s = MachineSampler::new(spec.interval);
+        s.set_context(format!("e1 cpx={cpx} wss={wss}"));
+        s
+    });
+    let run_round = |m: &mut Machine, sampler: &mut Option<MachineSampler>| {
         for pass in 0..cpx {
             for addr in strided_sequence(base, wss, pass) {
                 m.load_u64(t, addr);
                 m.clflushopt(t, addr);
+                if let Some(s) = sampler {
+                    s.poll(m, m.now(t));
+                }
             }
             m.sfence(t);
         }
     };
     // Warm up one round, then measure.
-    run_round(&mut m);
-    let before = m.telemetry();
+    run_round(&mut m, &mut None);
+    let before = m.metrics().telemetry;
     for _ in 0..rounds {
-        run_round(&mut m);
+        run_round(&mut m, &mut sampler);
     }
-    let d = m.telemetry().delta(&before);
-    d.read_amplification()
+    let after = m.metrics();
+    if let Some(s) = &mut sampler {
+        s.record_final(&m, m.now(t));
+    }
+    PointOutcome {
+        ra: after.telemetry.delta(&before).read_amplification(),
+        jsonl: sampler.map(|s| s.to_jsonl()),
+        queues: after.queue_total(),
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +126,7 @@ mod tests {
             generation: gen,
             wss_points: vec![4 << 10, 8 << 10, 12 << 10, 32 << 10],
             rounds: 2,
+            metrics: None,
         })
     }
 
@@ -121,6 +160,7 @@ mod tests {
                 generation: gen,
                 wss_points: vec![20 << 10],
                 rounds: 2,
+                metrics: None,
             });
             r.curve("read 4 cachelines")
                 .unwrap()

@@ -110,11 +110,11 @@ fn measure_point(params: &E2Params, pf: PrefetchConfig, wss: u64) -> (f64, f64) 
         }
     };
     run_round(&mut m); // warm-up
-    let before = m.telemetry();
+    let before = m.metrics().telemetry;
     for _ in 0..params.rounds {
         run_round(&mut m);
     }
-    let d = m.telemetry().delta(&before);
+    let d = m.metrics().telemetry.delta(&before);
     // Demanded bytes: one 256 B block per visit (the intra-block repeats
     // hit L1 and are not counted, matching the paper's denominator).
     let demanded = (visited as u64 * params.rounds * XPLINE_BYTES) as f64;

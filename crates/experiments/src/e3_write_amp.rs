@@ -9,10 +9,10 @@
 //! rise gracefully past a larger capacity (claim C4's counterpart).
 
 use cpucache::PrefetchConfig;
-use optane_core::{Generation, Machine, MachineConfig};
+use optane_core::{Generation, ImcQueueStats, Machine, MachineConfig, MachineSampler};
 use simbase::XPLINE_BYTES;
 
-use crate::common::{Curve, ExpResult};
+use crate::common::{occupancy_note, Curve, ExpResult, MetricsSpec};
 
 /// Parameters for E3.
 #[derive(Debug, Clone)]
@@ -23,6 +23,8 @@ pub struct E3Params {
     pub wss_points: Vec<u64>,
     /// Measured rounds per point (after warm-up).
     pub rounds: u64,
+    /// When set, sample `simwatch` metrics at this interval.
+    pub metrics: Option<MetricsSpec>,
 }
 
 impl Default for E3Params {
@@ -31,6 +33,7 @@ impl Default for E3Params {
             generation: Generation::G1,
             wss_points: (1..=32).map(|k| k << 10).collect(), // 1 KB .. 32 KB
             rounds: 12,
+            metrics: None,
         }
     }
 }
@@ -42,46 +45,87 @@ pub fn run(params: &E3Params) -> ExpResult {
         "WSS(bytes)",
         "write amplification",
     );
+    let mut series = params.metrics.map(|_| String::new());
+    let mut queues = ImcQueueStats::default();
     for cl_per_xpline in [4u64, 3, 2, 1] {
         let mut curve = Curve::new(format!("{}% Write", cl_per_xpline * 25));
         for &wss in &params.wss_points {
-            let wa = measure_point(params.generation, wss, cl_per_xpline, params.rounds);
-            curve.push(wss as f64, wa);
+            let point = measure_point(
+                params.generation,
+                wss,
+                cl_per_xpline,
+                params.rounds,
+                params.metrics,
+            );
+            curve.push(wss as f64, point.wa);
+            if let (Some(all), Some(s)) = (&mut series, point.jsonl) {
+                all.push_str(&s);
+            }
+            queues.merge(&point.queues);
         }
         result.curves.push(curve);
     }
+    result.metrics_jsonl = series;
+    result.notes.push(occupancy_note(&queues));
     result
 }
 
-fn measure_point(gen: Generation, wss: u64, cl_per_xpline: u64, rounds: u64) -> f64 {
+struct PointOutcome {
+    wa: f64,
+    jsonl: Option<String>,
+    queues: ImcQueueStats,
+}
+
+fn measure_point(
+    gen: Generation,
+    wss: u64,
+    cl_per_xpline: u64,
+    rounds: u64,
+    metrics: Option<MetricsSpec>,
+) -> PointOutcome {
     let cfg = MachineConfig::for_generation(gen, PrefetchConfig::none(), 1);
     let mut m = Machine::new(cfg);
     let t = m.spawn(0);
     let base = m.alloc_pm(wss, XPLINE_BYTES);
     let xplines = wss / XPLINE_BYTES;
     let data = [0xA5u8; 64];
-    let run_round = |m: &mut Machine| {
+    let mut sampler = metrics.map(|spec| {
+        let mut s = MachineSampler::new(spec.interval);
+        s.set_context(format!("e3 frac={}% wss={wss}", cl_per_xpline * 25));
+        s
+    });
+    let run_round = |m: &mut Machine, sampler: &mut Option<MachineSampler>| {
         for x in 0..xplines {
             for cl in 0..cl_per_xpline {
                 m.nt_store(t, base.add_xplines(x).add_cachelines(cl), &data);
+                if let Some(s) = sampler {
+                    s.poll(m, m.now(t));
+                }
             }
         }
         m.sfence(t);
     };
     // Warm-up rounds to reach buffer steady state.
     for _ in 0..3 {
-        run_round(&mut m);
+        run_round(&mut m, &mut None);
     }
-    let before = m.telemetry();
+    let before = m.metrics().telemetry;
     for _ in 0..rounds {
-        run_round(&mut m);
+        run_round(&mut m, &mut sampler);
     }
     // Let the periodic write-back catch up on the final round's lines by
     // touching the DIMM once more after an idle gap.
     m.advance(t, 20_000);
     m.nt_store(t, base, &data);
-    let d = m.telemetry().delta(&before);
-    d.write_amplification()
+    let after = m.metrics();
+    if let Some(s) = &mut sampler {
+        s.record_final(&m, m.now(t));
+    }
+    PointOutcome {
+        wa: after.telemetry.delta(&before).write_amplification(),
+        jsonl: sampler.map(|s| s.to_jsonl()),
+        queues: after.queue_total(),
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +138,7 @@ mod tests {
             generation: Generation::G1,
             wss_points: vec![8 << 10],
             rounds: 6,
+            metrics: None,
         });
         for frac in ["25% Write", "50% Write", "75% Write"] {
             let wa = r.curve(frac).unwrap().y_at((8 << 10) as f64).unwrap();
@@ -107,6 +152,7 @@ mod tests {
             generation: Generation::G1,
             wss_points: vec![4 << 10],
             rounds: 6,
+            metrics: None,
         });
         let wa = r
             .curve("100% Write")
@@ -125,6 +171,7 @@ mod tests {
             generation: Generation::G1,
             wss_points: vec![32 << 10],
             rounds: 10,
+            metrics: None,
         });
         let wa25 = r
             .curve("25% Write")
@@ -152,6 +199,7 @@ mod tests {
             generation: Generation::G2,
             wss_points: vec![8 << 10],
             rounds: 6,
+            metrics: None,
         });
         let wa = r
             .curve("100% Write")

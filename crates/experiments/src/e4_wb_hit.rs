@@ -63,16 +63,10 @@ fn measure_point(gen: Generation, wss: u64, writes: u64) -> f64 {
     };
     // Warm up to steady state.
     do_writes(&mut m, writes / 2);
-    let before = m.dimm_stats()[0].write_buffer;
+    let before = m.metrics().dimms[0].write_buffer;
     do_writes(&mut m, writes);
-    let after = m.dimm_stats()[0].write_buffer;
-    let hits = after.0 - before.0;
-    let misses = after.1 - before.1;
-    if hits + misses == 0 {
-        0.0
-    } else {
-        hits as f64 / (hits + misses) as f64
-    }
+    let after = m.metrics().dimms[0].write_buffer;
+    after.delta(&before).hit_ratio()
 }
 
 #[cfg(test)]

@@ -122,12 +122,12 @@ fn measure_ratio(params: &E9Params, wss: u64, mode: Mode) -> (f64, f64) {
         let b = base.add_xplines(rng.gen_range(blocks));
         visit_block(&mut m, t, b, dram_buf, mode);
     }
-    let before = m.telemetry();
+    let before = m.metrics().telemetry;
     for _ in 0..params.visits {
         let b = base.add_xplines(rng.gen_range(blocks));
         visit_block(&mut m, t, b, dram_buf, mode);
     }
-    let d = m.telemetry().delta(&before);
+    let d = m.metrics().telemetry.delta(&before);
     let demanded = (params.visits * XPLINE_BYTES) as f64;
     (d.media.read as f64 / demanded, d.imc.read as f64 / demanded)
 }

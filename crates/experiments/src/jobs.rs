@@ -17,7 +17,7 @@ use std::time::Duration;
 use harness::{write_atomic, Job, JobCtx, JobError, JobOutput};
 use optane_core::Generation;
 
-use crate::common::{log_sweep, ExpError, ExpResult};
+use crate::common::{log_sweep, ExpError, ExpResult, MetricsSpec};
 use crate::{
     e0_bandwidth, e10_pmcheck, e11_faultsim, e1_read_buffer, e2_prefetch, e3_write_amp, e4_wb_hit,
     e5_rap, e6_latency, e7_cceh, e8_btree, e9_redirect, ext_mixes, table1,
@@ -83,7 +83,10 @@ fn emit_csv(out_dir: &Path, r: &ExpResult) -> Result<PathBuf, JobError> {
 }
 
 /// Packages a set of results as a validated job output: CSVs written
-/// atomically, tables concatenated into the summary.
+/// atomically, tables concatenated into the summary. Results carrying a
+/// `simwatch` time series additionally emit a `metrics_<slug>.jsonl`
+/// artifact; the `repro` binary concatenates those (in matrix order)
+/// into the file named by `--metrics`.
 fn finish(out_dir: &Path, results: &[ExpResult]) -> Result<JobOutput, JobError> {
     let mut out = JobOutput::ok(String::new());
     let mut summary = String::new();
@@ -91,6 +94,11 @@ fn finish(out_dir: &Path, results: &[ExpResult]) -> Result<JobOutput, JobError> 
         summary.push_str(&r.to_table());
         summary.push('\n');
         out.artifacts.push(emit_csv(out_dir, r)?);
+        if let Some(series) = &r.metrics_jsonl {
+            let rel = PathBuf::from(format!("metrics_{}.jsonl", slug(&r.name)));
+            write_atomic(&out_dir.join(&rel), series.as_bytes())?;
+            out.artifacts.push(rel);
+        }
     }
     out.summary = summary.trim_end().to_string();
     Ok(out)
@@ -123,12 +131,15 @@ impl Job for ExperimentJob {
 /// Builds the job list for a selection of experiment names (`"all"`
 /// selects everything), generations, and scale. Jobs are returned in
 /// canonical matrix order; ids look like `e2:g1` (per-generation) or
-/// `table1` (generation-independent).
+/// `table1` (generation-independent). When `metrics` is set, the
+/// sampling-capable experiments (E1, E3) emit `simwatch` time-series
+/// artifacts at the requested interval.
 pub fn matrix(
     selection: &[String],
     gens: &[Generation],
     scale: Scale,
     out_dir: &Path,
+    metrics: Option<MetricsSpec>,
 ) -> Vec<Box<dyn Job>> {
     let run_all = selection.iter().any(|w| w == "all");
     let wants = |name: &str| run_all || selection.iter().any(|w| w == name);
@@ -160,6 +171,7 @@ pub fn matrix(
                 Box::new(move |_ctx| {
                     let r = e1_read_buffer::run(&e1_read_buffer::E1Params {
                         generation: gen,
+                        metrics,
                         ..Default::default()
                     });
                     finish(&out, &[r])
@@ -191,6 +203,7 @@ pub fn matrix(
                 Box::new(move |_ctx| {
                     let r = e3_write_amp::run(&e3_write_amp::E3Params {
                         generation: gen,
+                        metrics,
                         ..Default::default()
                     });
                     finish(&out, &[r])
@@ -498,7 +511,7 @@ mod tests {
     fn matrix_covers_the_full_selection_in_order() {
         let gens = [Generation::G1, Generation::G2];
         let out = PathBuf::from("unused");
-        let jobs = matrix(&["all".to_string()], &gens, Scale::Smoke, &out);
+        let jobs = matrix(&["all".to_string()], &gens, Scale::Smoke, &out, None);
         let ids: Vec<String> = jobs.iter().map(|j| j.id()).collect();
         // Per-generation experiments appear twice, singletons once.
         assert!(ids.contains(&"e0:g1".to_string()));
@@ -523,6 +536,7 @@ mod tests {
             &gens,
             Scale::Default,
             &out,
+            None,
         );
         let ids: Vec<String> = jobs.iter().map(|j| j.id()).collect();
         assert_eq!(ids, vec!["e0:g1".to_string(), "table1".to_string()]);
@@ -532,7 +546,7 @@ mod tests {
     fn injection_replaces_the_target_job() {
         let gens = [Generation::G1];
         let out = std::env::temp_dir();
-        let mut jobs = matrix(&["e0".to_string()], &gens, Scale::Default, &out);
+        let mut jobs = matrix(&["e0".to_string()], &gens, Scale::Default, &out, None);
         assert!(apply_injection(&mut jobs, "e0:g1", Inject::Panic));
         assert!(!apply_injection(&mut jobs, "nope", Inject::Hang));
         // The injected job panics; run under catch_unwind to observe.

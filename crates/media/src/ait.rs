@@ -10,7 +10,7 @@
 //! The cache is modelled as a set-associative tag array over fixed-size
 //! address granules with per-set LRU replacement.
 
-use simbase::Addr;
+use simbase::{Addr, HitMiss};
 
 /// Bytes of address space covered by one AIT entry.
 pub const AIT_GRANULE_BYTES: u64 = 4096;
@@ -88,9 +88,22 @@ impl AitCache {
         false
     }
 
+    /// Returns the hit/miss counters observed so far.
+    pub fn counters(&self) -> HitMiss {
+        HitMiss::of(self.hits, self.misses)
+    }
+
     /// Returns `(hits, misses)` observed so far.
+    #[deprecated(since = "0.1.0", note = "use `counters()`, which returns named fields")]
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Clears statistics only; cached entries (and their LRU ordering)
+    /// stay warm.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
     }
 
     /// Clears contents and statistics.
@@ -98,8 +111,7 @@ impl AitCache {
         for set in &mut self.sets {
             set.clear();
         }
-        self.hits = 0;
-        self.misses = 0;
+        self.reset_stats();
         self.tick = 0;
     }
 }
@@ -114,7 +126,7 @@ mod tests {
         assert!(!ait.access(Addr(0)));
         assert!(ait.access(Addr(0)));
         assert!(ait.access(Addr(100))); // same granule
-        assert_eq!(ait.stats(), (2, 1));
+        assert_eq!(ait.counters(), HitMiss::of(2, 1));
     }
 
     #[test]
@@ -126,12 +138,12 @@ mod tests {
         for a in (0..wss).step_by(AIT_GRANULE_BYTES as usize) {
             ait.access(Addr(a));
         }
-        let (_, misses_before) = ait.stats();
+        let misses_before = ait.counters().misses;
         // Second pass should be all hits.
         for a in (0..wss).step_by(AIT_GRANULE_BYTES as usize) {
             assert!(ait.access(Addr(a)));
         }
-        let (_, misses_after) = ait.stats();
+        let misses_after = ait.counters().misses;
         assert_eq!(misses_before, misses_after);
     }
 
@@ -147,7 +159,7 @@ mod tests {
                 ait.access(Addr(a));
             }
         }
-        let (hits, misses) = ait.stats();
+        let HitMiss { hits, misses } = ait.counters();
         assert!(
             misses > hits * 10,
             "expected thrashing, got hits={hits} misses={misses}"
@@ -159,7 +171,7 @@ mod tests {
         let mut ait = AitCache::new(1 << 20, 8);
         ait.access(Addr(0));
         ait.reset();
-        assert_eq!(ait.stats(), (0, 0));
+        assert_eq!(ait.counters(), HitMiss::new());
         assert!(!ait.access(Addr(0)));
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use simbase::{Addr, ByteCounter, Cycles, Server, ServerPool, XPLINE_BYTES};
+use simbase::{Addr, ByteCounter, Cycles, HitMiss, Server, ServerPool, XPLINE_BYTES};
 
 use crate::ait::AitCache;
 
@@ -164,9 +164,19 @@ impl XpMedia {
         self.counters
     }
 
+    /// Returns the AIT cache's hit/miss counters.
+    pub fn ait_counters(&self) -> HitMiss {
+        self.ait.counters()
+    }
+
     /// Returns AIT cache `(hits, misses)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ait_counters()`, which returns named fields"
+    )]
     pub fn ait_stats(&self) -> (u64, u64) {
-        self.ait.stats()
+        let hm = self.ait.counters();
+        (hm.hits, hm.misses)
     }
 
     /// Returns the configured parameters.
@@ -183,6 +193,7 @@ impl XpMedia {
     /// restart).
     pub fn reset_counters(&mut self) {
         self.counters.reset();
+        self.ait.reset_stats();
     }
 
     /// Resets everything: counters, bank occupancy, and AIT contents.

@@ -26,8 +26,8 @@ proptest! {
         }
         prop_assert_eq!(m.counters().read, reads * XPLINE_BYTES);
         prop_assert_eq!(m.counters().write, writes * XPLINE_BYTES);
-        let (h, miss) = m.ait_stats();
-        prop_assert_eq!(h + miss, reads + writes, "every transaction consults the AIT");
+        let ait = m.ait_counters();
+        prop_assert_eq!(ait.total(), reads + writes, "every transaction consults the AIT");
     }
 
     #[test]

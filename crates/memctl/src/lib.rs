@@ -25,4 +25,4 @@ pub mod dram;
 pub mod pm;
 
 pub use dram::{DramController, DramParams};
-pub use pm::{PersistWait, PmController, PmParams, PmWriteTicket};
+pub use pm::{ImcQueueStats, PersistWait, PmController, PmParams, PmWriteTicket};

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use simbase::{Addr, BandwidthGate, ByteCounter, Cycles, CACHELINE_BYTES};
+use simbase::{Addr, BandwidthGate, ByteCounter, Cycles, QueueStats, CACHELINE_BYTES};
 use xpdimm::{DimmController, DimmParams, DimmStats, ReadSource};
 
 /// Configuration of the PM channel: DIMM population, interleaving, WPQ.
@@ -80,12 +80,63 @@ pub struct PmWriteTicket {
 /// collecting completed ones.
 const INFLIGHT_GC_THRESHOLD: usize = 1 << 20;
 
+/// Occupancy of one DIMM's iMC queues (the `ipmwatch` RPQ/WPQ view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImcQueueStats {
+    /// Read pending queue. The model's RPQ is unbounded, so
+    /// `stall_cycles` is always zero; `max_depth` still exposes read
+    /// backlog pressure.
+    pub rpq: QueueStats,
+    /// Write pending queue (the ADR-protected WPQ). `stall_cycles` is the
+    /// time writes waited for a free slot — the Figure 5 back-pressure.
+    pub wpq: QueueStats,
+}
+
+impl ImcQueueStats {
+    /// Folds another window of observations into this one.
+    pub fn merge(&mut self, other: &ImcQueueStats) {
+        self.rpq.merge(&other.rpq);
+        self.wpq.merge(&other.wpq);
+    }
+}
+
+/// Occupancy observer for the (unbounded) read pending queue.
+///
+/// The read path itself is a fixed-latency hop plus the DIMM's timing
+/// model, so this tracker changes no behaviour: it only records how many
+/// reads were in flight at each acceptance.
+#[derive(Debug, Clone, Default)]
+struct RpqTracker {
+    /// Completion times of reads still in flight.
+    in_flight: Vec<Cycles>,
+    stats: QueueStats,
+}
+
+impl RpqTracker {
+    /// Records a read entering at `now` and completing at `done`.
+    fn observe(&mut self, now: Cycles, done: Cycles) {
+        self.in_flight.retain(|&c| c > now);
+        self.in_flight.push(done);
+        self.stats.accepts += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.in_flight.len() as u64);
+    }
+
+    fn clear_queue(&mut self) {
+        self.in_flight.clear();
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
 /// The Optane channel of one socket's iMC.
 #[derive(Debug)]
 pub struct PmController {
     params: PmParams,
     dimms: Vec<DimmController>,
     wpq: Vec<BandwidthGate>,
+    rpq: Vec<RpqTracker>,
     imc: Vec<ByteCounter>,
     /// Cacheline address -> `(drained, readable_at)` of the last accepted
     /// write.
@@ -110,11 +161,13 @@ impl PmController {
         let wpq = (0..params.num_dimms)
             .map(|_| BandwidthGate::new(params.wpq_drain_interval, params.wpq_capacity))
             .collect();
+        let rpq = vec![RpqTracker::default(); params.num_dimms];
         let imc = vec![ByteCounter::new(); params.num_dimms];
         PmController {
             params,
             dimms,
             wpq,
+            rpq,
             imc,
             inflight: HashMap::new(),
         }
@@ -149,7 +202,9 @@ impl PmController {
             }
             None => now,
         };
-        self.dimms[d].read_cacheline(start + self.params.read_queue_latency, addr)
+        let result = self.dimms[d].read_cacheline(start + self.params.read_queue_latency, addr);
+        self.rpq[d].observe(start, result.0);
+        result
     }
 
     /// Accepts a 64 B write to `addr` (non-temporal store, cacheline
@@ -273,6 +328,18 @@ impl PmController {
         self.dimms.iter().map(DimmController::stats).collect()
     }
 
+    /// Returns per-DIMM RPQ/WPQ occupancy observations.
+    pub fn queue_stats(&self) -> Vec<ImcQueueStats> {
+        self.rpq
+            .iter()
+            .zip(&self.wpq)
+            .map(|(r, w)| ImcQueueStats {
+                rpq: r.stats,
+                wpq: w.queue_stats(),
+            })
+            .collect()
+    }
+
     /// Returns the number of DIMMs.
     pub fn num_dimms(&self) -> usize {
         self.dimms.len()
@@ -292,7 +359,10 @@ impl PmController {
         }
         self.inflight.clear();
         for g in &mut self.wpq {
-            g.reset();
+            g.clear_queue();
+        }
+        for r in &mut self.rpq {
+            r.clear_queue();
         }
     }
 
@@ -304,6 +374,12 @@ impl PmController {
         }
         for d in &mut self.dimms {
             d.reset_counters();
+        }
+        for g in &mut self.wpq {
+            g.reset_stats();
+        }
+        for r in &mut self.rpq {
+            r.reset_stats();
         }
     }
 
@@ -318,6 +394,10 @@ impl PmController {
         }
         for g in &mut self.wpq {
             g.reset();
+        }
+        for r in &mut self.rpq {
+            r.clear_queue();
+            r.reset_stats();
         }
         self.inflight.clear();
     }
@@ -481,6 +561,33 @@ mod tests {
         let repaired = c.scrub_range(Addr(0), 1 << 20);
         assert_eq!(repaired, vec![4096]);
         assert!(!c.line_poisoned(Addr(4096)));
+    }
+
+    #[test]
+    fn queue_stats_observe_wpq_backpressure_and_rpq_depth() {
+        let mut c = PmController::new(PmParams {
+            wpq_capacity: 2,
+            wpq_drain_interval: 1000,
+            ..PmParams::default()
+        });
+        c.write(0, Addr(0));
+        c.write(0, Addr(256));
+        c.write(0, Addr(512)); // queue full: stalls until t=1000
+        let q = c.queue_stats();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].wpq.accepts, 3);
+        assert_eq!(q[0].wpq.max_depth, 2);
+        assert_eq!(q[0].wpq.stall_cycles, 1000);
+        // Two overlapping reads at the same instant: RPQ depth reaches 2.
+        c.read(0, Addr(1 << 20), PersistWait::Full);
+        c.read(0, Addr(2 << 20), PersistWait::Full);
+        let q = c.queue_stats();
+        assert_eq!(q[0].rpq.accepts, 2);
+        assert_eq!(q[0].rpq.max_depth, 2);
+        assert_eq!(q[0].rpq.stall_cycles, 0, "the model's RPQ is unbounded");
+        c.reset_counters();
+        let q = c.queue_stats();
+        assert_eq!(q[0], ImcQueueStats::default());
     }
 
     #[test]

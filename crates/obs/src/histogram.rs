@@ -1,0 +1,116 @@
+//! Power-of-two bucketed histograms.
+
+/// A histogram with power-of-two buckets.
+///
+/// Bucket `i` counts values `v` with `2^(i-1) < v <= 2^i` (bucket 0 counts
+/// zeros and ones). Useful for distributions a single counter flattens —
+/// queue depths, burst lengths — while staying cheap and deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        // 0 and 1 land in bucket 0; otherwise ceil(log2(v)).
+        (64 - v.saturating_sub(1).leading_zeros()) as usize
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = Self::bucket_index(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Returns the number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Returns the largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Returns the arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Returns `(upper_bound, count)` per occupied bucket, smallest first.
+    /// Bucket with upper bound `b` counts values in `(b/2, b]` (the first
+    /// bucket covers `0..=1`).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+            .collect()
+    }
+
+    /// Resets to empty.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_power_of_two_buckets() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 5, 8, 9] {
+            h.record(v);
+        }
+        // 0,1 -> bound 1; 2 -> bound 2; 3,4 -> bound 4; 5,8 -> bound 8;
+        // 9 -> bound 16.
+        assert_eq!(h.buckets(), vec![(1, 2), (2, 1), (4, 2), (8, 2), (16, 1)]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 9);
+        assert_eq!(h.sum(), 32);
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.reset();
+        assert_eq!(h, Histogram::new());
+    }
+}

@@ -1,0 +1,32 @@
+//! simwatch: the sampled-metrics subsystem.
+//!
+//! The paper's method is built on `ipmwatch`/EMON counters *sampled over
+//! time* (§2.4): read/write amplification, buffer hit ratios, and queue
+//! pressure are time-series observations, not end-of-run totals. This crate
+//! is the simulator's equivalent instrument:
+//!
+//! - [`Registry`]: a typed schema of named metrics (counters, gauges,
+//!   ratios) that the machine layers register their observation points
+//!   into; registration order is the deterministic column order of every
+//!   emitted series;
+//! - [`Sampler`]: a sim-clock-driven periodic sampler (`ipmwatch`'s 1 s
+//!   ≙ a configurable number of simulated cycles) that records one row per
+//!   crossed interval boundary and serialises the series as JSONL or CSV;
+//! - [`Histogram`]: power-of-two bucketed value distribution, for metrics
+//!   where a single counter loses the shape (e.g. queue depths).
+//!
+//! Everything here is deterministic: rows are stamped from the simulated
+//! clock, values are formatted with a fixed encoding, and no wall-clock or
+//! allocation-order state leaks into the output. Two runs with the same
+//! seed produce byte-identical series — a property the test-suite and CI
+//! enforce.
+
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod registry;
+pub mod sampler;
+
+pub use histogram::Histogram;
+pub use registry::{MetricDef, MetricId, MetricKind, Registry, Value};
+pub use sampler::Sampler;

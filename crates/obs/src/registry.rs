@@ -1,0 +1,210 @@
+//! The typed metrics registry: named observation points in a fixed order.
+
+use std::fmt::Write as _;
+
+/// What a metric's value means across samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing count (events, bytes).
+    Counter,
+    /// Point-in-time level that can move both ways (queue depth).
+    Gauge,
+    /// Derived quotient of two counters (hit ratio, amplification).
+    Ratio,
+}
+
+impl MetricKind {
+    /// Returns the kind's schema name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Ratio => "ratio",
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+pub struct MetricDef {
+    /// Column name, e.g. `imc_read_bytes`. Must be unique in a registry.
+    pub name: String,
+    /// Kind of the metric.
+    pub kind: MetricKind,
+    /// One-line description (which hardware counter this stands in for).
+    pub help: String,
+}
+
+/// Handle to a registered metric: its column index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(pub usize);
+
+/// An ordered collection of metric definitions.
+///
+/// Registration order is the column order of every series emitted through
+/// a [`crate::Sampler`], so the schema — and therefore the byte-level
+/// output — is fully determined by the registration sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    defs: Vec<MetricDef>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a metric and returns its column handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered — duplicate columns would
+    /// make the emitted series ambiguous.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        kind: MetricKind,
+        help: impl Into<String>,
+    ) -> MetricId {
+        let name = name.into();
+        assert!(
+            !self.defs.iter().any(|d| d.name == name),
+            "duplicate metric name: {name}"
+        );
+        self.defs.push(MetricDef {
+            name,
+            kind,
+            help: help.into(),
+        });
+        MetricId(self.defs.len() - 1)
+    }
+
+    /// Returns the registered definitions in column order.
+    pub fn defs(&self) -> &[MetricDef] {
+        &self.defs
+    }
+
+    /// Returns the number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Returns `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Renders the schema as a JSON document listing each column's name,
+    /// kind, and help text. The checked-in schema file CI validates
+    /// emitted series against is produced by this method.
+    pub fn schema_json(&self) -> String {
+        let mut out = String::from("{\n  \"columns\": [\n");
+        for (i, d) in self.defs.iter().enumerate() {
+            let sep = if i + 1 == self.defs.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"kind\": \"{}\", \"help\": \"{}\"}}{sep}",
+                escape_json(&d.name),
+                d.kind.as_str(),
+                escape_json(&d.help)
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// A sampled metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer-valued sample (counters, depths).
+    U64(u64),
+    /// Real-valued sample (ratios).
+    F64(f64),
+}
+
+impl Value {
+    /// Formats the value deterministically, identically for JSON and CSV.
+    ///
+    /// `u64` renders as a plain integer. Finite `f64` uses Rust's shortest
+    /// round-trip rendering; non-finite values (which our ratio helpers
+    /// never produce — see `simbase::stats::ratio`) render as `null` so a
+    /// bug cannot emit invalid JSON.
+    pub fn render(&self) -> String {
+        match *self {
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) if v.is_finite() => v.to_string(),
+            Value::F64(_) => "null".to_string(),
+        }
+    }
+}
+
+/// Escapes the characters JSON string literals cannot contain raw.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_order_is_column_order() {
+        let mut r = Registry::new();
+        let a = r.register("alpha", MetricKind::Counter, "first");
+        let b = r.register("beta", MetricKind::Ratio, "second");
+        assert_eq!((a, b), (MetricId(0), MetricId(1)));
+        assert_eq!(r.defs()[0].name, "alpha");
+        assert_eq!(r.defs()[1].name, "beta");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_panic() {
+        let mut r = Registry::new();
+        r.register("x", MetricKind::Counter, "");
+        r.register("x", MetricKind::Gauge, "");
+    }
+
+    #[test]
+    fn schema_json_lists_all_columns() {
+        let mut r = Registry::new();
+        r.register("a", MetricKind::Counter, "bytes at the iMC");
+        r.register("b", MetricKind::Gauge, "queue depth");
+        let s = r.schema_json();
+        assert!(s.contains("\"name\": \"a\""));
+        assert!(s.contains("\"kind\": \"counter\""));
+        assert!(s.contains("\"kind\": \"gauge\""));
+    }
+
+    #[test]
+    fn value_rendering_is_plain_and_json_safe() {
+        assert_eq!(Value::U64(42).render(), "42");
+        assert_eq!(Value::F64(0.75).render(), "0.75");
+        assert_eq!(Value::F64(4.0).render(), "4");
+        assert_eq!(Value::F64(f64::NAN).render(), "null");
+        assert_eq!(Value::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,268 @@
+//! The sim-clock-driven periodic sampler.
+
+use simbase::Cycles;
+
+use crate::registry::{escape_json, Registry, Value};
+
+/// One emitted sample.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    /// Sample timestamp: the interval boundary the sample accounts for
+    /// (simulated cycles), or the poll time for forced samples.
+    t: Cycles,
+    /// Free-form label of the workload phase the sample was taken in.
+    ctx: String,
+    /// Column values, in registry order.
+    values: Vec<Value>,
+}
+
+/// Periodic sampler over a fixed metrics schema.
+///
+/// The sampler mirrors how `ipmwatch` drives the study: poll the counters
+/// at a fixed period and emit one record per period. Simulated time stands
+/// in for wall-clock time, so the workload itself paces the samples and the
+/// series is a pure function of the (seeded, deterministic) execution.
+///
+/// Call [`Sampler::due`] at natural workload boundaries (every operation,
+/// every batch) and [`Sampler::record`] when it returns `true`; the row is
+/// stamped with the *last crossed* interval boundary `k * interval`, and
+/// the next sample becomes due at `(k + 1) * interval`. If the workload
+/// crosses several boundaries between polls, the skipped boundaries are
+/// simply absent — exactly like a sampling profiler that cannot observe
+/// faster than its period.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    registry: Registry,
+    interval: Cycles,
+    next_boundary: Cycles,
+    ctx: String,
+    rows: Vec<Row>,
+}
+
+impl Sampler {
+    /// Creates a sampler emitting at most one row per `interval` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(registry: Registry, interval: Cycles) -> Self {
+        assert!(interval > 0, "sample interval must be positive");
+        Sampler {
+            registry,
+            interval,
+            next_boundary: interval,
+            ctx: String::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Returns the schema this sampler emits.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Returns the configured sample interval.
+    pub fn interval(&self) -> Cycles {
+        self.interval
+    }
+
+    /// Sets the phase label stamped into subsequent rows.
+    pub fn set_context(&mut self, ctx: impl Into<String>) {
+        self.ctx = ctx.into();
+    }
+
+    /// Returns `true` once simulated time has crossed the next sample
+    /// boundary. Callers use this to skip building the (comparatively
+    /// expensive) value row when no sample is due.
+    pub fn due(&self, now: Cycles) -> bool {
+        now >= self.next_boundary
+    }
+
+    /// Records a sample for the boundary `now` has crossed.
+    ///
+    /// A no-op when no sample is due, so callers may invoke it
+    /// unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the registry's column count.
+    pub fn record(&mut self, now: Cycles, values: Vec<Value>) {
+        if !self.due(now) {
+            return;
+        }
+        let k = now / self.interval;
+        self.push_row(k * self.interval, values);
+        self.next_boundary = (k + 1) * self.interval;
+    }
+
+    /// Records a sample unconditionally, stamped at `now` (an end-of-phase
+    /// reading that should appear even if the phase was shorter than one
+    /// interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the registry's column count.
+    pub fn record_final(&mut self, now: Cycles, values: Vec<Value>) {
+        self.push_row(now, values);
+    }
+
+    fn push_row(&mut self, t: Cycles, values: Vec<Value>) {
+        assert_eq!(
+            values.len(),
+            self.registry.len(),
+            "row width must match the registered schema"
+        );
+        self.rows.push(Row {
+            t,
+            ctx: self.ctx.clone(),
+            values,
+        });
+    }
+
+    /// Returns the number of recorded rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if no rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serialises the series as JSON Lines: one object per row, keys in
+    /// registry order, `t` and `ctx` first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str("{\"t\":");
+            out.push_str(&row.t.to_string());
+            out.push_str(",\"ctx\":\"");
+            out.push_str(&escape_json(&row.ctx));
+            out.push('"');
+            for (def, v) in self.registry.defs().iter().zip(&row.values) {
+                out.push_str(",\"");
+                out.push_str(&escape_json(&def.name));
+                out.push_str("\":");
+                out.push_str(&v.render());
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Serialises the series as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t,ctx");
+        for def in self.registry.defs() {
+            out.push(',');
+            out.push_str(&def.name);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.t.to_string());
+            out.push(',');
+            // Contexts are simple phase labels; quote defensively anyway.
+            if row.ctx.contains([',', '"', '\n']) {
+                out.push('"');
+                out.push_str(&row.ctx.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(&row.ctx);
+            }
+            for v in &row.values {
+                out.push(',');
+                out.push_str(&v.render());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricKind;
+
+    fn two_col_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register("events", MetricKind::Counter, "");
+        r.register("ratio", MetricKind::Ratio, "");
+        r
+    }
+
+    #[test]
+    fn samples_land_on_interval_boundaries() {
+        let mut s = Sampler::new(two_col_registry(), 100);
+        assert!(!s.due(99));
+        assert!(s.due(100));
+        s.record(137, vec![Value::U64(1), Value::F64(0.5)]);
+        assert!(!s.due(180), "next sample due at 200");
+        s.record(205, vec![Value::U64(2), Value::F64(0.5)]);
+        let jsonl = s.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t\":100,"), "got {}", lines[0]);
+        assert!(lines[1].starts_with("{\"t\":200,"), "got {}", lines[1]);
+    }
+
+    #[test]
+    fn skipped_boundaries_are_absent_not_duplicated() {
+        let mut s = Sampler::new(two_col_registry(), 100);
+        s.record(950, vec![Value::U64(9), Value::F64(1.0)]);
+        assert_eq!(s.len(), 1, "one poll emits one row");
+        assert!(s.to_jsonl().starts_with("{\"t\":900,"));
+        assert!(s.due(1000));
+    }
+
+    #[test]
+    fn record_before_first_boundary_is_a_no_op() {
+        let mut s = Sampler::new(two_col_registry(), 1000);
+        s.record(10, vec![Value::U64(0), Value::F64(0.0)]);
+        assert!(s.is_empty());
+        s.record_final(10, vec![Value::U64(0), Value::F64(0.0)]);
+        assert_eq!(s.len(), 1, "record_final always emits");
+        assert!(s.to_jsonl().starts_with("{\"t\":10,"));
+    }
+
+    #[test]
+    fn context_is_stamped_per_row() {
+        let mut s = Sampler::new(two_col_registry(), 100);
+        s.set_context("warmup");
+        s.record(100, vec![Value::U64(1), Value::F64(0.0)]);
+        s.set_context("steady");
+        s.record(200, vec![Value::U64(2), Value::F64(0.0)]);
+        let jsonl = s.to_jsonl();
+        assert!(jsonl.contains("\"ctx\":\"warmup\""));
+        assert!(jsonl.contains("\"ctx\":\"steady\""));
+    }
+
+    #[test]
+    fn csv_matches_schema() {
+        let mut s = Sampler::new(two_col_registry(), 100);
+        s.set_context("p0");
+        s.record(100, vec![Value::U64(7), Value::F64(0.25)]);
+        let csv = s.to_csv();
+        assert_eq!(csv, "t,ctx,events,ratio\n100,p0,7,0.25\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_enforced() {
+        let mut s = Sampler::new(two_col_registry(), 100);
+        s.record(100, vec![Value::U64(7)]);
+    }
+
+    #[test]
+    fn identical_inputs_give_identical_bytes() {
+        let run = || {
+            let mut s = Sampler::new(two_col_registry(), 100);
+            for i in 1..=5u64 {
+                s.set_context(format!("phase{i}"));
+                s.record(i * 100 + 3, vec![Value::U64(i), Value::F64(i as f64 / 3.0)]);
+            }
+            (s.to_jsonl(), s.to_csv())
+        };
+        assert_eq!(run(), run());
+    }
+}

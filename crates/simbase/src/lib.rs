@@ -25,7 +25,7 @@ pub mod wire;
 
 pub use addr::{Addr, CACHELINES_PER_XPLINE, CACHELINE_BYTES, XPLINE_BYTES};
 pub use clock::Cycles;
-pub use resource::{BandwidthGate, Server, ServerPool};
+pub use resource::{BandwidthGate, QueueStats, Server, ServerPool};
 pub use rng::SplitMix64;
-pub use stats::{ByteCounter, Counter, LatencyStats};
+pub use stats::{ByteCounter, Counter, HitMiss, LatencyStats};
 pub use wire::{WireError, WireReader, WireWriter};

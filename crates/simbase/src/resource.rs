@@ -112,6 +112,39 @@ impl ServerPool {
     }
 }
 
+/// Occupancy statistics for a queue-like resource.
+///
+/// The paper reasons about iMC queue pressure (RPQ/WPQ) from `ipmwatch`
+/// occupancy counters; this is the simulator's equivalent observation
+/// point. `stall_cycles` is the *time-at-full* requesters experienced:
+/// the total cycles spent waiting because the queue was at capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items accepted into the queue.
+    pub accepts: u64,
+    /// Deepest backlog observed right after an acceptance.
+    pub max_depth: u64,
+    /// Total cycles requesters stalled because the queue was full.
+    pub stall_cycles: Cycles,
+}
+
+impl QueueStats {
+    /// Folds another window of observations into this one.
+    ///
+    /// Counters add; `max_depth` keeps the deeper of the two (it is a
+    /// high-water mark, not a count).
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.accepts += other.accepts;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.stall_cycles += other.stall_cycles;
+    }
+
+    /// Resets all observations to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
 /// A throughput limiter expressed as a fixed per-item service interval.
 ///
 /// Unlike [`Server`], which delays the *requester*, a `BandwidthGate` is
@@ -128,6 +161,8 @@ pub struct BandwidthGate {
     capacity: usize,
     /// Completion times of in-flight items (monotonically increasing).
     in_flight: std::collections::VecDeque<Cycles>,
+    /// Occupancy observations accumulated across accepts.
+    stats: QueueStats,
 }
 
 impl BandwidthGate {
@@ -144,6 +179,7 @@ impl BandwidthGate {
             last_completion: 0,
             capacity,
             in_flight: std::collections::VecDeque::new(),
+            stats: QueueStats::default(),
         }
     }
 
@@ -161,9 +197,17 @@ impl BandwidthGate {
         } else {
             now
         };
+        if accept_time > now {
+            // The item only enters once the front has drained; retire what
+            // completed in the meantime so depth accounting stays exact.
+            self.retire(accept_time);
+        }
         let completion = (self.last_completion + self.interval).max(accept_time + self.interval);
         self.last_completion = completion;
         self.in_flight.push_back(completion);
+        self.stats.accepts += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.in_flight.len() as u64);
+        self.stats.stall_cycles += accept_time - now;
         (accept_time, completion)
     }
 
@@ -189,10 +233,33 @@ impl BandwidthGate {
         self.interval
     }
 
-    /// Resets the gate to empty.
-    pub fn reset(&mut self) {
+    /// Returns the configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the accumulated occupancy observations.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Clears occupancy observations without disturbing queue contents.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Empties the queue without touching occupancy observations (a power
+    /// failure drops timing state but the cumulative metrics survive in
+    /// the observer).
+    pub fn clear_queue(&mut self) {
         self.last_completion = 0;
         self.in_flight.clear();
+    }
+
+    /// Resets the gate to empty, including occupancy observations.
+    pub fn reset(&mut self) {
+        self.clear_queue();
+        self.stats.reset();
     }
 }
 
@@ -274,6 +341,44 @@ mod tests {
         assert_eq!(g.in_flight_at(150), 1);
         let (a, _) = g.accept(250);
         assert_eq!(a, 250);
+    }
+
+    #[test]
+    fn gate_tracks_occupancy_and_stall_time() {
+        let mut g = BandwidthGate::new(100, 2);
+        g.accept(0); // depth 1
+        g.accept(0); // depth 2 (full)
+        let s = g.queue_stats();
+        assert_eq!(s.accepts, 2);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.stall_cycles, 0, "no stall below capacity");
+
+        g.accept(0); // stalls until 100, when the first item drains
+        let s = g.queue_stats();
+        assert_eq!(s.accepts, 3);
+        assert_eq!(s.max_depth, 2, "the stalled accept retired an item first");
+        assert_eq!(s.stall_cycles, 100);
+
+        g.reset_stats();
+        assert_eq!(g.queue_stats(), QueueStats::default());
+        assert_eq!(g.in_flight_at(150), 2, "reset_stats keeps queue contents");
+    }
+
+    #[test]
+    fn queue_stats_merge_keeps_high_water_mark() {
+        let mut a = QueueStats {
+            accepts: 5,
+            max_depth: 3,
+            stall_cycles: 40,
+        };
+        a.merge(&QueueStats {
+            accepts: 2,
+            max_depth: 7,
+            stall_cycles: 10,
+        });
+        assert_eq!(a.accepts, 7);
+        assert_eq!(a.max_depth, 7);
+        assert_eq!(a.stall_cycles, 50);
     }
 
     #[test]

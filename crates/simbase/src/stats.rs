@@ -85,6 +85,74 @@ impl ByteCounter {
     }
 }
 
+/// Named hit/miss counters for one cache-like structure.
+///
+/// Every buffer in the study — CPU cache levels, the on-DIMM read and
+/// write buffers, the AIT cache — reports its effectiveness as a hit/miss
+/// pair. This struct replaces the bare `(hits, misses)` tuples those layers
+/// used to return, so call sites name what they read and simwatch can derive
+/// hit-ratio metrics uniformly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitMiss {
+    /// Accesses served by the structure.
+    pub hits: u64,
+    /// Accesses the structure could not serve.
+    pub misses: u64,
+}
+
+impl HitMiss {
+    /// Creates a zeroed pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a pair from explicit counts.
+    pub const fn of(hits: u64, misses: u64) -> Self {
+        HitMiss { hits, misses }
+    }
+
+    /// Records one hit.
+    #[inline]
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records one miss.
+    #[inline]
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Returns the total number of recorded accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Returns `hits / (hits + misses)`, or 0 when nothing was recorded.
+    pub fn hit_ratio(&self) -> f64 {
+        ratio(self.hits, self.total())
+    }
+
+    /// Returns the counter-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &HitMiss) -> HitMiss {
+        HitMiss {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+
+    /// Adds another pair's counts into this one.
+    pub fn merge(&mut self, other: &HitMiss) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
 /// Computes a ratio of two byte counts, returning 0 when the denominator is
 /// zero.
 ///
@@ -201,6 +269,26 @@ mod tests {
         let d = a.delta(&snapshot);
         assert_eq!(d.read, 25);
         assert_eq!(d.write, 0);
+    }
+
+    #[test]
+    fn hit_miss_accumulates_and_derives_ratio() {
+        let mut hm = HitMiss::new();
+        hm.hit();
+        hm.hit();
+        hm.hit();
+        hm.miss();
+        assert_eq!(hm, HitMiss::of(3, 1));
+        assert_eq!(hm.total(), 4);
+        assert_eq!(hm.hit_ratio(), 0.75);
+
+        let earlier = hm;
+        hm.merge(&HitMiss::of(1, 1));
+        assert_eq!(hm.delta(&earlier), HitMiss::of(1, 1));
+
+        hm.reset();
+        assert_eq!(hm, HitMiss::new());
+        assert_eq!(hm.hit_ratio(), 0.0, "empty pair reports 0, not NaN");
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn probe_read_buffer(gen: Generation) -> u64 {
         // Warm round, then measure one full 4-pass round.
         for pass in 0..8u64 {
             if pass == 4 {
-                m.reset_counters();
+                m.reset_metrics();
             }
             for x in 0..xplines {
                 let a = base.add_xplines(x).add_cachelines(pass % 4);
@@ -43,7 +43,7 @@ fn probe_read_buffer(gen: Generation) -> u64 {
                 m.clflushopt(t, a);
             }
         }
-        let ra = m.telemetry().read_amplification();
+        let ra = m.metrics().telemetry.read_amplification();
         if ra < 1.5 {
             capacity = wss;
         }
@@ -70,7 +70,7 @@ fn probe_write_buffer(gen: Generation) -> u64 {
             );
         }
         m.sfence(t);
-        if m.telemetry().media.write == 0 {
+        if m.metrics().telemetry.media.write == 0 {
             capacity = wss;
         }
     }
@@ -95,7 +95,7 @@ fn probe_periodic_writeback(gen: Generation) -> bool {
         }
         m.sfence(t);
     }
-    m.telemetry().media.write > 0
+    m.metrics().telemetry.media.write > 0
 }
 
 /// Measures the read-after-persist gap: reread of a just-persisted line

@@ -68,7 +68,7 @@ fn main() {
     }
     drop(env);
 
-    let tel = machine.telemetry();
+    let tel = machine.metrics().telemetry;
     println!(
         "traffic so far: iMC {:.1} MB read / {:.1} MB written, media WA {:.2}",
         tel.imc.read as f64 / 1e6,

@@ -57,7 +57,7 @@ fn main() {
         machine.load_u64(thread, region.add_xplines(i)); // 1 of 4 cachelines
         machine.clflushopt(thread, region.add_xplines(i));
     }
-    let t = machine.telemetry();
+    let t = machine.metrics().telemetry;
     println!(
         "strided reads: iMC {} B, media {} B -> read amplification {:.1}",
         t.imc.read,

@@ -10,6 +10,7 @@ pub use cpucache;
 pub use experiments;
 pub use faultsim;
 pub use imc;
+pub use obs;
 pub use optane_core as core;
 pub use pmcheck;
 pub use pmds;

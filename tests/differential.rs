@@ -144,7 +144,7 @@ proptest! {
             }
             let now = env.now();
             drop(env);
-            (now, m.telemetry())
+            (now, m.metrics().telemetry)
         };
         let (t1, tel1) = run();
         let (t2, tel2) = run();
