@@ -19,6 +19,7 @@ fn fig02_read_buffer(c: &mut Criterion) {
                 wss_points: vec![8 << 10, 24 << 10],
                 rounds: 2,
                 metrics: None,
+                seed: 0,
             })
         })
     });
@@ -32,6 +33,7 @@ fn fig03_write_amp(c: &mut Criterion) {
                 wss_points: vec![8 << 10, 24 << 10],
                 rounds: 4,
                 metrics: None,
+                seed: 0,
             })
         })
     });

@@ -103,13 +103,15 @@ impl Cache {
             return None;
         }
         let mut evicted = None;
-        if set.len() >= ways {
-            let victim_idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
-                .map(|(i, _)| i)
-                .expect("full set is non-empty");
+        // A full set always yields an LRU victim; the if-let keeps the
+        // invariant local instead of asserting it.
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.last_use)
+            .map(|(i, _)| i)
+            .filter(|_| set.len() >= ways);
+        if let Some(victim_idx) = victim {
             let v = set.swap_remove(victim_idx);
             let line_no = v.tag * num_sets + set_idx as u64;
             evicted = Some(Evicted {

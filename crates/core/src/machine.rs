@@ -16,7 +16,7 @@
 //!   threads on socket 1 pay remote penalties on reads and persists and
 //!   use socket 1's own cache hierarchy.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cpucache::{CacheSystem, FlushMode, HitLevel};
 use imc::{DramController, PersistWait, PmController};
@@ -101,7 +101,10 @@ pub struct Machine {
     pm: PmController,
     dram: DramController,
     persistent: SparseStore,
-    overlay: HashMap<u64, [u8; 64]>,
+    /// Ordered so that iteration (crash images, quiesce folds) is
+    /// address-ordered and therefore identical across processes; the
+    /// determinism contract (DESIGN.md) bans unordered maps in sim state.
+    overlay: BTreeMap<u64, [u8; 64]>,
     dram_image: SparseStore,
     threads: Vec<HwThread>,
     /// Hardware threads per (socket, core).
@@ -109,10 +112,10 @@ pub struct Machine {
     next_core: Vec<usize>,
     /// Cacheline -> completion time of an in-flight fill (prefetch or
     /// demand), for prefetch-timing overlap.
-    inflight_fills: HashMap<u64, Cycles>,
+    inflight_fills: BTreeMap<u64, Cycles>,
     /// Cacheline -> most recent invalidating flush, for the sfence load
     /// bypass and persist-wait decisions.
-    recent_flush: HashMap<u64, FlushRecord>,
+    recent_flush: BTreeMap<u64, FlushRecord>,
     demand: ByteCounter,
     pm_next: u64,
     dram_next: u64,
@@ -147,13 +150,13 @@ impl Machine {
             pm,
             dram,
             persistent: SparseStore::new(),
-            overlay: HashMap::new(),
+            overlay: BTreeMap::new(),
             dram_image: SparseStore::new(),
             threads: Vec::new(),
             core_occupancy,
             next_core: vec![0; 2],
-            inflight_fills: HashMap::new(),
-            recent_flush: HashMap::new(),
+            inflight_fills: BTreeMap::new(),
+            recent_flush: BTreeMap::new(),
             demand: ByteCounter::new(),
             pm_next: PM_BASE,
             dram_next: DRAM_BASE,
@@ -471,6 +474,10 @@ impl Machine {
                 }
             }
             level => {
+                // simlint::allow(unwrap-in-lib, non-Miss hit levels always
+                // carry a configured latency; a None here is a cache-model
+                // bug worth aborting on, not a recoverable condition)
+                #[allow(clippy::expect_used)]
                 let base = self.caches[socket]
                     .latency_of(level)
                     .expect("hit level has a latency");
@@ -1164,12 +1171,13 @@ impl Machine {
     /// domain. Every subset of the uncertain set surviving is a legal
     /// post-crash state at this instant (see [`CrashImage`]).
     pub fn capture_crash_image(&self) -> CrashImage {
-        let mut uncertain: Vec<(u64, [u8; 64])> = self
+        // BTreeMap iteration is already address-ordered, so the uncertain
+        // set has a canonical encoding without an explicit sort.
+        let uncertain: Vec<(u64, [u8; 64])> = self
             .overlay
             .iter()
             .map(|(&cl, &bytes)| (cl, bytes))
             .collect();
-        uncertain.sort_unstable_by_key(|&(cl, _)| cl);
         CrashImage {
             cfg: self.cfg.clone(),
             persistent: self.persistent.clone(),

@@ -343,6 +343,10 @@ impl FastFair {
         key: u64,
         value: u64,
     ) {
+        // simlint::allow(unwrap-in-lib, shift_redo is only reachable when
+        // the tree was built with WriteStrategy::Redo, which allocates the
+        // log; a missing log is construction-order corruption)
+        #[allow(clippy::expect_used)]
         let log = self.log.as_mut().expect("redo strategy has a log");
         // Gather the updates (shifts plus the new entry), high to low.
         let mut updates: Vec<(Addr, [u8; 16])> = Vec::with_capacity((count - pos + 1) as usize);

@@ -16,6 +16,10 @@
 //! differential testing.
 
 #![forbid(unsafe_code)]
+// The determinism/robustness contract (DESIGN.md) double-enforces the
+// simlint no-unwrap rule with stock tooling in the sim crates; tests are
+// exempt via clippy.toml (allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod cceh;
 pub mod chase;

@@ -196,6 +196,18 @@ fn parse_args() -> Options {
 }
 
 fn main() {
+    // The divergence witness has its own CLI (it spawns this binary as
+    // `divergence-child` subprocesses); intercept before normal parsing.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("divergence") => {
+            std::process::exit(experiments::divergence::parent_main(&argv[1..]));
+        }
+        Some("divergence-child") => {
+            std::process::exit(experiments::divergence::child_main(&argv[1..]));
+        }
+        _ => {}
+    }
     let opts = parse_args();
     let spec = opts.metrics.as_ref().map(|_| MetricsSpec {
         interval: opts.sample_interval,

@@ -23,12 +23,17 @@ pub enum ExpError {
     /// The parameter set cannot drive a meaningful run (empty sweep,
     /// zero iteration count, …).
     BadParams(String),
+    /// A result the caller relies on is absent (missing curve, missing
+    /// sample point). Replaces `unwrap()` on result lookups so a shape
+    /// change in an experiment's output surfaces as a typed failure.
+    MissingData(String),
 }
 
 impl fmt::Display for ExpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExpError::BadParams(why) => write!(f, "bad experiment parameters: {why}"),
+            ExpError::MissingData(what) => write!(f, "missing experiment data: {what}"),
         }
     }
 }
@@ -64,6 +69,14 @@ impl Curve {
             .iter()
             .find(|(px, _)| (px - x).abs() < 1e-9)
             .map(|&(_, y)| y)
+    }
+
+    /// Like [`Curve::y_at`], but a missing sample is a typed error naming
+    /// the curve and the x value.
+    pub fn require_y(&self, x: f64) -> Result<f64, ExpError> {
+        self.y_at(x).ok_or_else(|| {
+            ExpError::MissingData(format!("curve `{}` has no sample at x={x}", self.label))
+        })
     }
 
     /// Returns the maximum y value.
@@ -115,6 +128,18 @@ impl ExpResult {
     /// Finds a curve by label.
     pub fn curve(&self, label: &str) -> Option<&Curve> {
         self.curves.iter().find(|c| c.label == label)
+    }
+
+    /// Like [`ExpResult::curve`], but a missing curve is a typed error
+    /// listing the labels that do exist.
+    pub fn require_curve(&self, label: &str) -> Result<&Curve, ExpError> {
+        self.curve(label).ok_or_else(|| {
+            let have: Vec<&str> = self.curves.iter().map(|c| c.label.as_str()).collect();
+            ExpError::MissingData(format!(
+                "result `{}` has no curve `{label}` (curves: {have:?})",
+                self.name
+            ))
+        })
     }
 
     /// Renders an aligned text table (x column plus one column per curve).

@@ -8,6 +8,7 @@ use optane_core::{Generation, Machine, MachineConfig, ThreadId};
 use simbase::XPLINE_BYTES;
 
 use crate::common::{Curve, ExpResult};
+use crate::divergence::WitnessTap;
 
 /// Parameters for E0.
 #[derive(Debug, Clone)]
@@ -22,6 +23,10 @@ pub struct E0Params {
     pub dimms: usize,
     /// Clock frequency for GB/s conversion.
     pub ghz: f64,
+    /// Run seed, XORed into the machine's crash seed. The default 0
+    /// leaves the generation-preset seed untouched, so existing results
+    /// are byte-identical.
+    pub seed: u64,
 }
 
 impl Default for E0Params {
@@ -32,12 +37,19 @@ impl Default for E0Params {
             blocks_per_thread: 10_000,
             dimms: 1,
             ghz: 2.1,
+            seed: 0,
         }
     }
 }
 
 /// Runs E0: sequential read and nt-store write bandwidth vs. threads.
 pub fn run(params: &E0Params) -> ExpResult {
+    run_traced(params, None)
+}
+
+/// Runs E0 with an optional divergence-witness tap observing every
+/// machine's op stream and final checkpoint (see `divergence`).
+pub fn run_traced(params: &E0Params, tap: Option<&WitnessTap>) -> ExpResult {
     let mut result = ExpResult::new(
         format!(
             "E0 / §2.2: bandwidth scaling ({}, {} DIMM)",
@@ -49,16 +61,21 @@ pub fn run(params: &E0Params) -> ExpResult {
     let mut read = Curve::new("sequential read");
     let mut write = Curve::new("nt-store write");
     for &threads in &params.threads {
-        read.push(threads as f64, measure(params, threads, false));
-        write.push(threads as f64, measure(params, threads, true));
+        read.push(threads as f64, measure(params, threads, false, tap));
+        write.push(threads as f64, measure(params, threads, true, tap));
     }
     result.curves = vec![read, write];
     result
 }
 
-fn measure(params: &E0Params, threads: usize, write: bool) -> f64 {
-    let cfg = MachineConfig::for_generation(params.generation, PrefetchConfig::all(), params.dimms);
+fn measure(params: &E0Params, threads: usize, write: bool, tap: Option<&WitnessTap>) -> f64 {
+    let mut cfg =
+        MachineConfig::for_generation(params.generation, PrefetchConfig::all(), params.dimms);
+    cfg.crash_seed ^= params.seed;
     let mut m = Machine::new(cfg);
+    if let Some(tap) = tap {
+        m.set_trace_sink(tap.sink());
+    }
     let tids: Vec<ThreadId> = (0..threads).map(|_| m.spawn(0)).collect();
     // Each thread streams over its own region so the caches and buffers
     // behave as in a bandwidth benchmark.
@@ -90,6 +107,9 @@ fn measure(params: &E0Params, threads: usize, write: bool) -> f64 {
         m.sfence(t);
     }
     let makespan = tids.iter().map(|&t| m.now(t)).max().expect("threads") as f64;
+    if let Some(tap) = tap {
+        tap.fold_machine(&mut m);
+    }
     let bytes = (params.blocks_per_thread * threads as u64 * XPLINE_BYTES) as f64;
     bytes / makespan * params.ghz
 }

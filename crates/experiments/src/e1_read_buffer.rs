@@ -24,6 +24,10 @@ pub struct E1Params {
     pub rounds: u64,
     /// When set, sample `simwatch` metrics at this interval.
     pub metrics: Option<MetricsSpec>,
+    /// Run seed, XORed into the machine's crash seed. The default 0
+    /// leaves the generation-preset seed untouched, so existing results
+    /// are byte-identical.
+    pub seed: u64,
 }
 
 impl Default for E1Params {
@@ -33,6 +37,7 @@ impl Default for E1Params {
             wss_points: (1..=18).map(|k| k * 2048).collect(), // 2 KB .. 36 KB
             rounds: 3,
             metrics: None,
+            seed: 0,
         }
     }
 }
@@ -52,7 +57,7 @@ pub fn run(params: &E1Params) -> ExpResult {
             if cpx > 1 { "s" } else { "" }
         ));
         for &wss in &params.wss_points {
-            let point = measure_point(params.generation, wss, cpx, params.rounds, params.metrics);
+            let point = measure_point(params, wss, cpx);
             curve.push(wss as f64, point.ra);
             if let (Some(all), Some(s)) = (&mut series, point.jsonl) {
                 all.push_str(&s);
@@ -72,18 +77,14 @@ struct PointOutcome {
     queues: ImcQueueStats,
 }
 
-fn measure_point(
-    gen: Generation,
-    wss: u64,
-    cpx: u64,
-    rounds: u64,
-    metrics: Option<MetricsSpec>,
-) -> PointOutcome {
-    let cfg = MachineConfig::for_generation(gen, PrefetchConfig::none(), 1);
+fn measure_point(params: &E1Params, wss: u64, cpx: u64) -> PointOutcome {
+    let rounds = params.rounds;
+    let mut cfg = MachineConfig::for_generation(params.generation, PrefetchConfig::none(), 1);
+    cfg.crash_seed ^= params.seed;
     let mut m = Machine::new(cfg);
     let t = m.spawn(0);
     let base = m.alloc_pm(wss, XPLINE_BYTES);
-    let mut sampler = metrics.map(|spec| {
+    let mut sampler = params.metrics.map(|spec| {
         let mut s = MachineSampler::new(spec.interval);
         s.set_context(format!("e1 cpx={cpx} wss={wss}"));
         s
@@ -127,6 +128,7 @@ mod tests {
             wss_points: vec![4 << 10, 8 << 10, 12 << 10, 32 << 10],
             rounds: 2,
             metrics: None,
+            seed: 0,
         })
     }
 
@@ -161,6 +163,7 @@ mod tests {
                 wss_points: vec![20 << 10],
                 rounds: 2,
                 metrics: None,
+                seed: 0,
             });
             r.curve("read 4 cachelines")
                 .unwrap()

@@ -174,20 +174,22 @@ fn iteration(
 mod tests {
     use super::*;
 
-    fn panel<'a>(results: &'a [ExpResult], name_contains: &str) -> &'a ExpResult {
+    // The tests return Result and use the typed require_* accessors:
+    // a missing panel, curve, or sample reads as a MissingData error
+    // naming what was absent, instead of an unwrap panic.
+    fn panel<'a>(results: &'a [ExpResult], name_contains: &str) -> Result<&'a ExpResult, ExpError> {
         results
             .iter()
             .find(|r| r.name.contains(name_contains))
-            .expect("panel exists")
+            .ok_or_else(|| ExpError::MissingData(format!("no panel matching `{name_contains}`")))
     }
 
-    fn quick(gen: Generation, distances: Vec<u64>) -> Vec<ExpResult> {
+    fn quick(gen: Generation, distances: Vec<u64>) -> Result<Vec<ExpResult>, ExpError> {
         run(&E5Params {
             generation: gen,
             distances,
             iters: 400,
         })
-        .expect("valid params")
     }
 
     #[test]
@@ -205,81 +207,74 @@ mod tests {
     }
 
     #[test]
-    fn g1_clwb_mfence_rap_decays_with_distance() {
-        let r = quick(Generation::G1, vec![0, 2, 40]);
-        let pm = panel(&r, "local PM");
-        let c = pm.curve("PM+clwb+mfence").unwrap();
-        let d0 = c.y_at(0.0).unwrap();
-        let d40 = c.y_at(40.0).unwrap();
+    fn g1_clwb_mfence_rap_decays_with_distance() -> Result<(), ExpError> {
+        let r = quick(Generation::G1, vec![0, 2, 40])?;
+        let c = panel(&r, "local PM")?.require_curve("PM+clwb+mfence")?;
+        let d0 = c.require_y(0.0)?;
+        let d40 = c.require_y(40.0)?;
         assert!(d0 > 2000.0, "near-distance RAP is huge: {d0}");
         assert!(
             d40 < d0 / 2.5,
             "distance drains the pipeline: {d40} vs {d0}"
         );
+        Ok(())
     }
 
     #[test]
-    fn g1_sfence_is_fast_at_small_distance_then_jumps() {
-        let r = quick(Generation::G1, vec![0, 2, 40]);
-        let pm = panel(&r, "local PM");
-        let c = pm.curve("PM+clwb+sfence").unwrap();
-        let d0 = c.y_at(0.0).unwrap();
-        let d2 = c.y_at(2.0).unwrap();
+    fn g1_sfence_is_fast_at_small_distance_then_jumps() -> Result<(), ExpError> {
+        let r = quick(Generation::G1, vec![0, 2, 40])?;
+        let pm = panel(&r, "local PM")?;
+        let c = pm.require_curve("PM+clwb+sfence")?;
+        let d0 = c.require_y(0.0)?;
+        let d2 = c.require_y(2.0)?;
         assert!(d0 < 600.0, "bypass keeps distance 0 fast: {d0}");
         assert!(
             d2 > d0 + 50.0,
             "jump just past the bypass window: {d2} vs {d0}"
         );
-        let mfence0 = pm.curve("PM+clwb+mfence").unwrap().y_at(0.0).unwrap();
+        let mfence0 = pm.require_curve("PM+clwb+mfence")?.require_y(0.0)?;
         assert!(d2 < mfence0 / 2.0, "sfence waits only for the drain");
+        Ok(())
     }
 
     #[test]
-    fn g2_fixes_clwb_but_not_ntstore() {
-        let r = quick(Generation::G2, vec![0, 40]);
-        let pm = panel(&r, "local PM");
-        let clwb = pm.curve("PM+clwb+mfence").unwrap();
-        let nt = pm.curve("PM+nt-store+mfence").unwrap();
+    fn g2_fixes_clwb_but_not_ntstore() -> Result<(), ExpError> {
+        let r = quick(Generation::G2, vec![0, 40])?;
+        let pm = panel(&r, "local PM")?;
+        let clwb = pm.require_curve("PM+clwb+mfence")?;
+        let nt = pm.require_curve("PM+nt-store+mfence")?;
         let spread = clwb.y_max() - clwb.y_min();
         assert!(
             spread < 200.0,
             "G2 clwb keeps the line cached, curve flat: spread {spread}"
         );
-        assert!(
-            nt.y_at(0.0).unwrap() > 2000.0,
-            "nt-store RAP persists on G2"
-        );
+        assert!(nt.require_y(0.0)? > 2000.0, "nt-store RAP persists on G2");
+        Ok(())
     }
 
     #[test]
-    fn dram_gap_is_much_smaller_than_pm() {
-        let r = quick(Generation::G1, vec![0]);
-        let pm = panel(&r, "local PM")
-            .curve("PM+clwb+mfence")
-            .unwrap()
-            .y_at(0.0)
-            .unwrap();
-        let dram = panel(&r, "local DRAM")
-            .curve("DRAM+clwb+mfence")
-            .unwrap()
-            .y_at(0.0)
-            .unwrap();
+    fn dram_gap_is_much_smaller_than_pm() -> Result<(), ExpError> {
+        let r = quick(Generation::G1, vec![0])?;
+        let pm = panel(&r, "local PM")?
+            .require_curve("PM+clwb+mfence")?
+            .require_y(0.0)?;
+        let dram = panel(&r, "local DRAM")?
+            .require_curve("DRAM+clwb+mfence")?
+            .require_y(0.0)?;
         assert!(pm > dram * 2.0, "PM RAP dwarfs DRAM RAP: {pm} vs {dram}");
+        Ok(())
     }
 
     #[test]
-    fn remote_is_slower_than_local() {
-        let r = quick(Generation::G1, vec![0]);
-        let local = panel(&r, "local PM")
-            .curve("PM+clwb+mfence")
-            .unwrap()
-            .y_at(0.0)
-            .unwrap();
-        let remote = panel(&r, "remote PM")
-            .curve("PM+clwb+mfence")
-            .unwrap()
-            .y_at(0.0)
-            .unwrap();
+    fn remote_is_slower_than_local() -> Result<(), ExpError> {
+        let r = quick(Generation::G1, vec![0])?;
+        let local = panel(&r, "local PM")?
+            .require_curve("PM+clwb+mfence")?
+            .require_y(0.0)?;
+        let remote = panel(&r, "remote PM")?
+            .require_curve("PM+clwb+mfence")?
+            .require_y(0.0)?;
         assert!(remote > local, "NUMA penalty: {remote} vs {local}");
+        Ok(())
     }
 }

@@ -168,13 +168,15 @@ fn pure_write(params: &E6Params, wss: u64, order: AccessOrder, kind: WriteKind) 
 mod tests {
     use super::*;
 
-    fn quick(wss: Vec<u64>) -> Vec<ExpResult> {
+    // Result-returning tests with typed require_* accessors: a missing
+    // curve or sample names itself in a MissingData error instead of
+    // panicking through unwrap.
+    fn quick(wss: Vec<u64>) -> Result<Vec<ExpResult>, ExpError> {
         run(&E6Params {
             generation: Generation::G1,
             wss_points: wss,
             laps: 2,
         })
-        .expect("valid params")
     }
 
     #[test]
@@ -187,61 +189,56 @@ mod tests {
     }
 
     #[test]
-    fn read_latency_explodes_past_llc_while_write_stays_flat() {
-        let r = quick(vec![64 << 10, 64 << 20]);
+    fn read_latency_explodes_past_llc_while_write_stays_flat() -> Result<(), ExpError> {
+        let r = quick(vec![64 << 10, 64 << 20])?;
         let breakdown = &r[2];
-        let rd = breakdown.curve("rand_rd").unwrap();
-        let small_rd = rd.y_at((64 << 10) as f64).unwrap();
-        let big_rd = rd.y_at((64 << 20) as f64).unwrap();
+        let rd = breakdown.require_curve("rand_rd")?;
+        let small_rd = rd.require_y((64 << 10) as f64)?;
+        let big_rd = rd.require_y((64 << 20) as f64)?;
         assert!(
             big_rd > small_rd * 5.0,
             "random read latency jumps past caches: {small_rd} -> {big_rd}"
         );
-        let wr = breakdown.curve("rand_nt-store").unwrap();
+        let wr = breakdown.require_curve("rand_nt-store")?;
         let spread = wr.y_max() / wr.y_min().max(1.0);
         assert!(
             spread < 3.0,
             "pure write latency is flat across WSS: spread {spread}"
         );
         assert!(
-            big_rd > wr.y_at((64 << 20) as f64).unwrap() * 2.0,
+            big_rd > wr.require_y((64 << 20) as f64)? * 2.0,
             "reads dominate writes at large WSS"
         );
+        Ok(())
     }
 
     #[test]
-    fn relaxed_is_cheaper_than_strict_for_writes() {
-        let r = quick(vec![1 << 20]);
+    fn relaxed_is_cheaper_than_strict_for_writes() -> Result<(), ExpError> {
+        let r = quick(vec![1 << 20])?;
         let strict = r[0]
-            .curve("rand_clwb")
-            .unwrap()
-            .y_at((1 << 20) as f64)
-            .unwrap();
+            .require_curve("rand_clwb")?
+            .require_y((1 << 20) as f64)?;
         let relaxed = r[1]
-            .curve("rand_clwb")
-            .unwrap()
-            .y_at((1 << 20) as f64)
-            .unwrap();
+            .require_curve("rand_clwb")?
+            .require_y((1 << 20) as f64)?;
         assert!(relaxed < strict, "relaxed < strict: {relaxed} vs {strict}");
+        Ok(())
     }
 
     #[test]
-    fn sequential_beats_random_beyond_llc() {
-        let r = quick(vec![64 << 20]);
+    fn sequential_beats_random_beyond_llc() -> Result<(), ExpError> {
+        let r = quick(vec![64 << 20])?;
         let breakdown = &r[2];
         let seq = breakdown
-            .curve("seq_rd")
-            .unwrap()
-            .y_at((64 << 20) as f64)
-            .unwrap();
+            .require_curve("seq_rd")?
+            .require_y((64 << 20) as f64)?;
         let rand = breakdown
-            .curve("rand_rd")
-            .unwrap()
-            .y_at((64 << 20) as f64)
-            .unwrap();
+            .require_curve("rand_rd")?
+            .require_y((64 << 20) as f64)?;
         assert!(
             seq < rand * 0.8,
             "prefetch makes sequential chase faster: {seq} vs {rand}"
         );
+        Ok(())
     }
 }

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod common;
+pub mod divergence;
 pub mod e0_bandwidth;
 pub mod e10_pmcheck;
 pub mod e11_faultsim;

@@ -75,11 +75,8 @@ impl AitCache {
                 tag,
                 last_use: tick,
             });
-        } else {
-            let victim = set
-                .iter_mut()
-                .min_by_key(|e| e.last_use)
-                .expect("set is non-empty");
+        } else if let Some(victim) = set.iter_mut().min_by_key(|e| e.last_use) {
+            // The set is at capacity here, so a victim always exists.
             *victim = AitEntry {
                 tag,
                 last_use: tick,

@@ -6,7 +6,7 @@
 //! buffers. Unwritten memory reads as zero, matching freshly-allocated DAX
 //! pages.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simbase::Addr;
 
@@ -19,7 +19,10 @@ const PAGE_BYTES: u64 = 4096;
 /// and as the volatile DRAM image in the machine model.
 #[derive(Debug, Default, Clone)]
 pub struct SparseStore {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    /// Keyed by page number, ordered so that iteration (snapshot
+    /// encodings, diffs) is identical across processes — the determinism
+    /// contract (DESIGN.md) bans unordered maps in serialization paths.
+    pages: BTreeMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
 }
 
 impl SparseStore {
@@ -85,12 +88,10 @@ impl SparseStore {
     pub const PAGE_BYTES: u64 = PAGE_BYTES;
 
     /// Returns `(page_number, contents)` for every resident page, sorted
-    /// by page number so snapshot encodings are deterministic.
+    /// by page number so snapshot encodings are deterministic (BTreeMap
+    /// iteration is already page-number-ordered).
     pub fn sorted_pages(&self) -> Vec<(u64, &[u8])> {
-        let mut pages: Vec<(u64, &[u8])> =
-            self.pages.iter().map(|(&n, p)| (n, p.as_slice())).collect();
-        pages.sort_unstable_by_key(|&(n, _)| n);
-        pages
+        self.pages.iter().map(|(&n, p)| (n, p.as_slice())).collect()
     }
 
     /// Installs a full page at `page_number` (inverse of

@@ -1,6 +1,6 @@
 //! The DRAM (DDR4) channel: the paper's synchronous comparison substrate.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simbase::{Addr, ByteCounter, Cycles, ServerPool, CACHELINE_BYTES};
 
@@ -44,7 +44,7 @@ pub struct DramController {
     channels: ServerPool,
     counters: ByteCounter,
     /// Cacheline address -> time the last flushed write becomes readable.
-    inflight: HashMap<u64, Cycles>,
+    inflight: BTreeMap<u64, Cycles>,
 }
 
 impl DramController {
@@ -55,7 +55,7 @@ impl DramController {
             params,
             channels,
             counters: ByteCounter::new(),
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
         }
     }
 

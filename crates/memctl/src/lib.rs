@@ -20,6 +20,10 @@
 //! pipeline. [`DramController`] models the DRAM channel.
 
 #![forbid(unsafe_code)]
+// The determinism/robustness contract (DESIGN.md) double-enforces the
+// simlint no-unwrap rule with stock tooling in the sim crates; tests are
+// exempt via clippy.toml (allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod dram;
 pub mod pm;

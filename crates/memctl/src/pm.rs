@@ -1,6 +1,6 @@
 //! The persistent-memory side of the iMC: WPQ, interleaving, counters.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simbase::{Addr, BandwidthGate, ByteCounter, Cycles, QueueStats, CACHELINE_BYTES};
 use xpdimm::{DimmController, DimmParams, DimmStats, ReadSource};
@@ -140,7 +140,7 @@ pub struct PmController {
     imc: Vec<ByteCounter>,
     /// Cacheline address -> `(drained, readable_at)` of the last accepted
     /// write.
-    inflight: HashMap<u64, (Cycles, Cycles)>,
+    inflight: BTreeMap<u64, (Cycles, Cycles)>,
 }
 
 impl PmController {
@@ -169,7 +169,7 @@ impl PmController {
             wpq,
             rpq,
             imc,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
         }
     }
 

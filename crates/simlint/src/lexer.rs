@@ -1,0 +1,366 @@
+//! A small Rust lexer: just enough to lint tokens honestly.
+//!
+//! The rule engines must never fire on the word `HashMap` inside a string
+//! literal or a doc comment, so the lexer strips comments and string/char
+//! literals and keeps only identifiers, numbers, and punctuation — each
+//! tagged with its 1-based source line. Line comments are additionally
+//! scanned for `simlint::allow(rule, reason)` directives, which are the
+//! contract's escape hatch (see DESIGN.md, "Determinism contract").
+
+/// One surviving token: an identifier, a number, or a single punctuation
+/// character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text (identifiers/numbers whole; punctuation one char).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `simlint::allow(rule, reason)` directive recovered from comments.
+/// Consecutive `//` comment lines are concatenated before parsing, so a
+/// directive (and its reason) may span several comment lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// Rule name inside the parentheses (up to the first `,` or `)`).
+    pub rule: String,
+    /// Whether a non-empty reason followed the rule name.
+    pub has_reason: bool,
+    /// Line of the *last* comment line of the block holding the
+    /// directive — the line the annotated code follows.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus recovered allow directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Allow directives in source order.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Lexes `src`, stripping comments and literals.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut tokens = Vec::new();
+    // (last_line, accumulated_text) of the comment block being built.
+    let mut comment_block: Option<(u32, String)> = None;
+    let mut allows = Vec::new();
+
+    // Closes the pending comment block, extracting any allow directive.
+    fn flush_block(block: &mut Option<(u32, String)>, allows: &mut Vec<AllowDirective>) {
+        if let Some((last_line, text)) = block.take() {
+            if let Some(d) = parse_allow(&text, last_line) {
+                allows.push(d);
+            }
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if b.get(i + 1) == Some(&'/') => {
+                // Line comment. Doc comments (`///`, `//!`) document; only
+                // plain `//` comments can carry allow directives — so docs
+                // may mention the directive syntax freely.
+                let is_doc = matches!(b.get(i + 2), Some(&'/') | Some(&'!'));
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                if is_doc {
+                    flush_block(&mut comment_block, &mut allows);
+                    i = j;
+                    continue;
+                }
+                let text: String = b[start..j].iter().collect();
+                match &mut comment_block {
+                    Some((last, acc)) if *last + 1 >= line => {
+                        *last = line;
+                        acc.push(' ');
+                        acc.push_str(&text);
+                    }
+                    _ => {
+                        flush_block(&mut comment_block, &mut allows);
+                        comment_block = Some((line, text));
+                    }
+                }
+                i = j;
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Block comment, nested per Rust rules.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                i = skip_raw_or_byte(&b, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                let next = b.get(i + 1).copied().unwrap_or(' ');
+                let after = b.get(i + 2).copied().unwrap_or(' ');
+                if (next.is_alphabetic() || next == '_') && after != '\'' {
+                    // Lifetime: consume the tick and fall through to the
+                    // identifier below.
+                    i += 1;
+                } else {
+                    i = skip_char_literal(&b, i, &mut line);
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                // Permit `1.5`-style decimals as one token (but not `1..5`).
+                if c.is_ascii_digit()
+                    && b.get(i) == Some(&'.')
+                    && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                flush_block(&mut comment_block, &mut allows);
+                tokens.push(Tok {
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                flush_block(&mut comment_block, &mut allows);
+                tokens.push(Tok {
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    flush_block(&mut comment_block, &mut allows);
+    Lexed { tokens, allows }
+}
+
+/// Parses a `simlint::allow(rule, reason)` directive out of comment text.
+fn parse_allow(text: &str, line: u32) -> Option<AllowDirective> {
+    let marker = "simlint::allow(";
+    let at = text.find(marker)?;
+    let rest = &text[at + marker.len()..];
+    // Rule name runs to the first `,` or `)`; reason is what follows the
+    // comma (up to the matching close paren, or end of block if unclosed).
+    let end = rest.find([',', ')']).unwrap_or(rest.len());
+    let rule = rest[..end].trim().to_string();
+    let has_reason = match rest[end..].chars().next() {
+        Some(',') => {
+            let reason = &rest[end + 1..];
+            let reason = reason.rfind(')').map_or(reason, |p| &reason[..p]);
+            !reason.trim().is_empty()
+        }
+        _ => false,
+    };
+    Some(AllowDirective {
+        rule,
+        has_reason,
+        line,
+    })
+}
+
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // r", r#", br", b", b'…: anything that starts a literal rather than
+    // an identifier. Only treat as literal when the quote actually comes.
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&'"');
+    }
+    b.get(j) == Some(&'"') || b.get(j) == Some(&'\'')
+}
+
+fn skip_raw_or_byte(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&'r') {
+        i += 1;
+        let mut hashes = 0;
+        while b.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+        // At the opening quote of a raw string: scan to `"` + hashes.
+        i += 1;
+        loop {
+            match b.get(i) {
+                None => return i,
+                Some('\n') => *line += 1,
+                Some('"') => {
+                    let mut k = 0;
+                    while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        return i + 1 + hashes;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    match b.get(i) {
+        Some('"') => skip_string(b, i, line),
+        Some('\'') => skip_char_literal(b, i, line),
+        _ => i + 1,
+    }
+}
+
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_char_literal(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening tick
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let toks = texts("let x = \"HashMap\"; // HashMap\n/* HashMap */ y");
+        assert_eq!(toks, vec!["let", "x", "=", ";", "y"]);
+    }
+
+    #[test]
+    fn keeps_identifiers_with_lines() {
+        let l = lex("a\nb HashMap");
+        assert_eq!(l.tokens[0].line, 1);
+        assert_eq!(l.tokens[1].line, 2);
+        assert_eq!(l.tokens[2].text, "HashMap");
+        assert_eq!(l.tokens[2].line, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let toks = texts("r#\"HashMap \" inside\"# fn f<'a>(x: &'a str) {}");
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(toks.contains(&"a".to_string()), "lifetime name survives");
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_code() {
+        let toks = texts("let c = 'x'; let d = '\\n'; HashMap");
+        assert!(toks.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = texts("/* outer /* inner */ still comment */ token");
+        assert_eq!(toks, vec!["token"]);
+    }
+
+    #[test]
+    fn numbers_including_decimals() {
+        let toks = texts("0.5 1..5 0xFF");
+        assert_eq!(toks, vec!["0.5", "1", ".", ".", "5", "0xFF"]);
+    }
+
+    #[test]
+    fn allow_directive_single_line() {
+        let l = lex("// simlint::allow(unordered-state, leaf cache only)\nx");
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!(l.allows[0].rule, "unordered-state");
+        assert!(l.allows[0].has_reason);
+        assert_eq!(l.allows[0].line, 1);
+    }
+
+    #[test]
+    fn allow_directive_without_reason_is_flagged_bare() {
+        for src in [
+            "// simlint::allow(wall-clock)\nx",
+            "// simlint::allow(wall-clock, )\nx",
+        ] {
+            let l = lex(src);
+            assert_eq!(l.allows.len(), 1, "{src}");
+            assert!(!l.allows[0].has_reason, "{src}");
+        }
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let l = lex("/// mentions simlint::allow(wall-clock, why)\n//! and simlint::allow(bare-allow, x)\nfn f() {}");
+        assert!(l.allows.is_empty());
+    }
+
+    #[test]
+    fn allow_directive_spanning_comment_lines() {
+        let l = lex("// simlint::allow(unwrap-in-lib, the reason\n// continues here)\nlet x = 1;");
+        assert_eq!(l.allows.len(), 1);
+        assert!(l.allows[0].has_reason);
+        assert_eq!(l.allows[0].line, 2, "directive anchors at block end");
+    }
+}

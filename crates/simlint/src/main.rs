@@ -1,0 +1,156 @@
+//! `simlint` CLI: lints the workspace against the determinism contract.
+//!
+//! Usage:
+//!   simlint [--root PATH]    lint the workspace (default: cwd); exit 1
+//!                            on any violation
+//!   simlint --list-rules     print every rule with its rationale
+//!   simlint --selftest       write a scratch fixture seeded with one
+//!                            violation per rule, assert each fires, then
+//!                            assert a clean fixture passes
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{lint_workspace, Rule};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut selftest = false;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("simlint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--selftest" => selftest = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                eprintln!("usage: simlint [--root PATH] [--selftest] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in Rule::all() {
+            println!("{:<22} {}", r.name(), r.rationale());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if selftest {
+        return match run_selftest() {
+            Ok(()) => {
+                println!(
+                    "simlint selftest: all {} rules fire and a clean fixture passes",
+                    Rule::all().len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("simlint selftest FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.clean() {
+        println!(
+            "simlint: {} files scanned, determinism contract holds",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        let counts = report.counts();
+        let summary: Vec<String> = counts.iter().map(|(r, n)| format!("{n} {r}")).collect();
+        println!(
+            "simlint: {} violation(s) in {} files scanned ({})",
+            report.violations.len(),
+            report.files_scanned,
+            summary.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Fixture source seeded with at least one violation per rule; written
+/// into a scratch workspace under a sim-state path so every rule applies.
+const SEEDED: &str = r#"
+use std::collections::HashMap;
+
+// simlint::allow(unordered-state)
+pub struct Bad {
+    pub m: HashMap<u64, f64>,
+}
+
+pub fn sum(b: &Bad) -> f64 {
+    let t = Instant::now();
+    let _ = t;
+    let _home = std::env::var("HOME").unwrap();
+    let m = &b.m;
+    m.values().sum::<f64>()
+}
+"#;
+
+const CLEAN: &str = r#"
+use std::collections::BTreeMap;
+
+pub struct Good {
+    pub m: BTreeMap<u64, f64>,
+}
+
+pub fn sum(g: &Good) -> f64 {
+    g.m.values().sum::<f64>()
+}
+"#;
+
+fn run_selftest() -> Result<(), String> {
+    let scratch = std::env::temp_dir().join(format!("simlint-selftest-{}", std::process::id()));
+    let src_dir = scratch.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).map_err(|e| e.to_string())?;
+    let bad = src_dir.join("bad.rs");
+    std::fs::write(&bad, SEEDED).map_err(|e| e.to_string())?;
+
+    let report = lint_workspace(&scratch).map_err(|e| e.to_string())?;
+    let mut missing = Vec::new();
+    for rule in Rule::all() {
+        if !report.violations.iter().any(|v| v.rule == rule) {
+            missing.push(rule.name());
+        }
+    }
+    if !missing.is_empty() {
+        let _ = std::fs::remove_dir_all(&scratch);
+        return Err(format!(
+            "seeded fixture did not trigger: {} (got: {:?})",
+            missing.join(", "),
+            report.violations
+        ));
+    }
+
+    std::fs::write(&bad, CLEAN).map_err(|e| e.to_string())?;
+    let report = lint_workspace(&scratch).map_err(|e| e.to_string())?;
+    let leftover = report.violations;
+    let _ = std::fs::remove_dir_all(&scratch);
+    if !leftover.is_empty() {
+        return Err(format!("clean fixture still flagged: {leftover:?}"));
+    }
+    Ok(())
+}

@@ -1,0 +1,368 @@
+//! The determinism/robustness rules and their token-level detectors.
+//!
+//! Each rule is deliberately lexical: no type inference, no HIR — just
+//! token patterns strong enough to catch the hazard classes that have
+//! actually bitten persistent-memory simulators (unordered iteration
+//! leaking into crash images, wall-clock reads leaking into timing,
+//! panics replacing typed errors). False-positive escapes go through the
+//! annotated `// simlint::allow(rule, reason)` hatch, never through rule
+//! weakening.
+
+use crate::lexer::Tok;
+
+/// The rules of the determinism contract (DESIGN.md, "Determinism
+/// contract").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet` in sim-state or serialization crates:
+    /// iteration order differs across processes (per-process SipHash
+    /// keys), so any iteration that reaches a crash image, snapshot, RNG
+    /// draw, or report silently diverges between runs.
+    UnorderedState,
+    /// `SystemTime`/`Instant`/`thread_rng`/`std::env` reads inside sim
+    /// logic: simulated time must be a pure function of the instruction
+    /// stream, never of the host.
+    WallClock,
+    /// `.unwrap()`/`.expect()` in non-test library code of the sim
+    /// crates: failures must surface as typed errors the harness can
+    /// record and retry, not as aborts that take the whole job down.
+    UnwrapInLib,
+    /// Float accumulation (`sum`/`fold`/`product`) over an unordered
+    /// container's iterators: float addition is not associative, so the
+    /// result depends on iteration order.
+    FloatAccumUnordered,
+    /// A `simlint::allow(...)` annotation without a reason string (or
+    /// naming an unknown rule). The escape hatch must document itself.
+    BareAllow,
+}
+
+impl Rule {
+    /// The rule's name as written in `simlint::allow(...)` annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnorderedState => "unordered-state",
+            Rule::WallClock => "wall-clock",
+            Rule::UnwrapInLib => "unwrap-in-lib",
+            Rule::FloatAccumUnordered => "float-accum-unordered",
+            Rule::BareAllow => "bare-allow",
+        }
+    }
+
+    /// Parses a rule name (as used in allow annotations).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "unordered-state" => Some(Rule::UnorderedState),
+            "wall-clock" => Some(Rule::WallClock),
+            "unwrap-in-lib" => Some(Rule::UnwrapInLib),
+            "float-accum-unordered" => Some(Rule::FloatAccumUnordered),
+            "bare-allow" => Some(Rule::BareAllow),
+            _ => None,
+        }
+    }
+
+    /// All rules, for listings and the self-test.
+    pub fn all() -> [Rule; 5] {
+        [
+            Rule::UnorderedState,
+            Rule::WallClock,
+            Rule::UnwrapInLib,
+            Rule::FloatAccumUnordered,
+            Rule::BareAllow,
+        ]
+    }
+
+    /// One-line rationale, for `--list-rules` and the self-test fixture.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Rule::UnorderedState => {
+                "HashMap/HashSet iteration order is randomized per process; \
+                 use BTreeMap/BTreeSet or sort before iterating"
+            }
+            Rule::WallClock => {
+                "sim logic must not read host time, host randomness, or the \
+                 environment; seed everything through config"
+            }
+            Rule::UnwrapInLib => {
+                "library code in the sim crates returns typed errors; \
+                 unwrap/expect aborts the supervised job instead"
+            }
+            Rule::FloatAccumUnordered => {
+                "float addition is not associative; accumulating over an \
+                 unordered iterator makes the result order-dependent"
+            }
+            Rule::BareAllow => "simlint::allow annotations must carry a reason string",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.msg
+        )
+    }
+}
+
+/// Identifiers that name unordered std collections.
+const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Identifiers that read host time or host randomness.
+const WALL_CLOCK_IDENTS: [&str; 3] = ["SystemTime", "Instant", "thread_rng"];
+
+/// `std::env` readers (matched as `env :: <reader>`).
+const ENV_READERS: [&str; 5] = ["var", "var_os", "vars", "vars_os", "args"];
+
+/// Detects `HashMap`/`HashSet` tokens. `skip` marks test-region tokens.
+pub fn unordered_state(toks: &[Tok], skip: &[bool], out: &mut Vec<Violation>, file: &str) {
+    for (i, t) in toks.iter().enumerate() {
+        if skip[i] {
+            continue;
+        }
+        if UNORDERED_TYPES.contains(&t.text.as_str()) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::UnorderedState,
+                msg: format!(
+                    "`{}` in a sim-state crate: iteration order differs across processes",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Detects wall-clock/host-entropy reads.
+pub fn wall_clock(toks: &[Tok], skip: &[bool], out: &mut Vec<Violation>, file: &str) {
+    for (i, t) in toks.iter().enumerate() {
+        if skip[i] {
+            continue;
+        }
+        if WALL_CLOCK_IDENTS.contains(&t.text.as_str()) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::WallClock,
+                msg: format!("`{}` reads host state inside sim logic", t.text),
+            });
+        } else if t.text == "env"
+            && toks.get(i + 1).is_some_and(|t| t.text == ":")
+            && toks.get(i + 2).is_some_and(|t| t.text == ":")
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| ENV_READERS.contains(&t.text.as_str()))
+        {
+            out.push(Violation {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::WallClock,
+                msg: format!(
+                    "`env::{}` reads the host environment inside sim logic",
+                    toks[i + 3].text
+                ),
+            });
+        }
+    }
+}
+
+/// Detects `.unwrap()` / `.expect(` in non-test code.
+pub fn unwrap_in_lib(toks: &[Tok], skip: &[bool], out: &mut Vec<Violation>, file: &str) {
+    for i in 0..toks.len().saturating_sub(2) {
+        if skip[i] {
+            continue;
+        }
+        if toks[i].text == "."
+            && (toks[i + 1].text == "unwrap" || toks[i + 1].text == "expect")
+            && toks[i + 2].text == "("
+        {
+            out.push(Violation {
+                file: file.to_string(),
+                line: toks[i + 1].line,
+                rule: Rule::UnwrapInLib,
+                msg: format!(
+                    "`.{}()` in non-test library code; return a typed error instead",
+                    toks[i + 1].text
+                ),
+            });
+        }
+    }
+}
+
+/// Detects float accumulation over an unordered container's iterators.
+///
+/// First pass collects identifiers declared with a Hash type in this
+/// file (`x: HashMap<..>` fields/params and `let x = HashMap::new()`
+/// bindings); second pass flags `x.iter()/.values()/.keys()` chains that
+/// reach `sum`/`fold`/`product` with float evidence (`f32`/`f64` turbofish
+/// or a float literal seed) before the statement ends.
+pub fn float_accum_unordered(toks: &[Tok], skip: &[bool], out: &mut Vec<Violation>, file: &str) {
+    let mut hash_idents: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        // `name : [std :: collections ::] HashMap`
+        if toks[i].text == ":" && i >= 1 && is_ident(&toks[i - 1].text) {
+            let mut j = i + 1;
+            while j < toks.len()
+                && matches!(toks[j].text.as_str(), "std" | "collections" | ":")
+                && j - i <= 6
+            {
+                j += 1;
+            }
+            if j < toks.len() && UNORDERED_TYPES.contains(&toks[j].text.as_str()) {
+                hash_idents.push(&toks[i - 1].text);
+            }
+        }
+        // `let [mut] name ... = ... HashMap :: ...` within the statement.
+        if toks[i].text == "let" {
+            let mut k = i + 1;
+            if toks.get(k).is_some_and(|t| t.text == "mut") {
+                k += 1;
+            }
+            if let Some(name) = toks.get(k).map(|t| t.text.as_str()).filter(|t| is_ident(t)) {
+                let mut j = k;
+                while j < toks.len() && toks[j].text != ";" && j - k < 24 {
+                    if UNORDERED_TYPES.contains(&toks[j].text.as_str()) {
+                        hash_idents.push(name);
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    hash_idents.sort_unstable();
+    hash_idents.dedup();
+    if hash_idents.is_empty() {
+        return;
+    }
+    for i in 0..toks.len().saturating_sub(4) {
+        if skip[i] {
+            continue;
+        }
+        if !hash_idents.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        if toks[i + 1].text != "."
+            || !matches!(toks[i + 2].text.as_str(), "iter" | "values" | "keys")
+            || toks[i + 3].text != "("
+        {
+            continue;
+        }
+        // Scan the rest of the statement for an accumulator + float
+        // evidence.
+        let mut j = i + 4;
+        let mut acc: Option<&str> = None;
+        let mut float = false;
+        while j < toks.len() && toks[j].text != ";" && j - i < 60 {
+            match toks[j].text.as_str() {
+                "sum" | "fold" | "product" if acc.is_none() => acc = Some(&toks[j].text),
+                "f32" | "f64" => float = true,
+                t if t.contains('.') && t.starts_with(|c: char| c.is_ascii_digit()) => float = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if let (Some(acc), true) = (acc, float) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: Rule::FloatAccumUnordered,
+                msg: format!(
+                    "float `{acc}` over `{}.{}()`: result depends on hash iteration order",
+                    toks[i].text,
+                    toks[i + 2].text
+                ),
+            });
+        }
+    }
+}
+
+fn is_ident(t: &str) -> bool {
+    t.starts_with(|c: char| c.is_alphabetic() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rule: fn(&[Tok], &[bool], &mut Vec<Violation>, &str), src: &str) -> Vec<Violation> {
+        let l = lex(src);
+        let skip = vec![false; l.tokens.len()];
+        let mut out = Vec::new();
+        rule(&l.tokens, &skip, &mut out, "f.rs");
+        out
+    }
+
+    #[test]
+    fn unordered_state_fires_on_hashmap() {
+        let v = run(
+            unordered_state,
+            "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u8> }",
+        );
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].rule, Rule::UnorderedState);
+    }
+
+    #[test]
+    fn wall_clock_fires_on_instant_and_env() {
+        let v = run(
+            wall_clock,
+            "let t = Instant::now();\nlet e = std::env::var(\"X\");",
+        );
+        assert_eq!(v.len(), 2);
+        assert!(v[1].msg.contains("env::var"));
+    }
+
+    #[test]
+    fn unwrap_in_lib_fires_but_not_on_unwrap_or() {
+        let v = run(
+            unwrap_in_lib,
+            "x.unwrap(); y.unwrap_or(0); z.expect(\"msg\");",
+        );
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn float_accum_fires_only_with_hash_receiver_and_float() {
+        let hit =
+            "struct S { m: HashMap<u64, f64> }\nfn f(s: &S) -> f64 { s.m.values().sum::<f64>() }";
+        // The field name, not the struct, is what the detector keys on.
+        let hit = hit.replace("s.m.values", "m.values");
+        assert_eq!(run(float_accum_unordered, &hit).len(), 1);
+        let int =
+            "struct S { m: HashMap<u64, u64> }\nfn f(m: &S) -> u64 { m.values().sum::<u64>() }";
+        assert!(
+            run(float_accum_unordered, int).is_empty(),
+            "integer sums are order-independent"
+        );
+        let vec = "fn f(v: Vec<f64>) -> f64 { v.iter().sum::<f64>() }";
+        assert!(
+            run(float_accum_unordered, vec).is_empty(),
+            "ordered containers are fine"
+        );
+    }
+
+    #[test]
+    fn float_accum_fires_on_let_bound_hashmap_fold() {
+        let src = "fn f() -> f64 { let mut m = HashMap::new(); m.insert(1u64, 1.5f64); m.iter().fold(0.0, |a, (_, v)| a + v) }";
+        assert_eq!(run(float_accum_unordered, src).len(), 1);
+    }
+}
