@@ -1,0 +1,169 @@
+//! Per-shard circuit breaker with half-open probing.
+//!
+//! The breaker sits in the router, one per shard. Consecutive attempt
+//! failures (timeouts, delivery losses) trip it open; while open the
+//! router routes around the shard (degraded path) instead of queueing
+//! more doomed work. After a cooldown the breaker admits exactly one
+//! probe request (half-open); a probe success closes the breaker and
+//! reintegrates the shard, a probe failure re-opens it for another
+//! cooldown.
+
+use crate::retry::Ticks;
+
+/// Breaker state machine. See DESIGN.md, "Cluster fault model".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: all requests rejected until the cooldown deadline.
+    Open { until: Ticks },
+    /// Cooldown elapsed: exactly one in-flight probe decides the outcome.
+    HalfOpen,
+}
+
+/// What the breaker says about admitting one attempt right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: attempt proceeds normally.
+    Normal,
+    /// Half-open: attempt proceeds and doubles as the recovery probe.
+    Probe,
+    /// Open (or a probe already in flight): route around the shard.
+    Reject,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    probe_inflight: bool,
+    /// Consecutive failures that trip Closed -> Open.
+    pub trip_threshold: u32,
+    /// Ticks spent Open before the first probe is admitted.
+    pub cooldown: Ticks,
+    /// Lifetime count of Closed -> Open transitions.
+    pub trips: u64,
+}
+
+impl CircuitBreaker {
+    pub fn new(trip_threshold: u32, cooldown: Ticks) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probe_inflight: false,
+            trip_threshold: trip_threshold.max(1),
+            cooldown,
+            trips: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Ask to admit one attempt at simulated time `now`. An `Open`
+    /// breaker whose cooldown has elapsed transitions to `HalfOpen`
+    /// here, so callers need no separate timer.
+    pub fn admit(&mut self, now: Ticks) -> Admission {
+        if let BreakerState::Open { until } = self.state {
+            if now >= until {
+                self.state = BreakerState::HalfOpen;
+                self.probe_inflight = false;
+            }
+        }
+        match self.state {
+            BreakerState::Closed => Admission::Normal,
+            BreakerState::Open { .. } => Admission::Reject,
+            BreakerState::HalfOpen => {
+                if self.probe_inflight {
+                    Admission::Reject
+                } else {
+                    self.probe_inflight = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Record a successful attempt outcome.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.probe_inflight = false;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Record a failed attempt outcome (timeout or shard-down loss).
+    pub fn on_failure(&mut self, now: Ticks) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                if self.consecutive_failures >= self.trip_threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Probe failed: straight back to Open for another cooldown.
+                self.trip(now);
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Force the breaker open (used when the fault plan power-fails the
+    /// shard and the router learns of it via timeouts — calling this on
+    /// explicit down-detection keeps trip accounting consistent).
+    fn trip(&mut self, now: Ticks) {
+        self.state = BreakerState::Open {
+            until: now.saturating_add(self.cooldown),
+        };
+        self.consecutive_failures = 0;
+        self.probe_inflight = false;
+        self.trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_reopens_on_probe_failure() {
+        let mut b = CircuitBreaker::new(3, 100);
+        assert_eq!(b.admit(0), Admission::Normal);
+        b.on_failure(10);
+        b.on_failure(11);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(12);
+        assert_eq!(b.state(), BreakerState::Open { until: 112 });
+        assert_eq!(b.trips, 1);
+        assert_eq!(b.admit(50), Admission::Reject);
+
+        // Cooldown elapsed: one probe, further attempts rejected.
+        assert_eq!(b.admit(112), Admission::Probe);
+        assert_eq!(b.admit(113), Admission::Reject);
+
+        // Probe fails: back to Open, trips counted.
+        b.on_failure(120);
+        assert_eq!(b.state(), BreakerState::Open { until: 220 });
+        assert_eq!(b.trips, 2);
+
+        // Next probe succeeds: closed and healthy.
+        assert_eq!(b.admit(220), Admission::Probe);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(221), Admission::Normal);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut b = CircuitBreaker::new(3, 100);
+        b.on_failure(1);
+        b.on_failure(2);
+        b.on_success();
+        b.on_failure(3);
+        b.on_failure(4);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(5);
+        assert!(matches!(b.state(), BreakerState::Open { .. }));
+    }
+}

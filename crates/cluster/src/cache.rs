@@ -1,0 +1,98 @@
+//! Bounded DRAM front-cache for graceful degradation.
+//!
+//! While a shard's breaker is open, reads for its keys are answered
+//! from this cache (marked degraded) instead of being shed. The cache
+//! is write-through: every successful Get/Put refreshes it, so entries
+//! are never staler than the last acknowledged value the client saw.
+//! Keyed state lives in a `BTreeMap` and eviction is FIFO via an
+//! insertion queue — both deterministic per the simlint contract.
+
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Debug)]
+pub struct FrontCache {
+    map: BTreeMap<u64, u64>,
+    fifo: VecDeque<u64>,
+    capacity: usize,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl FrontCache {
+    pub fn new(capacity: usize) -> Self {
+        FrontCache {
+            map: BTreeMap::new(),
+            fifo: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Insert or refresh a key. Evicts the oldest insertion when full.
+    pub fn put(&mut self, key: u64, value: u64) {
+        if self.map.insert(key, value).is_none() {
+            self.fifo.push_back(key);
+            while self.map.len() > self.capacity {
+                if let Some(old) = self.fifo.pop_front() {
+                    self.map.remove(&old);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Degraded-path lookup; counts hit/miss.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        match self.map.get(&key) {
+            Some(&v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_eviction_bounds_size() {
+        let mut c = FrontCache::new(3);
+        for k in 0..10u64 {
+            c.put(k, k * 2);
+        }
+        assert_eq!(c.len(), 3);
+        // Oldest evicted, newest retained.
+        assert_eq!(c.get(0), None);
+        assert_eq!(c.get(9), Some(18));
+        assert_eq!(c.get(7), Some(14));
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn refresh_does_not_duplicate_fifo_entry() {
+        let mut c = FrontCache::new(2);
+        c.put(1, 10);
+        c.put(1, 11);
+        c.put(2, 20);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Some(11));
+        assert_eq!(c.get(2), Some(20));
+    }
+}

@@ -1,0 +1,88 @@
+//! Cluster-level fault plans: shard power failures and network degrade
+//! windows, scheduled against simulated time.
+//!
+//! This is faultsim's idea — declarative fault schedules driven by
+//! seeded randomness — lifted to the cluster layer. A
+//! [`ClusterFaultPlan`] names *what* fails and *when*; the event loop
+//! in [`crate::sim`] owns *how*: it marks the shard down, lets in-flight
+//! deliveries die, trips the breaker via timeouts, and schedules the
+//! recovery (crash image -> survivor draw -> replay -> reintegration)
+//! after the outage elapses.
+
+use crate::net::DegradeParams;
+use crate::retry::Ticks;
+
+/// Power-fail one shard mid-traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPowerFail {
+    /// Which shard dies.
+    pub shard: usize,
+    /// Simulated instant the power drops.
+    pub at: Ticks,
+    /// Ticks from power drop until the recovered shard is back online
+    /// (models reboot + media scan; log replay cycles add on top).
+    pub outage: Ticks,
+    /// Per-uncertain-line survival probability for the crash image's
+    /// volatile overlay (drawn from the plan's survivor seed).
+    pub survivor_bias: f64,
+}
+
+/// Degrade the network for a window (drops, reorders, added delay).
+#[derive(Debug, Clone, Copy)]
+pub struct NetDegrade {
+    pub start: Ticks,
+    pub end: Ticks,
+    pub params: DegradeParams,
+}
+
+/// The full cluster fault schedule for one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterFaultPlan {
+    pub power_fail: Option<ShardPowerFail>,
+    pub net_degrade: Option<NetDegrade>,
+}
+
+impl ClusterFaultPlan {
+    /// No faults: the availability baseline.
+    pub fn none() -> Self {
+        ClusterFaultPlan::default()
+    }
+
+    /// The e12 headline schedule: shard `shard` power-fails at `at` for
+    /// `outage` ticks, with the network flapping around the event
+    /// (drops and reorders from one net-delay before until one after).
+    pub fn power_fail_with_flap(shard: usize, at: Ticks, outage: Ticks) -> Self {
+        ClusterFaultPlan {
+            power_fail: Some(ShardPowerFail {
+                shard,
+                at,
+                outage,
+                survivor_bias: 0.5,
+            }),
+            net_degrade: Some(NetDegrade {
+                start: at.saturating_sub(outage / 4),
+                end: at.saturating_add(outage),
+                params: DegradeParams {
+                    extra_drop_prob: 0.10,
+                    extra_reorder_prob: 0.10,
+                    extra_delay: 1_000,
+                },
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flap_window_brackets_the_outage() {
+        let p = ClusterFaultPlan::power_fail_with_flap(2, 100_000, 40_000);
+        let pf = p.power_fail.expect("power fail scheduled");
+        let nd = p.net_degrade.expect("degrade scheduled");
+        assert_eq!(pf.shard, 2);
+        assert!(nd.start < pf.at);
+        assert!(nd.end >= pf.at + pf.outage);
+    }
+}

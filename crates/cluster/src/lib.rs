@@ -1,0 +1,57 @@
+//! Fault-tolerant sharded PM cluster on simulated machines.
+//!
+//! This crate scales the single-[`Machine`](optane_core::Machine)
+//! simulation out to a service: N shards (alternating G1/G2 DIMM
+//! generations) behind a router, serving an open-loop zipfian client
+//! stream over a deterministic simulated network. The robustness
+//! machinery is the point:
+//!
+//! - per-request deadlines with seeded-jitter exponential-backoff
+//!   retries ([`RetryPolicy`]) and hedged reads,
+//! - per-shard circuit breakers with half-open probing
+//!   ([`CircuitBreaker`]),
+//! - router admission control: bounded per-shard queues with typed
+//!   overload rejections,
+//! - graceful degradation to a DRAM front-cache ([`FrontCache`]) while
+//!   a shard is down,
+//! - cluster-level fault plans ([`ClusterFaultPlan`]): a shard
+//!   power-fails mid-traffic and recovers through the crash-image +
+//!   checkpoint path while the network drops/delays/reorders messages.
+//!
+//! Everything is deterministic per seed: same parameters, same seed,
+//! byte-identical [`ClusterReport`] — the crate is under the simlint
+//! determinism contract and the dual-process divergence witness
+//! (`repro divergence e12`).
+//!
+//! The correctness invariant the whole stack hangs on: a Put is only
+//! acknowledged after `store_full_cacheline` + `clwb` + `sfence`
+//! completes on the shard, so an acked record is inside the ADR domain
+//! of any crash image captured later — zero acknowledged-write loss
+//! across any seeded fault schedule (see `tests/failover_props.rs`).
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod breaker;
+pub mod cache;
+pub mod fault;
+pub mod metrics;
+pub mod net;
+pub mod retry;
+pub mod shard;
+pub mod sim;
+pub mod workload;
+
+pub use breaker::{Admission, BreakerState, CircuitBreaker};
+pub use cache::FrontCache;
+pub use fault::{ClusterFaultPlan, NetDegrade, ShardPowerFail};
+pub use metrics::{cluster_registry, percentile, GLOBAL_COLUMNS, PER_SHARD_COLUMNS};
+pub use net::{DegradeParams, NetParams, NetSim, NetStats};
+pub use retry::{RetryPolicy, Ticks};
+pub use shard::{
+    RecoveryOutcome, ShardConfig, ShardError, ShardOp, ShardReply, ShardServer, RECORD_BYTES,
+};
+pub use sim::{
+    run, run_traced, shard_generation, ClusterError, ClusterParams, ClusterReport, LatencySummary,
+    RecoveryReport,
+};
+pub use workload::{ClientConfig, ClientGen};

@@ -1,0 +1,155 @@
+//! Fleet metrics: the cluster's simwatch registry and histogram helpers.
+//!
+//! One registry covers the whole fleet — global request counters first,
+//! then a fixed per-shard column block (`s{i}_...`) so the JSONL/CSV
+//! schema is a pure function of the shard count. Sampling happens in
+//! the event loop on cluster time, so two same-seed runs emit
+//! byte-identical series.
+
+use obs::{Histogram, MetricKind, Registry};
+
+/// Global columns, in registry order (see [`cluster_registry`]).
+pub const GLOBAL_COLUMNS: usize = 14;
+
+/// Per-shard columns appended after the globals.
+pub const PER_SHARD_COLUMNS: usize = 5;
+
+/// Builds the fleet registry for `n_shards` shards.
+pub fn cluster_registry(n_shards: usize) -> Registry {
+    let mut r = Registry::new();
+    let c = |r: &mut Registry, name: &str, help: &str| {
+        r.register(name, MetricKind::Counter, help);
+    };
+    c(&mut r, "arrivals", "client requests generated");
+    c(&mut r, "served_ok", "requests served from a live shard");
+    c(
+        &mut r,
+        "served_degraded",
+        "reads served from the DRAM front-cache while the shard was down",
+    );
+    c(
+        &mut r,
+        "shed_overload",
+        "requests rejected by router admission control (bounded queue full)",
+    );
+    c(
+        &mut r,
+        "shed_unavailable",
+        "requests rejected because the shard was down and not cacheable",
+    );
+    c(
+        &mut r,
+        "deadline_exceeded",
+        "requests answered with a deadline error after retries ran out",
+    );
+    c(
+        &mut r,
+        "retries",
+        "attempt retries scheduled (backoff path)",
+    );
+    c(&mut r, "hedges", "hedged read attempts launched");
+    c(
+        &mut r,
+        "duplicate_replies",
+        "late replies discarded after the request already completed",
+    );
+    c(
+        &mut r,
+        "breaker_trips",
+        "circuit breaker Closed->Open transitions",
+    );
+    c(
+        &mut r,
+        "net_sent",
+        "messages offered to the simulated network",
+    );
+    c(
+        &mut r,
+        "net_dropped",
+        "messages dropped by the simulated network",
+    );
+    c(
+        &mut r,
+        "net_reordered",
+        "messages held back by the reorder fault",
+    );
+    c(
+        &mut r,
+        "acked_writes",
+        "writes acknowledged durable to clients",
+    );
+    for i in 0..n_shards {
+        r.register(
+            format!("s{i}_up"),
+            MetricKind::Gauge,
+            format!("shard {i} online (1) or powered off (0)"),
+        );
+        r.register(
+            format!("s{i}_queue_depth"),
+            MetricKind::Gauge,
+            format!("shard {i} admitted in-flight requests at the router"),
+        );
+        r.register(
+            format!("s{i}_served"),
+            MetricKind::Counter,
+            format!("operations shard {i} completed"),
+        );
+        r.register(
+            format!("s{i}_rpq_max_depth"),
+            MetricKind::Gauge,
+            format!("shard {i} iMC read-pending-queue high-water mark"),
+        );
+        r.register(
+            format!("s{i}_wpq_max_depth"),
+            MetricKind::Gauge,
+            format!("shard {i} iMC write-pending-queue high-water mark"),
+        );
+    }
+    r
+}
+
+/// Approximate percentile from a power-of-two bucket histogram: returns
+/// the upper bound of the bucket containing the `p`-quantile sample
+/// (`p` in `[0, 1]`). Zero for an empty histogram.
+pub fn percentile(h: &Histogram, p: f64) -> u64 {
+    let total = h.count();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (upper, count) in h.buckets() {
+        seen += count;
+        if seen >= rank {
+            return upper;
+        }
+    }
+    h.max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_schema_scales_with_shard_count() {
+        let r = cluster_registry(4);
+        assert_eq!(r.len(), GLOBAL_COLUMNS + 4 * PER_SHARD_COLUMNS);
+        assert_eq!(r.defs()[0].name, "arrivals");
+        assert_eq!(r.defs()[GLOBAL_COLUMNS].name, "s0_up");
+        assert_eq!(r.defs()[r.len() - 1].name, "s3_wpq_max_depth");
+    }
+
+    #[test]
+    fn percentile_brackets_the_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = percentile(&h, 0.50);
+        let p99 = percentile(&h, 0.99);
+        assert!((256..=1024).contains(&p50), "p50 bucket bound: {p50}");
+        assert!(p99 >= p50, "p99 {p99} below p50 {p50}");
+        assert_eq!(percentile(&Histogram::new(), 0.5), 0);
+    }
+}

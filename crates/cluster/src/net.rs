@@ -1,0 +1,166 @@
+//! Deterministic simulated network between router and shards.
+//!
+//! Every message transit draws its fate from a seeded [`SplitMix64`]:
+//! dropped (never delivered), reordered (held back an extra delay so a
+//! later send can overtake it), or delivered after `base_delay` plus
+//! uniform jitter. A degrade window — scheduled by the cluster fault
+//! plan — multiplies drop probability and delay while active, modeling
+//! a flapping link during a shard's power event.
+
+use crate::retry::Ticks;
+use simbase::SplitMix64;
+
+/// Static network parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NetParams {
+    /// Minimum one-way transit time.
+    pub base_delay: Ticks,
+    /// Uniform extra delay in `[0, jitter]`.
+    pub jitter: Ticks,
+    /// Probability a message is dropped outright.
+    pub drop_prob: f64,
+    /// Probability a delivered message is held back an extra
+    /// `reorder_delay`, letting later traffic overtake it.
+    pub reorder_prob: f64,
+    /// Hold-back applied to reordered messages.
+    pub reorder_delay: Ticks,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            base_delay: 2_000,
+            jitter: 500,
+            drop_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_delay: 3_000,
+        }
+    }
+}
+
+/// Delivery counters, reported per run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetStats {
+    pub sent: u64,
+    pub dropped: u64,
+    pub reordered: u64,
+}
+
+/// Seeded network simulator. One instance serves the whole cluster so
+/// the RNG stream — and therefore every drop/reorder decision — is a
+/// pure function of the seed and the order of `transit` calls.
+#[derive(Debug)]
+pub struct NetSim {
+    params: NetParams,
+    rng: SplitMix64,
+    /// Active degrade window `[start, end)`, if any.
+    degrade: Option<(Ticks, Ticks, DegradeParams)>,
+    pub stats: NetStats,
+}
+
+/// Multipliers applied while a degrade window is active.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradeParams {
+    /// Added to `drop_prob` (clamped to 1.0).
+    pub extra_drop_prob: f64,
+    /// Added to `reorder_prob` (clamped to 1.0).
+    pub extra_reorder_prob: f64,
+    /// Added to `base_delay`.
+    pub extra_delay: Ticks,
+}
+
+impl NetSim {
+    pub fn new(params: NetParams, seed: u64) -> Self {
+        NetSim {
+            params,
+            rng: SplitMix64::new(seed ^ 0x6e65_7473_696d_u64),
+            degrade: None,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Install a degrade window; the fault plan schedules this around a
+    /// shard power event.
+    pub fn set_degrade(&mut self, start: Ticks, end: Ticks, params: DegradeParams) {
+        self.degrade = Some((start, end, params));
+    }
+
+    /// Decide one message's fate at send time `now`. Returns the
+    /// delivery time, or `None` if the message is dropped.
+    pub fn transit(&mut self, now: Ticks) -> Option<Ticks> {
+        self.stats.sent += 1;
+        let (mut drop_p, mut reorder_p, mut delay) = (
+            self.params.drop_prob,
+            self.params.reorder_prob,
+            self.params.base_delay,
+        );
+        if let Some((start, end, d)) = self.degrade {
+            if now >= start && now < end {
+                drop_p = (drop_p + d.extra_drop_prob).min(1.0);
+                reorder_p = (reorder_p + d.extra_reorder_prob).min(1.0);
+                delay = delay.saturating_add(d.extra_delay);
+            }
+        }
+        if drop_p > 0.0 && self.rng.gen_bool(drop_p) {
+            self.stats.dropped += 1;
+            return None;
+        }
+        if self.params.jitter > 0 {
+            delay = delay.saturating_add(self.rng.gen_range(self.params.jitter + 1));
+        }
+        if reorder_p > 0.0 && self.rng.gen_bool(reorder_p) {
+            self.stats.reordered += 1;
+            delay = delay.saturating_add(self.params.reorder_delay);
+        }
+        Some(now.saturating_add(delay))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fates() {
+        let p = NetParams {
+            drop_prob: 0.2,
+            reorder_prob: 0.2,
+            ..NetParams::default()
+        };
+        let mut a = NetSim::new(p, 42);
+        let mut b = NetSim::new(p, 42);
+        for t in 0..500 {
+            assert_eq!(a.transit(t * 10), b.transit(t * 10));
+        }
+        assert_eq!(a.stats.sent, 500);
+        assert_eq!(a.stats.dropped, b.stats.dropped);
+        assert!(a.stats.dropped > 0, "0.2 drop prob should drop some");
+    }
+
+    #[test]
+    fn degrade_window_raises_drop_rate() {
+        let p = NetParams::default(); // zero baseline drop
+        let mut n = NetSim::new(p, 7);
+        n.set_degrade(
+            1_000,
+            2_000,
+            DegradeParams {
+                extra_drop_prob: 1.0,
+                extra_reorder_prob: 0.0,
+                extra_delay: 0,
+            },
+        );
+        assert!(n.transit(500).is_some(), "before window: delivered");
+        assert!(n.transit(1_500).is_none(), "inside window: dropped");
+        assert!(n.transit(2_500).is_some(), "after window: delivered");
+    }
+
+    #[test]
+    fn delivery_time_is_after_send() {
+        let mut n = NetSim::new(NetParams::default(), 3);
+        for t in 0..100 {
+            let d = n.transit(t * 100);
+            assert!(d.is_some_and(|d| d > t * 100));
+        }
+    }
+}

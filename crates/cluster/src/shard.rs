@@ -1,0 +1,415 @@
+//! One cluster shard: a [`Machine`] running a PM append-only KV log.
+//!
+//! Records are one cacheline each and land durably via the ADR recipe —
+//! `store_full_cacheline` + `clwb` + `sfence` — *before* the reply is
+//! sent. That ordering is the whole correctness story: a reply implies
+//! the record is inside the ADR domain, so it is in the certain
+//! (`persistent`) part of any [`CrashImage`] captured afterwards and
+//! survives every legal survivor subset of the uncertain overlay.
+//! Recovery replays the log prefix; acknowledged records are by
+//! construction inside that prefix, so zero acked-write loss holds for
+//! any seeded fault schedule (the failover proptest checks exactly
+//! this).
+
+use std::collections::BTreeMap;
+
+use cpucache::PrefetchConfig;
+use optane_core::{
+    CrashPolicy, Generation, ImcQueueStats, Machine, MachineConfig, ThreadId, TraceSink,
+};
+use simbase::{Addr, SplitMix64};
+
+/// Record magic: distinguishes written slots from virgin (zeroed) PM.
+const RECORD_MAGIC: u64 = 0x504d_4c4f_4752_4543; // "PMLOGREC"
+
+/// Bytes per log record (one cacheline).
+pub const RECORD_BYTES: u64 = 64;
+
+/// Cycles charged for an index lookup that misses (DRAM hash probe).
+const INDEX_MISS_COST: u64 = 120;
+
+/// Operations a shard serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOp {
+    Get { key: u64 },
+    Put { key: u64, value: u64 },
+}
+
+impl ShardOp {
+    pub fn key(&self) -> u64 {
+        match *self {
+            ShardOp::Get { key } | ShardOp::Put { key, .. } => key,
+        }
+    }
+
+    pub fn is_put(&self) -> bool {
+        matches!(self, ShardOp::Put { .. })
+    }
+}
+
+/// Successful replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardReply {
+    /// Get result (`None` = key absent).
+    Value(Option<u64>),
+    /// Put acknowledged: the record at log slot `seq` is durable.
+    Acked { seq: u64 },
+}
+
+/// Typed shard-side errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// The append log is out of slots.
+    LogFull,
+    /// Checkpoint/restore round-trip failed during recovery.
+    SnapshotRoundTrip,
+}
+
+/// Static shard parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    pub id: usize,
+    pub gen: Generation,
+    /// Log capacity in 64 B record slots.
+    pub log_slots: u64,
+    /// Per-shard seed, XORed into the machine's `crash_seed`.
+    pub seed: u64,
+}
+
+/// What one crash-and-recover cycle did.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryOutcome {
+    /// Valid log records replayed into the index.
+    pub replayed: u64,
+    /// Appended-but-unacknowledged tail records lost to the crash.
+    pub lost_tail: u64,
+    /// Uncertain cachelines in the crash image (size of the survivor set).
+    pub uncertain_lines: u64,
+    /// Simulated cycles spent replaying the log on the recovered machine.
+    pub replay_cycles: u64,
+}
+
+/// A shard server: machine + append log + volatile index.
+pub struct ShardServer {
+    m: Machine,
+    tid: ThreadId,
+    cfg: ShardConfig,
+    log_base: Addr,
+    /// Next log slot to append into.
+    next_seq: u64,
+    /// Volatile index: key -> (value, log slot of the latest record).
+    index: BTreeMap<u64, (u64, u64)>,
+    /// Lifetime count of crash/recover cycles.
+    pub recoveries: u64,
+}
+
+fn record_csum(seq: u64, key: u64, value: u64) -> u64 {
+    // SplitMix64 finalizer over the folded fields: cheap, deterministic,
+    // and any single-field corruption flips the checksum.
+    let mut z = RECORD_MAGIC ^ seq.rotate_left(17) ^ key.rotate_left(31) ^ value;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn encode_record(seq: u64, key: u64, value: u64) -> [u8; 64] {
+    let mut line = [0u8; 64];
+    line[0..8].copy_from_slice(&RECORD_MAGIC.to_le_bytes());
+    line[8..16].copy_from_slice(&seq.to_le_bytes());
+    line[16..24].copy_from_slice(&key.to_le_bytes());
+    line[24..32].copy_from_slice(&value.to_le_bytes());
+    line[32..40].copy_from_slice(&record_csum(seq, key, value).to_le_bytes());
+    line
+}
+
+fn u64_at(line: &[u8; 64], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&line[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Decodes a log slot; `None` if the slot is virgin or corrupt.
+fn decode_record(line: &[u8; 64]) -> Option<(u64, u64, u64)> {
+    if u64_at(line, 0) != RECORD_MAGIC {
+        return None;
+    }
+    let (seq, key, value) = (u64_at(line, 8), u64_at(line, 16), u64_at(line, 24));
+    if u64_at(line, 32) != record_csum(seq, key, value) {
+        return None;
+    }
+    Some((seq, key, value))
+}
+
+impl ShardServer {
+    pub fn new(cfg: ShardConfig) -> Self {
+        let mut mcfg = MachineConfig::for_generation(cfg.gen, PrefetchConfig::none(), 1);
+        mcfg.crash_seed ^= cfg.seed;
+        let mut m = Machine::new(mcfg);
+        let tid = m.spawn(0);
+        let log_base = m.alloc_pm(cfg.log_slots * RECORD_BYTES, RECORD_BYTES);
+        ShardServer {
+            m,
+            tid,
+            cfg,
+            log_base,
+            next_seq: 0,
+            index: BTreeMap::new(),
+            recoveries: 0,
+        }
+    }
+
+    pub fn id(&self) -> usize {
+        self.cfg.id
+    }
+
+    pub fn generation(&self) -> Generation {
+        self.cfg.gen
+    }
+
+    /// Attach a trace sink (witness tap) to the underlying machine.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        let _ = self.m.set_trace_sink(sink);
+    }
+
+    /// Aggregated iMC queue occupancy for fleet metrics.
+    pub fn queue_stats(&self) -> ImcQueueStats {
+        self.m.metrics().queue_total()
+    }
+
+    /// Appended records so far (next log slot).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn slot_addr(&self, seq: u64) -> Addr {
+        Addr(self.log_base.0 + seq * RECORD_BYTES)
+    }
+
+    /// Serve one operation to completion on the shard's machine.
+    /// Returns the reply and the simulated service cycles consumed.
+    pub fn serve(&mut self, op: ShardOp) -> (Result<ShardReply, ShardError>, u64) {
+        let t0 = self.m.now(self.tid);
+        let reply = match op {
+            ShardOp::Get { key } => {
+                match self.index.get(&key).copied() {
+                    Some((value, seq)) => {
+                        // Charge the PM read of the record's cacheline:
+                        // the load path is where G1/G2 buffering differs.
+                        let mut buf = [0u8; 64];
+                        let addr = self.slot_addr(seq);
+                        self.m.load(self.tid, addr, &mut buf);
+                        Ok(ShardReply::Value(Some(value)))
+                    }
+                    None => {
+                        self.m.advance(self.tid, INDEX_MISS_COST);
+                        Ok(ShardReply::Value(None))
+                    }
+                }
+            }
+            ShardOp::Put { key, value } => {
+                if self.next_seq >= self.cfg.log_slots {
+                    Err(ShardError::LogFull)
+                } else {
+                    let seq = self.next_seq;
+                    let addr = self.slot_addr(seq);
+                    let line = encode_record(seq, key, value);
+                    // ADR durability recipe: the reply is only built
+                    // after the fence retires, so ack implies durable.
+                    self.m.store_full_cacheline(self.tid, addr, &line);
+                    self.m.clwb(self.tid, addr);
+                    self.m.sfence(self.tid);
+                    self.next_seq = seq + 1;
+                    self.index.insert(key, (value, seq));
+                    Ok(ShardReply::Acked { seq })
+                }
+            }
+        };
+        let cycles = self.m.now(self.tid).saturating_sub(t0);
+        (reply, cycles)
+    }
+
+    /// Append a record without going through the network path — bulk
+    /// preload before traffic starts.
+    pub fn preload(&mut self, key: u64, value: u64) -> Result<(), ShardError> {
+        match self.serve(ShardOp::Put { key, value }).0 {
+            Ok(_) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Power-fail this shard and drive full recovery:
+    ///
+    /// 1. capture the crash image (certain bytes + uncertain overlay),
+    /// 2. power-fail the old machine (trace visibility for the witness),
+    /// 3. draw a survivor subset of the uncertain lines from the seeded
+    ///    RNG (`survivor_bias` = per-line survival probability),
+    /// 4. materialize the post-crash machine via `from_crash_image`,
+    /// 5. replay the log prefix into a fresh index, stopping at the
+    ///    first virgin/corrupt/out-of-order slot,
+    /// 6. round-trip through `checkpoint`/`restore` (the harness resume
+    ///    path) so a recovered shard is indistinguishable from a resumed
+    ///    one.
+    ///
+    /// The previous trace sink (if any) is carried onto the recovered
+    /// machine so the witness hash covers recovery traffic too.
+    pub fn crash_and_recover(
+        &mut self,
+        survivor_seed: u64,
+        survivor_bias: f64,
+    ) -> Result<RecoveryOutcome, ShardError> {
+        let image = self.m.capture_crash_image();
+        self.m.power_fail(CrashPolicy::LoseUnflushed);
+        let sink = self.m.take_trace_sink();
+
+        let mut rng = SplitMix64::new(survivor_seed ^ 0x7375_7276_6976_6f72);
+        let survivors: Vec<bool> = image
+            .uncertain
+            .iter()
+            .map(|_| rng.gen_bool(survivor_bias.clamp(0.0, 1.0)))
+            .collect();
+        let mut m2 = Machine::from_crash_image(&image, &survivors);
+        let tid2 = m2.spawn(0);
+
+        // Replay: scan log slots from 0, rebuild the index, stop at the
+        // first slot that fails to decode or breaks the seq chain.
+        let mut index = BTreeMap::new();
+        let mut replayed = 0u64;
+        let replay_t0 = m2.now(tid2);
+        while replayed < self.cfg.log_slots {
+            let mut buf = [0u8; 64];
+            let addr = Addr(self.log_base.0 + replayed * RECORD_BYTES);
+            m2.load(tid2, addr, &mut buf);
+            match decode_record(&buf) {
+                Some((seq, key, value)) if seq == replayed => {
+                    index.insert(key, (value, seq));
+                    replayed += 1;
+                }
+                _ => break,
+            }
+        }
+        let replay_cycles = m2.now(tid2).saturating_sub(replay_t0);
+
+        // Harness-path round trip: a recovered shard must be resumable.
+        let snap = m2.checkpoint();
+        let mcfg = m2.config().clone();
+        let mut m3 = match Machine::restore(mcfg, &snap) {
+            Ok(m) => m,
+            Err(_) => return Err(ShardError::SnapshotRoundTrip),
+        };
+        if let Some(s) = sink {
+            let _ = m3.set_trace_sink(s);
+        }
+
+        let lost_tail = self.next_seq.saturating_sub(replayed);
+        let outcome = RecoveryOutcome {
+            replayed,
+            lost_tail,
+            uncertain_lines: image.uncertain.len() as u64,
+            replay_cycles,
+        };
+        self.tid = tid2;
+        self.m = m3;
+        self.index = index;
+        self.next_seq = replayed;
+        self.recoveries += 1;
+        Ok(outcome)
+    }
+
+    /// Encoded machine checkpoint — the divergence witness folds this
+    /// into its state hash at end of run.
+    pub fn checkpoint_encode(&mut self) -> Vec<u8> {
+        self.m.checkpoint().encode()
+    }
+
+    /// Post-mortem check used by the acked-write-loss oracle: is the
+    /// record for (`seq`, `key`, `value`) intact in the persistent log?
+    pub fn verify_record(&self, seq: u64, key: u64, value: u64) -> bool {
+        let mut buf = [0u8; 64];
+        self.m.peek(self.slot_addr(seq), &mut buf);
+        decode_record(&buf) == Some((seq, key, value))
+    }
+
+    /// Index lookup without charging simulated time (oracle use).
+    pub fn peek_value(&self, key: u64) -> Option<u64> {
+        self.index.get(&key).map(|&(v, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard() -> ShardServer {
+        ShardServer::new(ShardConfig {
+            id: 0,
+            gen: Generation::G2,
+            log_slots: 1024,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let mut s = shard();
+        let (r, c) = s.serve(ShardOp::Put { key: 7, value: 99 });
+        assert_eq!(r, Ok(ShardReply::Acked { seq: 0 }));
+        assert!(c > 0, "puts must cost simulated time");
+        let (r, _) = s.serve(ShardOp::Get { key: 7 });
+        assert_eq!(r, Ok(ShardReply::Value(Some(99))));
+        let (r, _) = s.serve(ShardOp::Get { key: 8 });
+        assert_eq!(r, Ok(ShardReply::Value(None)));
+    }
+
+    #[test]
+    fn log_full_is_typed() {
+        let mut s = ShardServer::new(ShardConfig {
+            id: 0,
+            gen: Generation::G1,
+            log_slots: 2,
+            seed: 1,
+        });
+        assert!(s.serve(ShardOp::Put { key: 1, value: 1 }).0.is_ok());
+        assert!(s.serve(ShardOp::Put { key: 2, value: 2 }).0.is_ok());
+        assert_eq!(
+            s.serve(ShardOp::Put { key: 3, value: 3 }).0,
+            Err(ShardError::LogFull)
+        );
+    }
+
+    #[test]
+    fn acked_records_survive_crash_and_recover() {
+        let mut s = shard();
+        let mut acked = Vec::new();
+        for k in 0..50u64 {
+            if let (Ok(ShardReply::Acked { seq }), _) = s.serve(ShardOp::Put {
+                key: k,
+                value: k * 3,
+            }) {
+                acked.push((seq, k, k * 3));
+            }
+        }
+        let out = s.crash_and_recover(77, 0.5).expect("recovery");
+        assert_eq!(out.replayed, 50, "all acked records replay");
+        assert_eq!(out.lost_tail, 0);
+        for (seq, k, v) in acked {
+            assert!(s.verify_record(seq, k, v), "acked record {seq} lost");
+            assert_eq!(s.peek_value(k), Some(v), "index rebuilt for key {k}");
+        }
+        // Shard keeps serving after recovery; next seq continues the log.
+        let (r, _) = s.serve(ShardOp::Put { key: 999, value: 1 });
+        assert_eq!(r, Ok(ShardReply::Acked { seq: 50 }));
+    }
+
+    #[test]
+    fn recovery_is_seed_deterministic() {
+        let run = || {
+            let mut s = shard();
+            for k in 0..30u64 {
+                let _ = s.serve(ShardOp::Put { key: k, value: k });
+            }
+            let out = s.crash_and_recover(5, 0.3).expect("recovery");
+            (out.replayed, out.uncertain_lines, out.replay_cycles)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,993 @@
+//! The cluster event loop: router, shards, network, faults, metrics.
+//!
+//! A single-threaded discrete-event simulation over cluster ticks.
+//! Events live in a `BTreeMap<(tick, seq), Event>` — insertion order
+//! breaks ties, so the execution schedule is a pure function of the
+//! parameters and seed. Shards are sequential state machines: a request
+//! is served to completion at delivery-processing time; the shard's
+//! `busy_until` horizon shapes reply latency, modeling queueing without
+//! intra-shard concurrency.
+//!
+//! Every client request is *answered*: served (possibly degraded from
+//! the front-cache), shed with a typed rejection (overload or
+//! unavailable), or failed with a deadline error. A request that would
+//! otherwise hang is cut off by its unconditional deadline event, so
+//! `unanswered` can only be nonzero if the loop itself loses state —
+//! which the determinism and failover tests would catch.
+
+use std::collections::BTreeMap;
+
+use obs::{Histogram, Sampler, Value};
+use optane_core::{Generation, TraceSink};
+use simbase::SplitMix64;
+
+use crate::breaker::{Admission, CircuitBreaker};
+use crate::cache::FrontCache;
+use crate::fault::ClusterFaultPlan;
+use crate::metrics::{cluster_registry, percentile};
+use crate::net::{NetParams, NetSim, NetStats};
+use crate::retry::{RetryPolicy, Ticks};
+use crate::shard::{ShardConfig, ShardError, ShardOp, ShardReply, ShardServer};
+use crate::workload::{ClientConfig, ClientGen};
+
+/// Full cluster run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterParams {
+    /// Shard count; generations alternate G1/G2 starting at G1.
+    pub n_shards: usize,
+    /// Log slots per shard (size for preload + traffic headroom).
+    pub log_slots: u64,
+    pub client: ClientConfig,
+    pub net: NetParams,
+    pub retry: RetryPolicy,
+    /// Hedge a read that has not replied after this many ticks
+    /// (0 disables hedging).
+    pub hedge_after: Ticks,
+    /// End-to-end request deadline: the request is answered with a
+    /// deadline error at `arrival + deadline` if nothing else resolved it.
+    pub deadline: Ticks,
+    /// Router admission bound: in-flight requests admitted per shard.
+    pub queue_bound: usize,
+    /// Breaker: consecutive failures to trip.
+    pub breaker_threshold: u32,
+    /// Breaker: ticks open before a half-open probe.
+    pub breaker_cooldown: Ticks,
+    /// DRAM front-cache capacity (entries).
+    pub front_cache: usize,
+    pub fault: ClusterFaultPlan,
+    pub seed: u64,
+    /// Metrics sampling interval in ticks (None = no series).
+    pub metrics_interval: Option<Ticks>,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            n_shards: 4,
+            log_slots: 64 * 1024,
+            client: ClientConfig::default(),
+            net: NetParams::default(),
+            retry: RetryPolicy::default(),
+            hedge_after: 20_000,
+            deadline: 400_000,
+            queue_bound: 64,
+            breaker_threshold: 5,
+            breaker_cooldown: 60_000,
+            front_cache: 4_096,
+            fault: ClusterFaultPlan::none(),
+            seed: 0,
+            metrics_interval: None,
+        }
+    }
+}
+
+/// Typed cluster-run failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    BadParams(&'static str),
+    Shard(ShardError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::BadParams(m) => write!(f, "bad cluster params: {m}"),
+            ClusterError::Shard(e) => write!(f, "shard error: {e:?}"),
+        }
+    }
+}
+
+/// One shard recovery, as observed by the cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    pub shard: usize,
+    /// Power-drop instant.
+    pub at: Ticks,
+    /// Configured outage (reboot) ticks.
+    pub outage: Ticks,
+    /// Log replay cycles on the recovered machine.
+    pub replay_cycles: u64,
+    /// Records replayed into the rebuilt index.
+    pub replayed: u64,
+    /// Unacknowledged tail records lost (acked losses are counted
+    /// separately by the oracle and must be zero).
+    pub lost_tail: u64,
+    /// Size of the crash image's uncertain set.
+    pub uncertain_lines: u64,
+    /// Total down time: outage + replay.
+    pub total_ticks: Ticks,
+}
+
+/// Latency summary for one generation's served requests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub p50: u64,
+    pub p99: u64,
+    pub max: u64,
+    pub mean: f64,
+}
+
+fn summarize(h: &Histogram) -> LatencySummary {
+    LatencySummary {
+        count: h.count(),
+        p50: percentile(h, 0.50),
+        p99: percentile(h, 0.99),
+        max: h.max(),
+        mean: h.mean(),
+    }
+}
+
+/// Everything one cluster run produced.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    pub arrivals: u64,
+    pub served_ok: u64,
+    pub served_degraded: u64,
+    pub shed_overload: u64,
+    pub shed_unavailable: u64,
+    pub deadline_exceeded: u64,
+    pub retries: u64,
+    pub hedges: u64,
+    pub duplicate_replies: u64,
+    pub breaker_trips: u64,
+    pub net: NetStats,
+    pub acked_writes: u64,
+    /// Acknowledged writes missing from the post-run persistent log.
+    /// The ADR ack ordering makes this structurally zero; the failover
+    /// proptest asserts it for arbitrary seeded fault schedules.
+    pub lost_acked: u64,
+    /// Requests never finalized (must be zero: every request is served,
+    /// shed, or deadline-failed).
+    pub unanswered: u64,
+    pub recoveries: Vec<RecoveryReport>,
+    pub latency_g1: LatencySummary,
+    pub latency_g2: LatencySummary,
+    pub latency_degraded: LatencySummary,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub shard_served: Vec<u64>,
+    /// Simulated tick of the last processed event.
+    pub sim_end: Ticks,
+    /// Sampled fleet metrics series (JSONL), when enabled.
+    pub metrics_jsonl: Option<String>,
+    /// Final encoded machine checkpoints, one per shard — populated only
+    /// on traced runs so the divergence witness can hash machine state.
+    pub checkpoint_blobs: Vec<Vec<u8>>,
+}
+
+impl ClusterReport {
+    /// Answered requests: everything that got a reply or a typed error.
+    pub fn answered(&self) -> u64 {
+        self.served_ok
+            + self.served_degraded
+            + self.shed_overload
+            + self.shed_unavailable
+            + self.deadline_exceeded
+    }
+
+    /// Fraction of arrivals answered (the e12 availability metric).
+    pub fn availability(&self) -> f64 {
+        if self.arrivals == 0 {
+            1.0
+        } else {
+            self.answered() as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Fraction of arrivals served with data (not shed, not failed).
+    pub fn served_fraction(&self) -> f64 {
+        if self.arrivals == 0 {
+            1.0
+        } else {
+            (self.served_ok + self.served_degraded) as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Deterministic plain-text availability report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let mut line = |l: String| {
+            s.push_str(&l);
+            s.push('\n');
+        };
+        line("cluster availability report".to_string());
+        line(format!("arrivals: {}", self.arrivals));
+        line(format!(
+            "answered: {} (availability {:.4}%)",
+            self.answered(),
+            self.availability() * 100.0
+        ));
+        line(format!(
+            "served_ok: {}  served_degraded: {}  shed_overload: {}  shed_unavailable: {}  deadline_exceeded: {}",
+            self.served_ok,
+            self.served_degraded,
+            self.shed_overload,
+            self.shed_unavailable,
+            self.deadline_exceeded
+        ));
+        line(format!(
+            "retries: {}  hedges: {}  duplicate_replies: {}  breaker_trips: {}",
+            self.retries, self.hedges, self.duplicate_replies, self.breaker_trips
+        ));
+        line(format!(
+            "net: sent {} dropped {} reordered {}",
+            self.net.sent, self.net.dropped, self.net.reordered
+        ));
+        line(format!(
+            "front_cache: hits {} misses {}",
+            self.cache_hits, self.cache_misses
+        ));
+        for (i, served) in self.shard_served.iter().enumerate() {
+            line(format!("shard {i}: served {served}"));
+        }
+        for r in &self.recoveries {
+            line(format!(
+                "recovery: shard {} power-fail at {} outage {} replay_cycles {} replayed {} lost_tail {} uncertain {} total {}",
+                r.shard, r.at, r.outage, r.replay_cycles, r.replayed, r.lost_tail, r.uncertain_lines, r.total_ticks
+            ));
+        }
+        let lat = |name: &str, l: &LatencySummary| {
+            format!(
+                "latency {name}: count {} p50 {} p99 {} max {} mean {:.1}",
+                l.count, l.p50, l.p99, l.max, l.mean
+            )
+        };
+        line(lat("G1", &self.latency_g1));
+        line(lat("G2", &self.latency_g2));
+        line(lat("degraded", &self.latency_degraded));
+        line(format!("acked_writes: {}", self.acked_writes));
+        line(format!(
+            "acked-write loss: {} ({})",
+            self.lost_acked,
+            if self.lost_acked == 0 {
+                "zero acknowledged-write loss"
+            } else {
+                "ACKED WRITES LOST"
+            }
+        ));
+        line(format!("unanswered: {}", self.unanswered));
+        line(format!("sim_end: {}", self.sim_end));
+        s
+    }
+}
+
+/// How one request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    ServedOk { value: Option<u64> },
+    ServedDegraded { value: u64 },
+    ShedOverload,
+    ShedUnavailable,
+    DeadlineExceeded,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Client request hits the router (op pre-bound in `reqs`).
+    Arrival { req: usize },
+    /// Request attempt reaches the shard.
+    DeliverReq { req: usize, attempt: u32 },
+    /// Shard reply reaches the router.
+    DeliverReply {
+        req: usize,
+        attempt: u32,
+        reply: ReplyWire,
+    },
+    /// Attempt response window expired.
+    AttemptTimeout { req: usize, attempt: u32 },
+    /// Backoff elapsed: launch the next attempt.
+    RetryFire { req: usize },
+    /// Hedge window elapsed: maybe launch a duplicate read.
+    HedgeFire { req: usize, attempt: u32 },
+    /// Request deadline: answer with a typed failure if still open.
+    DeadlineFire { req: usize },
+    /// Fault plan: shard power drop.
+    PowerFail { shard: usize },
+    /// Recovered shard rejoins the fleet.
+    RecoveryDone { shard: usize },
+    /// Metrics sampling tick.
+    MetricsTick,
+}
+
+/// Reply payload carried over the simulated network.
+#[derive(Debug, Clone, Copy)]
+enum ReplyWire {
+    Value(Option<u64>),
+    Acked { seq: u64 },
+    LogFull,
+}
+
+struct ReqState {
+    op: ShardOp,
+    shard: usize,
+    arrival: Ticks,
+    attempts: u32,
+    /// Per-attempt "no longer outstanding" flags (replied or timed out).
+    settled: Vec<bool>,
+    admitted: bool,
+    done: bool,
+}
+
+/// An acknowledged write the oracle must find intact post-run.
+#[derive(Debug, Clone, Copy)]
+struct AckedWrite {
+    shard: usize,
+    seq: u64,
+    key: u64,
+    value: u64,
+}
+
+struct Counters {
+    arrivals: u64,
+    served_ok: u64,
+    served_degraded: u64,
+    shed_overload: u64,
+    shed_unavailable: u64,
+    deadline_exceeded: u64,
+    retries: u64,
+    hedges: u64,
+    duplicate_replies: u64,
+    acked_writes: u64,
+}
+
+/// The running cluster. Construct once per run via [`run`] /
+/// [`run_traced`]; all state is owned, nothing is shared.
+struct Cluster<'a> {
+    params: ClusterParams,
+    shards: Vec<ShardServer>,
+    up: Vec<bool>,
+    busy_until: Vec<Ticks>,
+    inflight: Vec<usize>,
+    breakers: Vec<CircuitBreaker>,
+    shard_served: Vec<u64>,
+    net: NetSim,
+    cache: FrontCache,
+    gen: ClientGen,
+    reqs: Vec<ReqState>,
+    acked: Vec<AckedWrite>,
+    counters: Counters,
+    events: BTreeMap<(Ticks, u64), Event>,
+    next_seq: u64,
+    /// Heap entries that are not metrics ticks — when this hits zero the
+    /// sampler stops rescheduling itself and the run drains.
+    live_events: usize,
+    backoff_rng: SplitMix64,
+    lat_g1: Histogram,
+    lat_g2: Histogram,
+    lat_degraded: Histogram,
+    recoveries: Vec<RecoveryReport>,
+    sampler: Option<Sampler>,
+    sink_factory: Option<&'a dyn Fn(usize) -> Box<dyn TraceSink>>,
+    now: Ticks,
+}
+
+/// Generation of shard `i` under the alternating layout.
+pub fn shard_generation(i: usize) -> Generation {
+    if i.is_multiple_of(2) {
+        Generation::G1
+    } else {
+        Generation::G2
+    }
+}
+
+impl<'a> Cluster<'a> {
+    fn new(
+        params: ClusterParams,
+        sink_factory: Option<&'a dyn Fn(usize) -> Box<dyn TraceSink>>,
+    ) -> Result<Self, ClusterError> {
+        if params.n_shards == 0 {
+            return Err(ClusterError::BadParams("n_shards must be > 0"));
+        }
+        if params.queue_bound == 0 {
+            return Err(ClusterError::BadParams("queue_bound must be > 0"));
+        }
+        if params.retry.max_attempts == 0 {
+            return Err(ClusterError::BadParams("max_attempts must be > 0"));
+        }
+        if params.deadline == 0 {
+            return Err(ClusterError::BadParams("deadline must be > 0"));
+        }
+        if let Some(pf) = params.fault.power_fail {
+            if pf.shard >= params.n_shards {
+                return Err(ClusterError::BadParams("fault shard out of range"));
+            }
+        }
+        let mut shards = Vec::with_capacity(params.n_shards);
+        for i in 0..params.n_shards {
+            let mut s = ShardServer::new(ShardConfig {
+                id: i,
+                gen: shard_generation(i),
+                log_slots: params.log_slots,
+                seed: params.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            });
+            if let Some(f) = sink_factory {
+                s.set_trace_sink(f(i));
+            }
+            shards.push(s);
+        }
+        let mut net = NetSim::new(params.net, params.seed);
+        if let Some(d) = params.fault.net_degrade {
+            net.set_degrade(d.start, d.end, d.params);
+        }
+        let n = params.n_shards;
+        Ok(Cluster {
+            shards,
+            up: vec![true; n],
+            busy_until: vec![0; n],
+            inflight: vec![0; n],
+            breakers: vec![
+                CircuitBreaker::new(params.breaker_threshold, params.breaker_cooldown);
+                n
+            ],
+            shard_served: vec![0; n],
+            net,
+            cache: FrontCache::new(params.front_cache),
+            gen: ClientGen::new(ClientConfig {
+                seed: params.client.seed ^ params.seed,
+                ..params.client
+            }),
+            reqs: Vec::new(),
+            acked: Vec::new(),
+            counters: Counters {
+                arrivals: 0,
+                served_ok: 0,
+                served_degraded: 0,
+                shed_overload: 0,
+                shed_unavailable: 0,
+                deadline_exceeded: 0,
+                retries: 0,
+                hedges: 0,
+                duplicate_replies: 0,
+                acked_writes: 0,
+            },
+            events: BTreeMap::new(),
+            next_seq: 0,
+            live_events: 0,
+            backoff_rng: SplitMix64::new(params.seed ^ 0x0062_6163_6b6f_6666),
+            lat_g1: Histogram::new(),
+            lat_g2: Histogram::new(),
+            lat_degraded: Histogram::new(),
+            recoveries: Vec::new(),
+            sampler: params.metrics_interval.map(|iv| {
+                let mut s = Sampler::new(cluster_registry(n), iv.max(1));
+                s.set_context(format!(
+                    "cluster seed={} ia={}",
+                    params.seed, params.client.interarrival
+                ));
+                s
+            }),
+            sink_factory,
+            params,
+            now: 0,
+        })
+    }
+
+    fn push(&mut self, at: Ticks, ev: Event) {
+        if !matches!(ev, Event::MetricsTick) {
+            self.live_events += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.insert((at.max(self.now), seq), ev);
+    }
+
+    fn preload(&mut self) -> Result<(), ClusterError> {
+        for _ in 0..self.params.client.preload_keys {
+            let key = self.gen.next_preload_key();
+            let shard = (key % self.params.n_shards as u64) as usize;
+            match self.shards[shard].preload(key, key) {
+                Ok(()) => {}
+                Err(e) => return Err(ClusterError::Shard(e)),
+            }
+        }
+        Ok(())
+    }
+
+    fn schedule_initial(&mut self) {
+        if let Some((at, op)) = self.gen.next_arrival() {
+            let req = self.new_req(at, op);
+            self.push(at, Event::Arrival { req });
+        }
+        if let Some(pf) = self.params.fault.power_fail {
+            self.push(pf.at, Event::PowerFail { shard: pf.shard });
+        }
+        if let Some(iv) = self.params.metrics_interval {
+            self.push(iv.max(1), Event::MetricsTick);
+        }
+    }
+
+    fn new_req(&mut self, arrival: Ticks, op: ShardOp) -> usize {
+        let shard = (op.key() % self.params.n_shards as u64) as usize;
+        self.reqs.push(ReqState {
+            op,
+            shard,
+            arrival,
+            attempts: 0,
+            settled: Vec::new(),
+            admitted: false,
+            done: false,
+        });
+        self.reqs.len() - 1
+    }
+
+    fn finalize(&mut self, req: usize, outcome: Outcome) {
+        let (shard, arrival, admitted, op) = {
+            let rs = &mut self.reqs[req];
+            if rs.done {
+                return;
+            }
+            rs.done = true;
+            (rs.shard, rs.arrival, rs.admitted, rs.op)
+        };
+        if admitted {
+            self.inflight[shard] = self.inflight[shard].saturating_sub(1);
+        }
+        let latency = self.now.saturating_sub(arrival);
+        match outcome {
+            Outcome::ServedOk { value } => {
+                self.counters.served_ok += 1;
+                match self.shards[shard].generation() {
+                    Generation::G1 => self.lat_g1.record(latency.max(1)),
+                    Generation::G2 => self.lat_g2.record(latency.max(1)),
+                }
+                match op {
+                    ShardOp::Put { key, value } => self.cache.put(key, value),
+                    ShardOp::Get { key } => {
+                        if let Some(v) = value {
+                            self.cache.put(key, v);
+                        }
+                    }
+                }
+            }
+            Outcome::ServedDegraded { .. } => {
+                self.counters.served_degraded += 1;
+                self.lat_degraded.record(latency.max(1));
+            }
+            Outcome::ShedOverload => self.counters.shed_overload += 1,
+            Outcome::ShedUnavailable => self.counters.shed_unavailable += 1,
+            Outcome::DeadlineExceeded => self.counters.deadline_exceeded += 1,
+        }
+    }
+
+    /// Degraded path while the shard's breaker rejects: reads may hit
+    /// the DRAM front-cache, everything else is a typed unavailable.
+    fn degraded_path(&mut self, req: usize) {
+        let op = self.reqs[req].op;
+        match op {
+            ShardOp::Get { key } => match self.cache.get(key) {
+                Some(v) => self.finalize(req, Outcome::ServedDegraded { value: v }),
+                None => self.finalize(req, Outcome::ShedUnavailable),
+            },
+            ShardOp::Put { .. } => self.finalize(req, Outcome::ShedUnavailable),
+        }
+    }
+
+    fn launch_attempt(&mut self, req: usize) {
+        let (shard, is_get) = {
+            let rs = &mut self.reqs[req];
+            rs.attempts += 1;
+            rs.settled.push(false);
+            (rs.shard, !rs.op.is_put())
+        };
+        let attempt = self.reqs[req].attempts;
+        match self.breakers[shard].admit(self.now) {
+            Admission::Reject => {
+                self.degraded_path(req);
+            }
+            Admission::Normal | Admission::Probe => {
+                if let Some(t) = self.net.transit(self.now) {
+                    self.push(t, Event::DeliverReq { req, attempt });
+                }
+                self.push(
+                    self.now.saturating_add(self.params.retry.attempt_timeout),
+                    Event::AttemptTimeout { req, attempt },
+                );
+                if is_get && self.params.hedge_after > 0 && self.params.retry.may_retry(attempt) {
+                    self.push(
+                        self.now.saturating_add(self.params.hedge_after),
+                        Event::HedgeFire { req, attempt },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, req: usize) {
+        self.counters.arrivals += 1;
+        // Next arrival is pulled lazily so the generator stream order
+        // matches the event order exactly.
+        if let Some((at, op)) = self.gen.next_arrival() {
+            let next = self.new_req(at, op);
+            self.push(at, Event::Arrival { req: next });
+        }
+        self.push(
+            self.now.saturating_add(self.params.deadline),
+            Event::DeadlineFire { req },
+        );
+        let shard = self.reqs[req].shard;
+        if self.inflight[shard] >= self.params.queue_bound {
+            self.finalize(req, Outcome::ShedOverload);
+            return;
+        }
+        self.inflight[shard] += 1;
+        self.reqs[req].admitted = true;
+        self.launch_attempt(req);
+    }
+
+    fn on_deliver_req(&mut self, req: usize, attempt: u32) {
+        if self.reqs[req].done || self.reqs[req].settled[attempt as usize - 1] {
+            return;
+        }
+        let shard = self.reqs[req].shard;
+        if !self.up[shard] {
+            // Delivery into a powered-off shard is lost; the attempt
+            // timeout turns this into a breaker failure.
+            return;
+        }
+        let op = self.reqs[req].op;
+        let start = self.now.max(self.busy_until[shard]);
+        let (reply, cycles) = self.shards[shard].serve(op);
+        self.shard_served[shard] += 1;
+        self.busy_until[shard] = start.saturating_add(cycles.max(1));
+        let wire = match reply {
+            Ok(ShardReply::Value(v)) => ReplyWire::Value(v),
+            Ok(ShardReply::Acked { seq }) => ReplyWire::Acked { seq },
+            Err(ShardError::LogFull) => ReplyWire::LogFull,
+            Err(ShardError::SnapshotRoundTrip) => ReplyWire::LogFull,
+        };
+        if let Some(t) = self.net.transit(self.busy_until[shard]) {
+            self.push(
+                t,
+                Event::DeliverReply {
+                    req,
+                    attempt,
+                    reply: wire,
+                },
+            );
+        }
+    }
+
+    fn on_deliver_reply(&mut self, req: usize, attempt: u32, reply: ReplyWire) {
+        let shard = self.reqs[req].shard;
+        if self.reqs[req].done || self.reqs[req].settled[attempt as usize - 1] {
+            // The request already completed or this attempt already
+            // timed out: a late duplicate.
+            self.counters.duplicate_replies += 1;
+            return;
+        }
+        self.reqs[req].settled[attempt as usize - 1] = true;
+        self.breakers[shard].on_success();
+        match reply {
+            ReplyWire::Value(v) => self.finalize(req, Outcome::ServedOk { value: v }),
+            ReplyWire::Acked { seq } => {
+                if let ShardOp::Put { key, value } = self.reqs[req].op {
+                    self.acked.push(AckedWrite {
+                        shard,
+                        seq,
+                        key,
+                        value,
+                    });
+                    self.counters.acked_writes += 1;
+                }
+                self.finalize(req, Outcome::ServedOk { value: None });
+            }
+            ReplyWire::LogFull => self.finalize(req, Outcome::ShedUnavailable),
+        }
+    }
+
+    fn on_attempt_timeout(&mut self, req: usize, attempt: u32) {
+        if self.reqs[req].done || self.reqs[req].settled[attempt as usize - 1] {
+            return;
+        }
+        self.reqs[req].settled[attempt as usize - 1] = true;
+        let shard = self.reqs[req].shard;
+        self.breakers[shard].on_failure(self.now);
+        let attempts = self.reqs[req].attempts;
+        if self.params.retry.may_retry(attempts) {
+            self.counters.retries += 1;
+            let backoff = self
+                .params
+                .retry
+                .backoff_after(attempts, &mut self.backoff_rng);
+            self.push(self.now.saturating_add(backoff), Event::RetryFire { req });
+        }
+        // No retry budget: the request waits for its deadline event,
+        // which answers it with a typed failure.
+    }
+
+    fn on_hedge(&mut self, req: usize, attempt: u32) {
+        if self.reqs[req].done || self.reqs[req].settled[attempt as usize - 1] {
+            return;
+        }
+        if self.params.retry.may_retry(self.reqs[req].attempts) {
+            self.counters.hedges += 1;
+            self.launch_attempt(req);
+        }
+    }
+
+    fn on_power_fail(&mut self, shard: usize) -> Result<(), ClusterError> {
+        if !self.up[shard] {
+            return Ok(());
+        }
+        let pf = match self.params.fault.power_fail {
+            Some(pf) => pf,
+            None => return Ok(()),
+        };
+        self.up[shard] = false;
+        let survivor_seed = self.params.seed ^ ((shard as u64 + 1) << 32) ^ 0x70_66;
+        let outcome = match self.shards[shard].crash_and_recover(survivor_seed, pf.survivor_bias) {
+            Ok(o) => o,
+            Err(e) => return Err(ClusterError::Shard(e)),
+        };
+        // Re-arm the witness tap on the recovered machine if tracing.
+        if let Some(f) = self.sink_factory {
+            self.shards[shard].set_trace_sink(f(shard));
+        }
+        let total = pf.outage.saturating_add(outcome.replay_cycles);
+        self.recoveries.push(RecoveryReport {
+            shard,
+            at: self.now,
+            outage: pf.outage,
+            replay_cycles: outcome.replay_cycles,
+            replayed: outcome.replayed,
+            lost_tail: outcome.lost_tail,
+            uncertain_lines: outcome.uncertain_lines,
+            total_ticks: total,
+        });
+        self.push(
+            self.now.saturating_add(total),
+            Event::RecoveryDone { shard },
+        );
+        Ok(())
+    }
+
+    fn sample_metrics(&mut self, last: bool) {
+        let row_now = self.now;
+        let Some(sampler) = self.sampler.as_mut() else {
+            return;
+        };
+        let c = &self.counters;
+        let net = self.net.stats;
+        let trips: u64 = self.breakers.iter().map(|b| b.trips).sum();
+        let mut row = vec![
+            Value::U64(c.arrivals),
+            Value::U64(c.served_ok),
+            Value::U64(c.served_degraded),
+            Value::U64(c.shed_overload),
+            Value::U64(c.shed_unavailable),
+            Value::U64(c.deadline_exceeded),
+            Value::U64(c.retries),
+            Value::U64(c.hedges),
+            Value::U64(c.duplicate_replies),
+            Value::U64(trips),
+            Value::U64(net.sent),
+            Value::U64(net.dropped),
+            Value::U64(net.reordered),
+            Value::U64(c.acked_writes),
+        ];
+        for i in 0..self.shards.len() {
+            let q = self.shards[i].queue_stats();
+            row.push(Value::U64(u64::from(self.up[i])));
+            row.push(Value::U64(self.inflight[i] as u64));
+            row.push(Value::U64(self.shard_served[i]));
+            row.push(Value::U64(q.rpq.max_depth));
+            row.push(Value::U64(q.wpq.max_depth));
+        }
+        if last {
+            sampler.record_final(row_now, row);
+        } else {
+            sampler.record(row_now, row);
+        }
+    }
+
+    fn on_metrics_tick(&mut self) {
+        self.sample_metrics(false);
+        if self.live_events > 0 {
+            if let Some(iv) = self.params.metrics_interval {
+                self.push(self.now.saturating_add(iv.max(1)), Event::MetricsTick);
+            }
+        }
+    }
+
+    fn run_loop(&mut self) -> Result<(), ClusterError> {
+        while let Some(((at, _), ev)) = self.events.pop_first() {
+            self.now = at;
+            if !matches!(ev, Event::MetricsTick) {
+                self.live_events -= 1;
+            }
+            match ev {
+                Event::Arrival { req } => self.on_arrival(req),
+                Event::DeliverReq { req, attempt } => self.on_deliver_req(req, attempt),
+                Event::DeliverReply {
+                    req,
+                    attempt,
+                    reply,
+                } => self.on_deliver_reply(req, attempt, reply),
+                Event::AttemptTimeout { req, attempt } => self.on_attempt_timeout(req, attempt),
+                Event::RetryFire { req } => {
+                    if !self.reqs[req].done {
+                        self.launch_attempt(req);
+                    }
+                }
+                Event::HedgeFire { req, attempt } => self.on_hedge(req, attempt),
+                Event::DeadlineFire { req } => {
+                    if !self.reqs[req].done {
+                        self.finalize(req, Outcome::DeadlineExceeded);
+                    }
+                }
+                Event::PowerFail { shard } => self.on_power_fail(shard)?,
+                Event::RecoveryDone { shard } => self.up[shard] = true,
+                Event::MetricsTick => self.on_metrics_tick(),
+            }
+        }
+        Ok(())
+    }
+
+    fn into_report(mut self) -> ClusterReport {
+        self.sample_metrics(true);
+        // Acked-write oracle: every acknowledged record must be intact
+        // in its shard's persistent log, post-faults.
+        let lost_acked = self
+            .acked
+            .iter()
+            .filter(|w| !self.shards[w.shard].verify_record(w.seq, w.key, w.value))
+            .count() as u64;
+        let unanswered = self.reqs.iter().filter(|r| !r.done).count() as u64;
+        let trips: u64 = self.breakers.iter().map(|b| b.trips).sum();
+        let checkpoint_blobs = if self.sink_factory.is_some() {
+            self.shards
+                .iter_mut()
+                .map(|s| s.checkpoint_encode())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ClusterReport {
+            arrivals: self.counters.arrivals,
+            served_ok: self.counters.served_ok,
+            served_degraded: self.counters.served_degraded,
+            shed_overload: self.counters.shed_overload,
+            shed_unavailable: self.counters.shed_unavailable,
+            deadline_exceeded: self.counters.deadline_exceeded,
+            retries: self.counters.retries,
+            hedges: self.counters.hedges,
+            duplicate_replies: self.counters.duplicate_replies,
+            breaker_trips: trips,
+            net: self.net.stats,
+            acked_writes: self.counters.acked_writes,
+            lost_acked,
+            unanswered,
+            recoveries: self.recoveries,
+            latency_g1: summarize(&self.lat_g1),
+            latency_g2: summarize(&self.lat_g2),
+            latency_degraded: summarize(&self.lat_degraded),
+            cache_hits: self.cache.hits,
+            cache_misses: self.cache.misses,
+            shard_served: self.shard_served,
+            sim_end: self.now,
+            metrics_jsonl: self.sampler.as_ref().map(|s| s.to_jsonl()),
+            checkpoint_blobs,
+        }
+    }
+}
+
+/// Run one cluster simulation to completion.
+pub fn run(params: ClusterParams) -> Result<ClusterReport, ClusterError> {
+    run_traced(params, None)
+}
+
+/// Run with an optional per-shard trace-sink factory (the divergence
+/// witness taps every shard's machine, including post-recovery ones).
+pub fn run_traced(
+    params: ClusterParams,
+    sink_factory: Option<&dyn Fn(usize) -> Box<dyn TraceSink>>,
+) -> Result<ClusterReport, ClusterError> {
+    let mut c = Cluster::new(params, sink_factory)?;
+    c.preload()?;
+    c.schedule_initial();
+    c.run_loop()?;
+    Ok(c.into_report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::ClusterFaultPlan;
+
+    fn smoke_params() -> ClusterParams {
+        ClusterParams {
+            client: ClientConfig {
+                preload_keys: 300,
+                ops: 1_500,
+                interarrival: 1_200,
+                ..ClientConfig::default()
+            },
+            log_slots: 8_192,
+            seed: 11,
+            ..ClusterParams::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_run_answers_everything() {
+        let r = run(smoke_params()).expect("run");
+        assert_eq!(r.arrivals, 1_500);
+        assert_eq!(r.unanswered, 0);
+        assert_eq!(r.lost_acked, 0);
+        assert!(
+            r.availability() >= 0.999,
+            "availability {}",
+            r.availability()
+        );
+        assert!(r.served_ok > 0);
+        assert!(r.latency_g1.count + r.latency_g2.count > 0);
+    }
+
+    #[test]
+    fn power_fail_run_degrades_but_answers() {
+        let mut p = smoke_params();
+        p.fault = ClusterFaultPlan::power_fail_with_flap(0, 300_000, 150_000);
+        let r = run(p).expect("run");
+        assert_eq!(r.unanswered, 0, "no request may hang");
+        assert_eq!(r.lost_acked, 0, "acked writes survive power fail");
+        assert_eq!(r.recoveries.len(), 1);
+        assert!(r.breaker_trips > 0, "breaker must trip during outage");
+        assert!(
+            r.availability() >= 0.99,
+            "availability {} below bound",
+            r.availability()
+        );
+        assert!(r.net.dropped > 0, "flap window should drop messages");
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let mut p = smoke_params();
+        p.fault = ClusterFaultPlan::power_fail_with_flap(1, 250_000, 100_000);
+        p.metrics_interval = Some(50_000);
+        let a = run(p).expect("run a");
+        let b = run(p).expect("run b");
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.metrics_jsonl, b.metrics_jsonl);
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_rejections() {
+        let mut p = smoke_params();
+        p.client.interarrival = 10; // far past saturation
+        p.client.ops = 3_000;
+        p.queue_bound = 8;
+        let r = run(p).expect("run");
+        assert!(r.shed_overload > 0, "overload must shed");
+        assert_eq!(r.unanswered, 0);
+        assert!(r.availability() >= 0.99);
+    }
+
+    #[test]
+    fn bad_params_are_typed() {
+        let mut p = smoke_params();
+        p.n_shards = 0;
+        assert!(matches!(run(p), Err(ClusterError::BadParams(_))));
+    }
+}

@@ -31,7 +31,7 @@ use simlint::witness::{
 };
 
 use crate::common::MetricsSpec;
-use crate::{e0_bandwidth, e3_write_amp};
+use crate::{e0_bandwidth, e12_cluster, e3_write_amp};
 
 /// The tap an experiment threads through its measurement loops: a shared
 /// op-stream hasher handed to every machine as its TraceSink, plus a
@@ -60,8 +60,15 @@ impl WitnessTap {
     /// by the experiment at the end of each machine's measurement.
     pub fn fold_machine(&self, m: &mut Machine) {
         let bytes = m.checkpoint().encode();
+        self.fold_checkpoint_bytes(&bytes);
+    }
+
+    /// Folds an already-encoded checkpoint into the state hash — the
+    /// cluster experiment hands back per-shard checkpoint blobs rather
+    /// than exposing its machines.
+    pub fn fold_checkpoint_bytes(&self, bytes: &[u8]) {
         let mut h = self.checkpoint_hash.borrow_mut();
-        *h = fnv1a_bytes(*h, &bytes);
+        *h = fnv1a_bytes(*h, bytes);
     }
 
     /// Assembles the child's report from everything observed.
@@ -97,6 +104,7 @@ struct ChildOpts {
 enum Experiment {
     E0,
     E3,
+    E12,
 }
 
 impl Experiment {
@@ -104,6 +112,7 @@ impl Experiment {
         match self {
             Experiment::E0 => "e0",
             Experiment::E3 => "e3",
+            Experiment::E12 => "e12",
         }
     }
 
@@ -111,6 +120,7 @@ impl Experiment {
         match s {
             "e0" => Some(Experiment::E0),
             "e3" => Some(Experiment::E3),
+            "e12" => Some(Experiment::E12),
             _ => None,
         }
     }
@@ -128,7 +138,7 @@ fn run_child(opts: &ChildOpts) -> ChildReport {
         hasher = hasher.with_perturb_at(k);
     }
     let tap = WitnessTap::new(hasher);
-    let result = match opts.exp {
+    let (metrics, text) = match opts.exp {
         Experiment::E0 => {
             let params = e0_bandwidth::E0Params {
                 threads: vec![1, 2],
@@ -136,7 +146,9 @@ fn run_child(opts: &ChildOpts) -> ChildReport {
                 seed: opts.seed,
                 ..Default::default()
             };
-            e0_bandwidth::run_traced(&params, Some(&tap))
+            let result = e0_bandwidth::run_traced(&params, Some(&tap));
+            let text = format!("{}\n{}", result.to_table(), result.to_csv());
+            (result.metrics_jsonl, text)
         }
         Experiment::E3 => {
             let params = e3_write_amp::E3Params {
@@ -146,11 +158,40 @@ fn run_child(opts: &ChildOpts) -> ChildReport {
                 seed: opts.seed,
                 ..Default::default()
             };
-            e3_write_amp::run_traced(&params, Some(&tap))
+            let result = e3_write_amp::run_traced(&params, Some(&tap));
+            let text = format!("{}\n{}", result.to_table(), result.to_csv());
+            (result.metrics_jsonl, text)
+        }
+        Experiment::E12 => {
+            // One load point keeps a bisection's tens of re-runs in CI
+            // budget while still crossing the power-fail + recovery path
+            // that produces replacement machines mid-run.
+            let mut params = e12_cluster::E12Params::smoke(opts.seed);
+            params.interarrival_points = vec![1_500];
+            if opts.smoke {
+                params.preload_keys = 120;
+                params.ops = 500;
+            }
+            params.metrics = Some(MetricsSpec { interval: 40_000 });
+            match e12_cluster::run_traced(&params, Some(&tap)) {
+                Ok(out) => {
+                    let mut text = String::new();
+                    for r in &out.results {
+                        text.push_str(&r.to_table());
+                        text.push('\n');
+                        text.push_str(&r.to_csv());
+                    }
+                    text.push_str(&out.availability_report);
+                    let metrics = out.results.iter().find_map(|r| r.metrics_jsonl.clone());
+                    (metrics, text)
+                }
+                // A typed failure still yields a deterministic report:
+                // both children fail identically or the witness flags it.
+                Err(e) => (None, format!("e12 error: {e}\n")),
+            }
         }
     };
-    let text = format!("{}\n{}", result.to_table(), result.to_csv());
-    tap.report(result.metrics_jsonl.as_deref(), &text)
+    tap.report(metrics.as_deref(), &text)
 }
 
 /// Entry point for `repro divergence-child <exp> [flags]`. Prints the
@@ -199,7 +240,7 @@ pub fn child_main(args: &[String]) -> i32 {
         }
     }
     if !exp_set {
-        return child_usage("which experiment? (e0|e3)");
+        return child_usage("which experiment? (e0|e3|e12)");
     }
     print!("{}", run_child(&opts).to_wire());
     0
@@ -330,7 +371,7 @@ fn witness_one(opts: &ParentOpts, exp: Experiment) -> Result<(String, bool), Str
     }
 }
 
-/// Entry point for `repro divergence [e0|e3|all] [--seed N] [--smoke]
+/// Entry point for `repro divergence [e0|e3|e12|all] [--seed N] [--smoke]
 /// [--perturb K] [--out DIR]`.
 ///
 /// Exit codes mirror the witness's claim: 0 when every selected
@@ -362,7 +403,7 @@ pub fn parent_main(args: &[String]) -> i32 {
                 Some(p) => opts.out = Some(PathBuf::from(p)),
                 None => return parent_usage("--out needs a directory"),
             },
-            "all" => opts.exps = vec![Experiment::E0, Experiment::E3],
+            "all" => opts.exps = vec![Experiment::E0, Experiment::E3, Experiment::E12],
             other => match Experiment::parse(other) {
                 Some(e) => opts.exps.push(e),
                 None => return parent_usage(&format!("unknown argument `{other}`")),
@@ -370,7 +411,7 @@ pub fn parent_main(args: &[String]) -> i32 {
         }
     }
     if opts.exps.is_empty() {
-        opts.exps = vec![Experiment::E0, Experiment::E3];
+        opts.exps = vec![Experiment::E0, Experiment::E3, Experiment::E12];
     }
 
     let mut all_ok = true;
@@ -425,7 +466,9 @@ pub fn parent_main(args: &[String]) -> i32 {
 
 fn parent_usage(msg: &str) -> i32 {
     eprintln!("divergence: {msg}");
-    eprintln!("usage: repro divergence [e0|e3|all] [--seed N] [--smoke] [--perturb K] [--out DIR]");
+    eprintln!(
+        "usage: repro divergence [e0|e3|e12|all] [--seed N] [--smoke] [--perturb K] [--out DIR]"
+    );
     2
 }
 

@@ -22,6 +22,7 @@
 //! | [`ext_mixes`] | extension (§6 takeaway) | — |
 //! | [`e10_pmcheck`] | extension: persist-ordering lint | — |
 //! | [`e11_faultsim`] | extension: fault injection + crash-state exploration | — |
+//! | [`e12_cluster`] | extension: fault-tolerant sharded cluster under load | — |
 
 #![forbid(unsafe_code)]
 
@@ -30,6 +31,7 @@ pub mod divergence;
 pub mod e0_bandwidth;
 pub mod e10_pmcheck;
 pub mod e11_faultsim;
+pub mod e12_cluster;
 pub mod e1_read_buffer;
 pub mod e2_prefetch;
 pub mod e3_write_amp;

@@ -40,7 +40,7 @@ fn fields(stdout: &str) -> Vec<(String, String)> {
 
 #[test]
 fn two_processes_same_seed_are_hash_identical() {
-    for exp in ["e0", "e3"] {
+    for exp in ["e0", "e3", "e12"] {
         let a = child_stdout(&[exp, "--seed", "7", "--smoke"]);
         let b = child_stdout(&[exp, "--seed", "7", "--smoke"]);
         assert_eq!(

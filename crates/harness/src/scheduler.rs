@@ -65,11 +65,21 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Ceiling on the exponential backoff shift: caps the multiplier at
+/// `2^16` (base * 65536). Anything below 32 also keeps `1u32 << shift`
+/// well-defined; the `checked_shl` below defends in depth so a future
+/// edit to this constant past 31 degrades to saturation instead of a
+/// debug-build overflow panic.
+const MAX_BACKOFF_SHIFT: u32 = 16;
+
 impl RetryPolicy {
     /// Backoff to apply after the given (1-based) failed attempt.
+    /// Saturates: any attempt count up to `u32::MAX` yields the capped
+    /// multiplier, never an overflowing shift.
     pub fn backoff_after(&self, attempt: u32) -> Duration {
-        let shift = attempt.saturating_sub(1).min(16);
-        self.base_backoff.saturating_mul(1u32 << shift)
+        let shift = attempt.saturating_sub(1).min(MAX_BACKOFF_SHIFT);
+        let factor = 1u32.checked_shl(shift).unwrap_or(u32::MAX);
+        self.base_backoff.saturating_mul(factor)
     }
 
     /// Whether a job that has consumed `attempts` attempts may retry.
@@ -720,5 +730,41 @@ mod tests {
         assert_ne!(derive_seed(42, "e0", 1), derive_seed(42, "e0", 2));
         assert_ne!(derive_seed(42, "e0", 1), derive_seed(42, "e1", 1));
         assert_ne!(derive_seed(42, "e0", 1), derive_seed(43, "e0", 1));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: Duration::from_millis(100),
+        };
+        assert_eq!(p.backoff_after(1), Duration::from_millis(100));
+        assert_eq!(p.backoff_after(2), Duration::from_millis(200));
+        assert_eq!(p.backoff_after(5), Duration::from_millis(1_600));
+        // Cap: 100ms * 2^16 from attempt 17 on.
+        let cap = Duration::from_millis(100) * (1 << 16);
+        assert_eq!(p.backoff_after(17), cap);
+        assert_eq!(p.backoff_after(18), cap);
+    }
+
+    #[test]
+    fn backoff_at_high_attempt_counts_saturates_instead_of_overflowing() {
+        // Regression: `1u32 << shift` would overflow (debug-panic) once
+        // attempts push shift >= 32; the clamp + checked shift must keep
+        // every attempt count finite and equal to the cap.
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: Duration::from_millis(100),
+        };
+        let cap = p.backoff_after(17);
+        for attempt in [32, 33, 34, 64, 1_000, 1_000_000, u32::MAX] {
+            assert_eq!(p.backoff_after(attempt), cap, "attempt {attempt}");
+        }
+        // Huge base backoff also saturates rather than panicking.
+        let big = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: Duration::from_secs(u64::MAX / 2),
+        };
+        assert!(big.backoff_after(u32::MAX) >= big.backoff_after(1));
     }
 }

@@ -10,7 +10,15 @@ use crate::rules::{self, Rule, Violation};
 /// The crates whose `src/` holds simulator state or serialization paths.
 /// The strict rules (unordered-state, wall-clock, unwrap-in-lib) apply
 /// only here; float-accum-unordered and bare-allow apply workspace-wide.
-pub const SIM_STATE_CRATES: [&str; 6] = ["core", "dimm", "media", "memctl", "cache", "datastores"];
+pub const SIM_STATE_CRATES: [&str; 7] = [
+    "core",
+    "dimm",
+    "media",
+    "memctl",
+    "cache",
+    "datastores",
+    "cluster",
+];
 
 /// How a file is classified for rule selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
