@@ -1,9 +1,15 @@
-//! Bounded DRAM front-cache for graceful degradation.
+//! Bounded DRAM front-cache for graceful degradation, epoch-fenced.
 //!
 //! While a shard's breaker is open, reads for its keys are answered
 //! from this cache (marked degraded) instead of being shed. The cache
 //! is write-through: every successful Get/Put refreshes it, so entries
-//! are never staler than the last acknowledged value the client saw.
+//! are never staler than the last acknowledged value the client saw —
+//! *within an epoch*. Every entry is tagged with the routing-table
+//! epoch at insertion; a lookup passes the slice's epoch floor and
+//! entries older than the floor are rejected. The router bumps a
+//! slice's floor whenever its ownership changes (migration flip) or an
+//! owner rejoins after power-fail recovery, so a degraded read can
+//! never serve a value cached before the world changed underneath it.
 //! Keyed state lives in a `BTreeMap` and eviction is FIFO via an
 //! insertion queue — both deterministic per the simlint contract.
 
@@ -11,11 +17,14 @@ use std::collections::{BTreeMap, VecDeque};
 
 #[derive(Debug)]
 pub struct FrontCache {
-    map: BTreeMap<u64, u64>,
+    /// key -> (value, insertion epoch).
+    map: BTreeMap<u64, (u64, u64)>,
     fifo: VecDeque<u64>,
     capacity: usize,
     pub hits: u64,
     pub misses: u64,
+    /// Lookups rejected because the entry predates the epoch floor.
+    pub stale_rejects: u64,
 }
 
 impl FrontCache {
@@ -26,12 +35,14 @@ impl FrontCache {
             capacity: capacity.max(1),
             hits: 0,
             misses: 0,
+            stale_rejects: 0,
         }
     }
 
-    /// Insert or refresh a key. Evicts the oldest insertion when full.
-    pub fn put(&mut self, key: u64, value: u64) {
-        if self.map.insert(key, value).is_none() {
+    /// Insert or refresh a key at the given routing epoch. Evicts the
+    /// oldest insertion when full.
+    pub fn put(&mut self, key: u64, value: u64, epoch: u64) {
+        if self.map.insert(key, (value, epoch)).is_none() {
             self.fifo.push_back(key);
             while self.map.len() > self.capacity {
                 if let Some(old) = self.fifo.pop_front() {
@@ -43,12 +54,20 @@ impl FrontCache {
         }
     }
 
-    /// Degraded-path lookup; counts hit/miss.
-    pub fn get(&mut self, key: u64) -> Option<u64> {
+    /// Degraded-path lookup: an entry cached before `epoch_floor` is a
+    /// stale-epoch reject (counted separately from plain misses) — the
+    /// regression this guards is a post-recovery degraded read serving
+    /// the pre-crash value.
+    pub fn get(&mut self, key: u64, epoch_floor: u64) -> Option<u64> {
         match self.map.get(&key) {
-            Some(&v) => {
+            Some(&(v, e)) if e >= epoch_floor => {
                 self.hits += 1;
                 Some(v)
+            }
+            Some(_) => {
+                self.stale_rejects += 1;
+                self.misses += 1;
+                None
             }
             None => {
                 self.misses += 1;
@@ -74,13 +93,13 @@ mod tests {
     fn fifo_eviction_bounds_size() {
         let mut c = FrontCache::new(3);
         for k in 0..10u64 {
-            c.put(k, k * 2);
+            c.put(k, k * 2, 1);
         }
         assert_eq!(c.len(), 3);
         // Oldest evicted, newest retained.
-        assert_eq!(c.get(0), None);
-        assert_eq!(c.get(9), Some(18));
-        assert_eq!(c.get(7), Some(14));
+        assert_eq!(c.get(0, 1), None);
+        assert_eq!(c.get(9, 1), Some(18));
+        assert_eq!(c.get(7, 1), Some(14));
         assert_eq!(c.hits, 2);
         assert_eq!(c.misses, 1);
     }
@@ -88,11 +107,32 @@ mod tests {
     #[test]
     fn refresh_does_not_duplicate_fifo_entry() {
         let mut c = FrontCache::new(2);
-        c.put(1, 10);
-        c.put(1, 11);
-        c.put(2, 20);
+        c.put(1, 10, 1);
+        c.put(1, 11, 1);
+        c.put(2, 20, 1);
         assert_eq!(c.len(), 2);
-        assert_eq!(c.get(1), Some(11));
-        assert_eq!(c.get(2), Some(20));
+        assert_eq!(c.get(1, 1), Some(11));
+        assert_eq!(c.get(2, 1), Some(20));
+    }
+
+    /// Regression: before epoch tagging, an entry cached at epoch 1
+    /// was served after the owner recovered (or the slice migrated)
+    /// at epoch 2 — `get(k)` returned the stale pre-crash value. The
+    /// epoch floor must reject it.
+    #[test]
+    fn pre_recovery_epoch_entries_are_rejected() {
+        let mut c = FrontCache::new(8);
+        c.put(5, 111, 1);
+        // Pre-fix behavior: this lookup served 111. Now the slice's
+        // floor moved to 2 (owner rejoined), so the entry is dead.
+        assert_eq!(c.get(5, 2), None, "stale-epoch entry must not serve");
+        assert_eq!(c.stale_rejects, 1);
+        assert_eq!(c.misses, 1);
+        // Same-epoch and newer entries still serve.
+        c.put(5, 222, 2);
+        assert_eq!(c.get(5, 2), Some(222));
+        c.put(6, 333, 3);
+        assert_eq!(c.get(6, 2), Some(333), "newer-than-floor serves");
+        assert_eq!(c.hits, 2);
     }
 }

@@ -9,6 +9,7 @@
 //! recovery (crash image -> survivor draw -> replay -> reintegration)
 //! after the outage elapses.
 
+use crate::migrate::MigrationPhase;
 use crate::net::DegradeParams;
 use crate::retry::Ticks;
 
@@ -35,11 +36,49 @@ pub struct NetDegrade {
     pub params: DegradeParams,
 }
 
+/// Which migration participant the seeded fault power-fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationFailTarget {
+    Source,
+    Dest,
+    Both,
+}
+
+/// Power-fail a migration participant at a protocol phase boundary —
+/// right after that phase's first persisted control record (or first
+/// copy chunk, for `Copy`), the most adversarial instant: the record
+/// is durable but nothing after it is. Fires once, on the first slice
+/// that reaches the phase.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationFail {
+    /// Phase boundary to strike at (`Idle` never fires).
+    pub phase: MigrationPhase,
+    pub target: MigrationFailTarget,
+    /// Ticks from power drop until the shard is back online.
+    pub outage: Ticks,
+    /// Per-uncertain-line survival probability for the crash image.
+    pub survivor_bias: f64,
+}
+
+impl MigrationFail {
+    /// Default drill: strike `target` at `phase` with a mid-length
+    /// outage and an even survivor draw.
+    pub fn at(phase: MigrationPhase, target: MigrationFailTarget) -> Self {
+        MigrationFail {
+            phase,
+            target,
+            outage: 80_000,
+            survivor_bias: 0.5,
+        }
+    }
+}
+
 /// The full cluster fault schedule for one run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ClusterFaultPlan {
     pub power_fail: Option<ShardPowerFail>,
     pub net_degrade: Option<NetDegrade>,
+    pub migration_fail: Option<MigrationFail>,
 }
 
 impl ClusterFaultPlan {
@@ -68,6 +107,30 @@ impl ClusterFaultPlan {
                     extra_delay: 1_000,
                 },
             }),
+            migration_fail: None,
+        }
+    }
+
+    /// The e13 headline schedule: power-fail `target` at migration
+    /// `phase`, with the network flapping in a window around `flap_at`.
+    pub fn migration_fail_with_flap(
+        phase: MigrationPhase,
+        target: MigrationFailTarget,
+        flap_at: Ticks,
+        flap_len: Ticks,
+    ) -> Self {
+        ClusterFaultPlan {
+            power_fail: None,
+            net_degrade: Some(NetDegrade {
+                start: flap_at,
+                end: flap_at.saturating_add(flap_len),
+                params: DegradeParams {
+                    extra_drop_prob: 0.05,
+                    extra_reorder_prob: 0.10,
+                    extra_delay: 800,
+                },
+            }),
+            migration_fail: Some(MigrationFail::at(phase, target)),
         }
     }
 }

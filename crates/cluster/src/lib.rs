@@ -16,7 +16,18 @@
 //!   a shard is down,
 //! - cluster-level fault plans ([`ClusterFaultPlan`]): a shard
 //!   power-fails mid-traffic and recovers through the crash-image +
-//!   checkpoint path while the network drops/delays/reorders messages.
+//!   checkpoint path while the network drops/delays/reorders messages,
+//! - epoch-fenced replicated routing ([`RoutingTable`]): keyslices with
+//!   replica sets, quorum-acked writes, read rotation, and typed
+//!   `StaleEpoch` rejection so a retired owner can never ack,
+//! - crash-safe keyspace migration ([`MigrationPlan`]): the persisted
+//!   `Prepare -> Copy -> CatchUp -> Flip -> Retire` state machine with
+//!   power-fail drills at every phase boundary (`repro rebalance`),
+//! - idempotent retries: puts carry req-ids into a per-shard dedup
+//!   window that survives recovery via log replay,
+//! - anti-entropy repair: per-slice FNV checksums compared across
+//!   replicas on a sim-clock cadence, divergence read-repaired from
+//!   the per-key maximum.
 //!
 //! Everything is deterministic per seed: same parameters, same seed,
 //! byte-identical [`ClusterReport`] — the crate is under the simlint
@@ -35,7 +46,9 @@ pub mod breaker;
 pub mod cache;
 pub mod fault;
 pub mod metrics;
+pub mod migrate;
 pub mod net;
+pub mod replica;
 pub mod retry;
 pub mod shard;
 pub mod sim;
@@ -43,12 +56,15 @@ pub mod workload;
 
 pub use breaker::{Admission, BreakerState, CircuitBreaker};
 pub use cache::FrontCache;
-pub use fault::{ClusterFaultPlan, NetDegrade, ShardPowerFail};
+pub use fault::{ClusterFaultPlan, MigrationFail, MigrationFailTarget, NetDegrade, ShardPowerFail};
 pub use metrics::{cluster_registry, percentile, GLOBAL_COLUMNS, PER_SHARD_COLUMNS};
+pub use migrate::{ControlKind, MigrationPhase, MigrationPlan, MigrationReport};
 pub use net::{DegradeParams, NetParams, NetSim, NetStats};
+pub use replica::{fnv1a, ReplicationParams, RoutingTable, SliceId, FNV_OFFSET};
 pub use retry::{RetryPolicy, Ticks};
 pub use shard::{
-    RecoveryOutcome, ShardConfig, ShardError, ShardOp, ShardReply, ShardServer, RECORD_BYTES,
+    decode_slot, LogRecord, RecoveryOutcome, RouteMeta, ShardConfig, ShardError, ShardOp,
+    ShardReply, ShardServer, DEDUP_WINDOW, RECORD_BYTES,
 };
 pub use sim::{
     run, run_traced, shard_generation, ClusterError, ClusterParams, ClusterReport, LatencySummary,

@@ -9,7 +9,7 @@
 use obs::{Histogram, MetricKind, Registry};
 
 /// Global columns, in registry order (see [`cluster_registry`]).
-pub const GLOBAL_COLUMNS: usize = 14;
+pub const GLOBAL_COLUMNS: usize = 18;
 
 /// Per-shard columns appended after the globals.
 pub const PER_SHARD_COLUMNS: usize = 5;
@@ -76,7 +76,27 @@ pub fn cluster_registry(n_shards: usize) -> Registry {
     c(
         &mut r,
         "acked_writes",
-        "writes acknowledged durable to clients",
+        "writes acknowledged durable to clients (quorum reached)",
+    );
+    c(
+        &mut r,
+        "stale_epoch_rejections",
+        "attempts rejected by a shard's epoch fence",
+    );
+    c(
+        &mut r,
+        "dedup_hits",
+        "duplicate put deliveries answered from the idempotency window",
+    );
+    c(
+        &mut r,
+        "repair_bytes",
+        "bytes written by anti-entropy read-repair",
+    );
+    c(
+        &mut r,
+        "divergent_slices",
+        "divergent slice comparisons found by anti-entropy",
     );
     for i in 0..n_shards {
         r.register(

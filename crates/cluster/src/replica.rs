@@ -1,0 +1,223 @@
+//! Replication: keyslices, the epoch-fenced routing table, and
+//! anti-entropy checksums.
+//!
+//! The key space is partitioned into `n_slices` keyslices (`slice =
+//! key % n_slices`); each slice is owned by a replica set of `replicas`
+//! distinct shards — `owners[0]` is the primary, the rest are
+//! followers. The router fences every attempt with the table's *epoch*:
+//! a monotone view number bumped on every ownership change (migration
+//! flip) and on every shard recovery. Shards remember the epoch at
+//! which they acquired each slice and the epoch at which they retired
+//! it, so a request launched against a stale view is rejected with a
+//! typed `StaleEpoch` instead of being served — a partitioned router
+//! can never collect an acknowledgement from a retired owner.
+//!
+//! Writes are acknowledged to the client only after a *quorum*
+//! (`replicas / 2 + 1`) of owners has individually persisted the
+//! record via the ADR recipe. Anti-entropy compares per-slice FNV
+//! chain checksums between replicas on a sim-clock cadence and
+//! read-repairs divergent slices from the freshest copy (values are
+//! globally monotone versions, so per-key max is the merge function).
+
+use std::collections::BTreeSet;
+
+/// Keyslice index, `key % n_slices`.
+pub type SliceId = usize;
+
+/// FNV-1a offset basis (shared with the simlint witness constants).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds bytes into a running FNV-1a hash.
+pub fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Static replication shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationParams {
+    /// Keyslice count (0 = one slice per shard, the legacy layout).
+    pub n_slices: usize,
+    /// Replicas per slice (1 = unreplicated, the legacy layout).
+    pub replicas: usize,
+}
+
+impl Default for ReplicationParams {
+    fn default() -> Self {
+        ReplicationParams {
+            n_slices: 0,
+            replicas: 1,
+        }
+    }
+}
+
+impl ReplicationParams {
+    /// Effective slice count for a fleet of `n_shards`.
+    pub fn slices(&self, n_shards: usize) -> usize {
+        if self.n_slices == 0 {
+            n_shards
+        } else {
+            self.n_slices
+        }
+    }
+
+    /// Write quorum: a majority of the replica set.
+    pub fn quorum(&self) -> usize {
+        self.replicas / 2 + 1
+    }
+}
+
+/// One slice's replica set. `shards[0]` is the primary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceOwners {
+    pub shards: Vec<usize>,
+}
+
+/// The router's view of slice placement, fenced by a monotone epoch.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    epoch: u64,
+    owners: Vec<SliceOwners>,
+    n_shards: usize,
+}
+
+impl RoutingTable {
+    /// Initial layout: slice `s` lives on shards `(s + j) % n_shards`
+    /// for `j in 0..replicas` — round-robin primaries, ring followers.
+    /// With `n_slices == n_shards` and `replicas == 1` this reproduces
+    /// the legacy `key % n_shards` routing exactly.
+    pub fn new(n_slices: usize, n_shards: usize, replicas: usize) -> Self {
+        let r = replicas.clamp(1, n_shards);
+        let owners = (0..n_slices)
+            .map(|s| SliceOwners {
+                shards: (0..r).map(|j| (s + j) % n_shards).collect(),
+            })
+            .collect();
+        RoutingTable {
+            epoch: 1,
+            owners,
+            n_shards,
+        }
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn n_slices(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Slice of a key.
+    pub fn slice_of(&self, key: u64) -> SliceId {
+        (key % self.owners.len().max(1) as u64) as usize
+    }
+
+    /// Current replica set of a slice (primary first).
+    pub fn owners(&self, slice: SliceId) -> &[usize] {
+        &self.owners[slice].shards
+    }
+
+    /// Bump the view epoch (shard recovery, aborted migration cleanup).
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Commit a migration: replace `from` with `to` in the slice's
+    /// replica set and bump the epoch. Returns the post-flip epoch;
+    /// `None` if `from` is not an owner or `to` already is.
+    pub fn flip(&mut self, slice: SliceId, from: usize, to: usize) -> Option<u64> {
+        let set = &mut self.owners[slice].shards;
+        if set.contains(&to) {
+            return None;
+        }
+        let pos = set.iter().position(|&s| s == from)?;
+        set[pos] = to;
+        Some(self.bump_epoch())
+    }
+
+    /// Slices currently owned (as any replica) by `shard`, ascending.
+    pub fn slices_on(&self, shard: usize) -> Vec<SliceId> {
+        (0..self.owners.len())
+            .filter(|&s| self.owners[s].shards.contains(&shard))
+            .collect()
+    }
+
+    /// Exactly-once ownership: every slice has a non-empty replica set
+    /// of distinct, in-range shards. (Each slice appears in the table
+    /// exactly once by construction; this checks the sets themselves.)
+    pub fn ownership_ok(&self) -> bool {
+        self.owners.iter().all(|o| {
+            !o.shards.is_empty()
+                && o.shards.iter().all(|&s| s < self.n_shards)
+                && o.shards.iter().collect::<BTreeSet<_>>().len() == o.shards.len()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_layout_matches_mod_routing() {
+        let t = RoutingTable::new(4, 4, 1);
+        for key in 0..64u64 {
+            let s = t.slice_of(key);
+            assert_eq!(t.owners(s), &[(key % 4) as usize]);
+        }
+        assert!(t.ownership_ok());
+        assert_eq!(t.epoch(), 1);
+    }
+
+    #[test]
+    fn replicated_layout_is_distinct_and_ring_shaped() {
+        let t = RoutingTable::new(8, 4, 3);
+        for s in 0..8 {
+            let o = t.owners(s);
+            assert_eq!(o.len(), 3);
+            assert_eq!(o[0], s % 4, "primary is the ring anchor");
+            assert_eq!(o.iter().collect::<BTreeSet<_>>().len(), 3);
+        }
+        assert!(t.ownership_ok());
+    }
+
+    #[test]
+    fn flip_replaces_and_bumps_epoch() {
+        let mut t = RoutingTable::new(8, 4, 2);
+        // slice 0 owned by {0, 1}; move it off shard 0 onto shard 2.
+        assert_eq!(t.owners(0), &[0, 1]);
+        let e = t.flip(0, 0, 2);
+        assert_eq!(e, Some(2));
+        assert_eq!(t.owners(0), &[2, 1]);
+        assert!(t.ownership_ok());
+        // from not an owner / to already an owner are rejected.
+        assert_eq!(t.flip(0, 0, 3), None);
+        assert_eq!(t.flip(0, 2, 1), None);
+    }
+
+    #[test]
+    fn quorum_is_majority() {
+        let r = |n| ReplicationParams {
+            n_slices: 8,
+            replicas: n,
+        };
+        assert_eq!(r(1).quorum(), 1);
+        assert_eq!(r(2).quorum(), 2);
+        assert_eq!(r(3).quorum(), 2);
+        assert_eq!(r(5).quorum(), 3);
+    }
+
+    #[test]
+    fn slices_on_tracks_membership() {
+        let mut t = RoutingTable::new(4, 4, 2);
+        assert_eq!(t.slices_on(0), vec![0, 3]);
+        t.flip(0, 0, 2);
+        assert_eq!(t.slices_on(0), vec![3]);
+    }
+}

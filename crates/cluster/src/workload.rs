@@ -52,7 +52,8 @@ pub struct ClientGen {
     emitted: u64,
     /// Monotonically increasing value payload: makes every Put unique so
     /// the acked-write oracle can detect value-level loss, not just
-    /// key-level.
+    /// key-level. Starts above `preload_keys` so client values always
+    /// beat preload values (value = key) under last-writer-wins.
     next_value: u64,
 }
 
@@ -75,7 +76,7 @@ impl ClientGen {
             rng: SplitMix64::new(cfg.seed ^ 0x6172_7269_7665),
             next_arrival: 0,
             emitted: 0,
-            next_value: 1,
+            next_value: cfg.preload_keys + 1,
         }
     }
 

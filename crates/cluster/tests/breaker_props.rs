@@ -1,0 +1,164 @@
+//! Property: the circuit breaker never admits work through `Open`, and
+//! every reintegration goes through exactly one half-open probe.
+//!
+//! The proptest drives a [`CircuitBreaker`] with arbitrary sequences of
+//! admissions, successes, failures, and clock advances, checking the
+//! safety invariants after every step:
+//!
+//! 1. **Never through Open**: while the state is `Open` and the
+//!    cooldown has not elapsed, `admit` always rejects — no attempt
+//!    (and so no ack) can flow through a tripped breaker.
+//! 2. **Exactly one probe**: once the cooldown elapses, the first
+//!    admission is the single `Probe`; every further admission rejects
+//!    until that probe resolves (success closes, failure re-opens).
+//!    Two probes can never be in flight.
+//! 3. **Reintegration only via probe success**: the only path from
+//!    tripped back to `Closed` is a success outcome while half-open —
+//!    the breaker can never silently self-heal.
+
+use cluster::{Admission, BreakerState, CircuitBreaker};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Ask for an admission at the current clock.
+    Admit,
+    /// Report the oldest unresolved admitted attempt as a success.
+    Success,
+    /// Report it as a failure.
+    Failure,
+    /// Advance the clock.
+    Advance(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Admit),
+        2 => Just(Op::Success),
+        3 => Just(Op::Failure),
+        2 => (1u16..5_000).prop_map(Op::Advance),
+    ]
+}
+
+fn check_sequence(threshold: u32, cooldown: u64, ops: &[Op]) {
+    let mut b = CircuitBreaker::new(threshold, cooldown);
+    let mut now = 0u64;
+    // Probe currently in flight (admitted half-open, not yet resolved).
+    let mut probe_open = false;
+    // Set when the breaker trips; cleared only by a probe success. While
+    // set, reaching Closed any other way is a reintegration violation.
+    let mut tripped = false;
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Advance(dt) => now += dt as u64,
+            Op::Admit => {
+                let pre = b.state();
+                let adm = b.admit(now);
+                match pre {
+                    BreakerState::Open { until } if now < until => {
+                        assert_eq!(
+                            adm,
+                            Admission::Reject,
+                            "step {i}: admission through Open (now={now}, until={until})"
+                        );
+                    }
+                    BreakerState::Open { .. } | BreakerState::HalfOpen => {
+                        // Cooldown elapsed (or already half-open): the
+                        // single probe, or a reject while it's in flight.
+                        if probe_open {
+                            assert_eq!(
+                                adm,
+                                Admission::Reject,
+                                "step {i}: second probe admitted while one is in flight"
+                            );
+                        } else {
+                            assert_eq!(
+                                adm,
+                                Admission::Probe,
+                                "step {i}: first half-open admission must probe"
+                            );
+                            probe_open = true;
+                        }
+                    }
+                    BreakerState::Closed => {
+                        assert_eq!(
+                            adm,
+                            Admission::Normal,
+                            "step {i}: closed breaker must admit"
+                        );
+                    }
+                }
+            }
+            Op::Success => {
+                // A genuine success (probe or late reply from a live
+                // shard) is the one sanctioned path back to Closed.
+                b.on_success();
+                probe_open = false;
+                tripped = false;
+                assert_eq!(
+                    b.state(),
+                    BreakerState::Closed,
+                    "step {i}: success must close the breaker"
+                );
+            }
+            Op::Failure => {
+                b.on_failure(now);
+                probe_open = false;
+                if matches!(b.state(), BreakerState::Open { .. }) {
+                    tripped = true;
+                }
+            }
+        }
+        // Global invariant: a tripped breaker whose cooldown is pending
+        // is never Closed without a success having intervened.
+        if tripped {
+            assert!(
+                !matches!(b.state(), BreakerState::Closed),
+                "step {i}: breaker closed without reintegration"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_sequences_respect_open_and_probe_invariants(
+        threshold in 1u32..6,
+        cooldown in 1u64..10_000,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        check_sequence(threshold, cooldown, &ops);
+    }
+}
+
+/// Pinned reintegration walk: trip, wait out the cooldown, verify the
+/// probe is singular, fail it, wait again, succeed it, and confirm the
+/// breaker is fully closed (the exact sequence the router runs when a
+/// power-failed shard comes back).
+#[test]
+fn reintegration_is_exactly_one_probe() {
+    let mut b = CircuitBreaker::new(2, 1_000);
+    b.on_failure(10);
+    b.on_failure(20);
+    assert!(matches!(b.state(), BreakerState::Open { .. }));
+    // Open window: everything rejected.
+    for t in [21, 500, 1_019] {
+        assert_eq!(b.admit(t), Admission::Reject, "reject at {t}");
+    }
+    // Cooldown over: one probe, then rejects while it's in flight.
+    assert_eq!(b.admit(1_020), Admission::Probe);
+    assert_eq!(b.admit(1_021), Admission::Reject);
+    assert_eq!(b.admit(2_000), Admission::Reject);
+    // Probe fails: another full cooldown, then a fresh single probe.
+    b.on_failure(2_100);
+    assert_eq!(b.admit(2_101), Admission::Reject);
+    assert_eq!(b.admit(3_100), Admission::Probe);
+    assert_eq!(b.admit(3_101), Admission::Reject);
+    // Probe succeeds: closed, traffic flows, streak forgotten.
+    b.on_success();
+    assert_eq!(b.state(), BreakerState::Closed);
+    assert_eq!(b.admit(3_102), Admission::Normal);
+    assert_eq!(b.trips, 2);
+}

@@ -60,6 +60,7 @@ fn run_schedule(
                     extra_delay: 2_000,
                 },
             }),
+            migration_fail: None,
         },
         seed,
         ..ClusterParams::default()

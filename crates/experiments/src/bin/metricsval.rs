@@ -17,13 +17,23 @@
 //! a drifting schema) fails the build rather than silently producing
 //! artifacts nothing can read.
 //!
+//! A matrix run's concatenated series mixes two registries: machine
+//! rows (E1/E3) and fleet rows from the cluster/rebalance jobs, whose
+//! `ctx` starts with `"cluster "` and whose schema is a pure function
+//! of the shard count ([`cluster::cluster_registry`]). Fleet rows are
+//! validated — just as strictly — against that registry, rebuilt at
+//! the shard count the row itself declares (one `s{i}_up` gauge per
+//! shard).
+//!
 //! Exit codes: 0 when every row validates, 1 on any mismatch, 2 on bad
 //! arguments or unreadable files.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
+use cluster::cluster_registry;
 use optane_core::machine_schema_json;
 
 /// One schema column: name plus the value shape it allows.
@@ -204,9 +214,18 @@ fn main() {
 
     let mut rows = 0u64;
     let mut errors = 0u64;
+    let mut fleet_cols: BTreeMap<usize, Vec<Column>> = BTreeMap::new();
     for (i, line) in series.lines().enumerate() {
         rows += 1;
-        if let Err(e) = check_row(line, &cols) {
+        let row_cols: &[Column] = if line.contains(",\"ctx\":\"cluster ") {
+            let n_shards = line.matches("_up\":").count();
+            fleet_cols
+                .entry(n_shards)
+                .or_insert_with(|| parse_schema(&cluster_registry(n_shards).schema_json()))
+        } else {
+            &cols
+        };
+        if let Err(e) = check_row(line, row_cols) {
             errors += 1;
             eprintln!("{}:{}: {e}", file.display(), i + 1);
         }

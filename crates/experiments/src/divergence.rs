@@ -31,7 +31,7 @@ use simlint::witness::{
 };
 
 use crate::common::MetricsSpec;
-use crate::{e0_bandwidth, e12_cluster, e3_write_amp};
+use crate::{e0_bandwidth, e12_cluster, e13_rebalance, e3_write_amp};
 
 /// The tap an experiment threads through its measurement loops: a shared
 /// op-stream hasher handed to every machine as its TraceSink, plus a
@@ -105,6 +105,7 @@ enum Experiment {
     E0,
     E3,
     E12,
+    E13,
 }
 
 impl Experiment {
@@ -113,6 +114,7 @@ impl Experiment {
             Experiment::E0 => "e0",
             Experiment::E3 => "e3",
             Experiment::E12 => "e12",
+            Experiment::E13 => "e13",
         }
     }
 
@@ -121,6 +123,7 @@ impl Experiment {
             "e0" => Some(Experiment::E0),
             "e3" => Some(Experiment::E3),
             "e12" => Some(Experiment::E12),
+            "e13" => Some(Experiment::E13),
             _ => None,
         }
     }
@@ -190,6 +193,34 @@ fn run_child(opts: &ChildOpts) -> ChildReport {
                 Err(e) => (None, format!("e12 error: {e}\n")),
             }
         }
+        Experiment::E13 => {
+            // One mid-Copy source-crash drill: the migration + recovery
+            // path with the fewest runs that still crosses epoch bumps,
+            // control-record replay, and anti-entropy repair.
+            let mut params = e13_rebalance::E13Params::smoke(opts.seed);
+            params.drills = vec![e13_rebalance::FULL_DRILLS[2]];
+            if opts.smoke {
+                params.preload_keys = 120;
+                params.ops = 600;
+            }
+            params.metrics = Some(MetricsSpec { interval: 40_000 });
+            match e13_rebalance::run_traced(&params, Some(&tap)) {
+                Ok(out) => {
+                    let mut text = String::new();
+                    for r in &out.results {
+                        text.push_str(&r.to_table());
+                        text.push('\n');
+                        text.push_str(&r.to_csv());
+                    }
+                    text.push_str(&out.rebalance_report);
+                    let metrics = out.results.iter().find_map(|r| r.metrics_jsonl.clone());
+                    (metrics, text)
+                }
+                // A typed failure still yields a deterministic report:
+                // both children fail identically or the witness flags it.
+                Err(e) => (None, format!("e13 error: {e}\n")),
+            }
+        }
     };
     tap.report(metrics.as_deref(), &text)
 }
@@ -240,7 +271,7 @@ pub fn child_main(args: &[String]) -> i32 {
         }
     }
     if !exp_set {
-        return child_usage("which experiment? (e0|e3|e12)");
+        return child_usage("which experiment? (e0|e3|e12|e13)");
     }
     print!("{}", run_child(&opts).to_wire());
     0
@@ -403,7 +434,14 @@ pub fn parent_main(args: &[String]) -> i32 {
                 Some(p) => opts.out = Some(PathBuf::from(p)),
                 None => return parent_usage("--out needs a directory"),
             },
-            "all" => opts.exps = vec![Experiment::E0, Experiment::E3, Experiment::E12],
+            "all" => {
+                opts.exps = vec![
+                    Experiment::E0,
+                    Experiment::E3,
+                    Experiment::E12,
+                    Experiment::E13,
+                ]
+            }
             other => match Experiment::parse(other) {
                 Some(e) => opts.exps.push(e),
                 None => return parent_usage(&format!("unknown argument `{other}`")),
@@ -411,7 +449,12 @@ pub fn parent_main(args: &[String]) -> i32 {
         }
     }
     if opts.exps.is_empty() {
-        opts.exps = vec![Experiment::E0, Experiment::E3, Experiment::E12];
+        opts.exps = vec![
+            Experiment::E0,
+            Experiment::E3,
+            Experiment::E12,
+            Experiment::E13,
+        ];
     }
 
     let mut all_ok = true;
@@ -467,7 +510,7 @@ pub fn parent_main(args: &[String]) -> i32 {
 fn parent_usage(msg: &str) -> i32 {
     eprintln!("divergence: {msg}");
     eprintln!(
-        "usage: repro divergence [e0|e3|e12|all] [--seed N] [--smoke] [--perturb K] [--out DIR]"
+        "usage: repro divergence [e0|e3|e12|e13|all] [--seed N] [--smoke] [--perturb K] [--out DIR]"
     );
     2
 }

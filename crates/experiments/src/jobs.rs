@@ -19,8 +19,9 @@ use optane_core::Generation;
 
 use crate::common::{log_sweep, ExpError, ExpResult, MetricsSpec};
 use crate::{
-    e0_bandwidth, e10_pmcheck, e11_faultsim, e12_cluster, e1_read_buffer, e2_prefetch,
-    e3_write_amp, e4_wb_hit, e5_rap, e6_latency, e7_cceh, e8_btree, e9_redirect, ext_mixes, table1,
+    e0_bandwidth, e10_pmcheck, e11_faultsim, e12_cluster, e13_rebalance, e1_read_buffer,
+    e2_prefetch, e3_write_amp, e4_wb_hit, e5_rap, e6_latency, e7_cceh, e8_btree, e9_redirect,
+    ext_mixes, table1,
 };
 
 /// Run scale: how much work each experiment does.
@@ -55,8 +56,22 @@ impl Scale {
 
 /// All experiment names, in canonical matrix order.
 pub const EXPERIMENT_NAMES: &[&str] = &[
-    "e0", "e1", "e2", "e3", "e4", "e5", "e6", "table1", "e7", "e8", "mixes", "pmcheck", "faultsim",
-    "e9", "cluster",
+    "e0",
+    "e1",
+    "e2",
+    "e3",
+    "e4",
+    "e5",
+    "e6",
+    "table1",
+    "e7",
+    "e8",
+    "mixes",
+    "pmcheck",
+    "faultsim",
+    "e9",
+    "cluster",
+    "rebalance",
 ];
 
 fn gen_suffix(gen: Generation) -> String {
@@ -487,6 +502,46 @@ pub fn matrix(
             }),
         ));
     }
+    if wants("rebalance") {
+        let out = out.clone();
+        jobs.push(ExperimentJob::boxed(
+            "rebalance",
+            Box::new(move |ctx| {
+                let mut p = if scale.smoke() {
+                    e13_rebalance::E13Params::smoke(ctx.seed)
+                } else {
+                    e13_rebalance::E13Params {
+                        ops: if scale.full() { 20_000 } else { 4_000 },
+                        seed: ctx.seed,
+                        ..Default::default()
+                    }
+                };
+                p.metrics = metrics;
+                let t0 = std::time::Instant::now();
+                let r = e13_rebalance::run(&p).map_err(|e| exp_err("rebalance", e))?;
+                let wall_ms = t0.elapsed().as_millis() as u64;
+                let mut output = finish(&out, &r.results)?;
+                let report_rel = PathBuf::from("rebalance_report.txt");
+                write_atomic(&out.join(&report_rel), r.rebalance_report.as_bytes())?;
+                output.artifacts.push(report_rel);
+                let bench_rel = PathBuf::from("BENCH_rebalance.json");
+                write_atomic(
+                    &out.join(&bench_rel),
+                    e13_rebalance::bench_json(&r, wall_ms).as_bytes(),
+                )?;
+                output.artifacts.push(bench_rel);
+                output.validated = r.validated;
+                output.summary.push_str(if r.validated {
+                    "\nrebalance: every drill held the oracles — zero acked-write loss, \
+                     no stale-epoch ack, exactly-once ownership"
+                } else {
+                    "\nrebalance: VALIDATION FAILED (oracle violation, unfinished migration, \
+                     or availability < 99%)"
+                });
+                Ok(output)
+            }),
+        ));
+    }
     jobs
 }
 
@@ -559,12 +614,14 @@ mod tests {
         assert!(ids.contains(&"mixes:g2".to_string()));
         assert!(ids.contains(&"faultsim:g1".to_string()));
         assert!(ids.contains(&"cluster".to_string()));
-        assert_eq!(ids.len(), 25, "10 per-gen × 2 + 5 singletons: {ids:?}");
+        assert!(ids.contains(&"rebalance".to_string()));
+        assert_eq!(ids.len(), 26, "10 per-gen × 2 + 6 singletons: {ids:?}");
         // Canonical order: e0 before e9, pmcheck before faultsim.
         let pos = |id: &str| ids.iter().position(|x| x == id).unwrap();
         assert!(pos("e0:g1") < pos("e9:g1"));
         assert!(pos("pmcheck:g1") < pos("faultsim:g1"));
         assert!(pos("e9:g1") < pos("cluster"));
+        assert!(pos("cluster") < pos("rebalance"));
     }
 
     #[test]

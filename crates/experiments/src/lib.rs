@@ -23,6 +23,7 @@
 //! | [`e10_pmcheck`] | extension: persist-ordering lint | — |
 //! | [`e11_faultsim`] | extension: fault injection + crash-state exploration | — |
 //! | [`e12_cluster`] | extension: fault-tolerant sharded cluster under load | — |
+//! | [`e13_rebalance`] | extension: crash-safe keyspace migration + anti-entropy | — |
 
 #![forbid(unsafe_code)]
 
@@ -32,6 +33,7 @@ pub mod e0_bandwidth;
 pub mod e10_pmcheck;
 pub mod e11_faultsim;
 pub mod e12_cluster;
+pub mod e13_rebalance;
 pub mod e1_read_buffer;
 pub mod e2_prefetch;
 pub mod e3_write_amp;
