@@ -1,0 +1,91 @@
+//! CI gate over deterministic BENCH reports.
+//!
+//! ```text
+//! benchcmp <baseline.json> <candidate.json> [--tolerance 0.15]
+//! ```
+//!
+//! Parses two deterministic BENCH files (flat e12/e13 shape or the
+//! multi-scenario `BENCH_sim.json` shape), compares the
+//! `sim_ops_per_mcycle` of every baseline scenario against the
+//! candidate, and exits nonzero when any scenario regressed beyond the
+//! relative tolerance band or disappeared. Improvements always pass —
+//! the gate is one-sided by design (a faster simulator is not a bug,
+//! it is a reminder to refresh the checked-in baseline).
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: benchcmp <baseline.json> <candidate.json> [--tolerance FRAC]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.15f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                tolerance = v;
+            }
+            "--help" | "-h" => return usage(),
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        return usage();
+    };
+    let read = |p: &str| -> Result<Vec<bench::BenchEntry>, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        bench::parse_bench(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let (base, cand) = match (read(base_path), read(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("benchcmp: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = bench::compare(&base, &cand, tolerance);
+    println!(
+        "benchcmp: tolerance {:.0}% on sim_ops_per_mcycle ({} scenarios)",
+        tolerance * 100.0,
+        report.len()
+    );
+    for c in &report {
+        let line = match c.verdict {
+            bench::Verdict::Ok(ratio) => format!(
+                "  ok        {:<28} {:>12.3} -> {:>12.3}  ({:+.1}%)",
+                c.name,
+                c.baseline,
+                c.candidate,
+                (ratio - 1.0) * 100.0
+            ),
+            bench::Verdict::Regressed(ratio) => format!(
+                "  REGRESSED {:<28} {:>12.3} -> {:>12.3}  ({:+.1}%)",
+                c.name,
+                c.baseline,
+                c.candidate,
+                (ratio - 1.0) * 100.0
+            ),
+            bench::Verdict::Missing => {
+                format!(
+                    "  MISSING   {:<28} {:>12.3} -> (absent)",
+                    c.name, c.baseline
+                )
+            }
+        };
+        println!("{line}");
+    }
+    if bench::all_pass(&report) {
+        println!("benchcmp: all scenarios within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        println!("benchcmp: throughput regression beyond tolerance");
+        ExitCode::FAILURE
+    }
+}

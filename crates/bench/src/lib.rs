@@ -1,8 +1,403 @@
-//! Criterion benchmark harness crate (see `benches/`).
+//! Shared sim-speed accounting and `BENCH_*.json` plumbing.
 //!
-//! - `benches/figures.rs`: one group per paper table/figure;
-//! - `benches/ablations.rs`: design-knob ablations from `DESIGN.md`;
-//! - `benches/ops.rs`: host-time micro-benchmarks of the simulator and
-//!   the data structures.
+//! Every benchmark writer in the workspace (the cluster drill, the
+//! rebalance drill, and the `e14_simspeed` suite) splits its report in
+//! two files so CI can byte-compare what is deterministic and tolerate
+//! what is not:
+//!
+//! - **deterministic part** (`BENCH_cluster.json`, `BENCH_sim.json`, …):
+//!   `sim_ops`, `sim_cycles`, and the derived `sim_ops_per_mcycle` — a
+//!   pure function of the seed, byte-identical across runs and hosts;
+//! - **wall-clock sidecar** (`BENCH_*_wall.json`): `wall_us` and
+//!   `sim_ops_per_wall_sec` — host-dependent by design, excluded from
+//!   the `diff -r` byte-identity checks. Microsecond resolution: at
+//!   millisecond granularity a ~50 ms scenario quantizes its rate into
+//!   ~2% cliffs, and sub-millisecond scenarios report no rate at all.
+//!
+//! The `benchcmp` binary (`src/bin/benchcmp.rs`) parses two
+//! deterministic reports and fails on a relative `sim_ops_per_mcycle`
+//! regression beyond a tolerance band; CI runs it against the
+//! checked-in `BENCH_sim.json`.
+//!
+//! The criterion micro-benchmarks live in `benches/` and pull the
+//! simulator in as dev-dependencies; this library is dependency-free so
+//! `experiments` can use it without a cycle.
 
 #![forbid(unsafe_code)]
+
+/// Simulated operations per simulated megacycle.
+///
+/// The deterministic throughput figure: unlike wall-clock rates it is a
+/// pure function of the instruction stream, so CI can gate on it with a
+/// tolerance band. Returns `0.0` when `sim_cycles` is zero (a run that
+/// never advanced the clock has no meaningful rate).
+pub fn ops_per_mcycle(sim_ops: u64, sim_cycles: u64) -> f64 {
+    let mcycles = sim_cycles as f64 / 1e6;
+    if mcycles > 0.0 {
+        sim_ops as f64 / mcycles
+    } else {
+        0.0
+    }
+}
+
+/// Simulated operations per wall-clock second (host-dependent).
+///
+/// Returns `0.0` when `wall_us` is zero: sub-microsecond runs round to
+/// zero and must not divide by it (the zero-wall guard).
+pub fn ops_per_wall_sec(sim_ops: u64, wall_us: u64) -> f64 {
+    if wall_us > 0 {
+        sim_ops as f64 * 1_000_000.0 / wall_us as f64
+    } else {
+        0.0
+    }
+}
+
+/// One measured scenario: the deterministic fields plus the wall-clock
+/// microseconds kept aside for the sidecar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Stable scenario id (e.g. `"e0_stream_nosink"`).
+    pub name: String,
+    /// Simulated operations completed.
+    pub sim_ops: u64,
+    /// Simulated cycles elapsed (makespan across threads).
+    pub sim_cycles: u64,
+    /// Trace events observed by the attached sink (0 when none).
+    pub trace_events: u64,
+    /// Host microseconds spent simulating (sidecar only).
+    pub wall_us: u64,
+}
+
+/// Renders the deterministic part of a single-scenario report (the
+/// e12/e13 shape: flat object, no `scenarios` array).
+pub fn render_flat(experiment: &str, sim_ops: u64, sim_cycles: u64) -> String {
+    format!(
+        "{{\n  \"experiment\": \"{}\",\n  \"sim_ops\": {},\n  \"sim_cycles\": {},\n  \"sim_ops_per_mcycle\": {:.3}\n}}\n",
+        experiment,
+        sim_ops,
+        sim_cycles,
+        ops_per_mcycle(sim_ops, sim_cycles)
+    )
+}
+
+/// Renders the wall-clock sidecar of a single-scenario report.
+pub fn render_flat_wall(experiment: &str, sim_ops: u64, wall_us: u64) -> String {
+    format!(
+        "{{\n  \"experiment\": \"{}\",\n  \"wall_us\": {},\n  \"sim_ops_per_wall_sec\": {:.0}\n}}\n",
+        experiment,
+        wall_us,
+        ops_per_wall_sec(sim_ops, wall_us)
+    )
+}
+
+/// Renders the deterministic part of a multi-scenario report (the
+/// `BENCH_sim.json` shape).
+pub fn render_multi(experiment: &str, scenarios: &[Scenario]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"experiment\": \"{experiment}\",\n"));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, sc) in scenarios.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", sc.name));
+        s.push_str(&format!("      \"sim_ops\": {},\n", sc.sim_ops));
+        s.push_str(&format!("      \"sim_cycles\": {},\n", sc.sim_cycles));
+        s.push_str(&format!("      \"trace_events\": {},\n", sc.trace_events));
+        s.push_str(&format!(
+            "      \"sim_ops_per_mcycle\": {:.3}\n",
+            ops_per_mcycle(sc.sim_ops, sc.sim_cycles)
+        ));
+        s.push_str(if i + 1 == scenarios.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders the wall-clock sidecar of a multi-scenario report.
+pub fn render_multi_wall(experiment: &str, scenarios: &[Scenario]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"experiment\": \"{experiment}\",\n"));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, sc) in scenarios.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", sc.name));
+        s.push_str(&format!("      \"wall_us\": {},\n", sc.wall_us));
+        s.push_str(&format!(
+            "      \"sim_ops_per_wall_sec\": {:.0}\n",
+            ops_per_wall_sec(sc.sim_ops, sc.wall_us)
+        ));
+        s.push_str(if i + 1 == scenarios.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// One parsed row of a deterministic BENCH report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Scenario name (multi-scenario) or experiment name (flat).
+    pub name: String,
+    /// Simulated operations completed.
+    pub sim_ops: u64,
+    /// Simulated cycles elapsed.
+    pub sim_cycles: u64,
+    /// The gated throughput figure as written in the file.
+    pub ops_per_mcycle: f64,
+}
+
+fn quoted_value(line: &str) -> Option<&str> {
+    let (_, rest) = line.split_once(':')?;
+    let rest = rest.trim().trim_end_matches(',');
+    rest.strip_prefix('"')?.strip_suffix('"')
+}
+
+fn numeric_value(line: &str) -> Option<&str> {
+    let (_, rest) = line.split_once(':')?;
+    Some(rest.trim().trim_end_matches(','))
+}
+
+/// Parses a deterministic BENCH report — flat (e12/e13) or
+/// multi-scenario (`BENCH_sim.json`) — into comparable entries.
+///
+/// The format is the line-oriented JSON this crate renders; the parser
+/// is a small state machine over `"key": value` lines, not a general
+/// JSON parser.
+pub fn parse_bench(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let mut entries = Vec::new();
+    let mut experiment = String::new();
+    let mut cur: Option<BenchEntry> = None;
+    let mut seen = (false, false, false);
+
+    let fresh = |name: &str| BenchEntry {
+        name: name.to_string(),
+        sim_ops: 0,
+        sim_cycles: 0,
+        ops_per_mcycle: 0.0,
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        let bad = |what: &str| format!("line {}: bad {what}: {trimmed:?}", lineno + 1);
+        if trimmed.starts_with("\"experiment\"") {
+            experiment = quoted_value(trimmed)
+                .ok_or_else(|| bad("experiment"))?
+                .to_string();
+        } else if trimmed.starts_with("\"name\"") {
+            if let Some(done) = cur.take() {
+                if seen.0 || seen.1 || seen.2 {
+                    entries.push(done);
+                }
+            }
+            cur = Some(fresh(quoted_value(trimmed).ok_or_else(|| bad("name"))?));
+            seen = (false, false, false);
+        } else if trimmed.starts_with("\"sim_ops_per_mcycle\"") {
+            let v = numeric_value(trimmed)
+                .and_then(|s| s.parse::<f64>().ok())
+                .ok_or_else(|| bad("sim_ops_per_mcycle"))?;
+            cur.get_or_insert_with(|| fresh(&experiment)).ops_per_mcycle = v;
+            seen.2 = true;
+        } else if trimmed.starts_with("\"sim_ops\"") {
+            let v = numeric_value(trimmed)
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| bad("sim_ops"))?;
+            cur.get_or_insert_with(|| fresh(&experiment)).sim_ops = v;
+            seen.0 = true;
+        } else if trimmed.starts_with("\"sim_cycles\"") {
+            let v = numeric_value(trimmed)
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| bad("sim_cycles"))?;
+            cur.get_or_insert_with(|| fresh(&experiment)).sim_cycles = v;
+            seen.1 = true;
+        }
+    }
+    if let Some(mut done) = cur.take() {
+        if seen.0 || seen.1 || seen.2 {
+            if done.name.is_empty() {
+                done.name = experiment.clone();
+            }
+            entries.push(done);
+        }
+    }
+    if entries.is_empty() {
+        return Err("no benchmark entries found".to_string());
+    }
+    for e in &mut entries {
+        if e.name.is_empty() {
+            e.name = experiment.clone();
+        }
+    }
+    Ok(entries)
+}
+
+/// Verdict of one scenario comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Candidate throughput within the band (or better). Carries the
+    /// candidate/baseline ratio.
+    Ok(f64),
+    /// Candidate regressed beyond tolerance. Carries the ratio.
+    Regressed(f64),
+    /// The scenario is present in the baseline but not the candidate.
+    Missing,
+}
+
+/// One line of a comparison report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Scenario name.
+    pub name: String,
+    /// Baseline `sim_ops_per_mcycle`.
+    pub baseline: f64,
+    /// Candidate `sim_ops_per_mcycle` (0 when missing).
+    pub candidate: f64,
+    /// The per-scenario verdict.
+    pub verdict: Verdict,
+}
+
+/// Compares candidate throughput against a baseline with a relative
+/// tolerance band: a scenario passes when
+/// `candidate >= baseline * (1 - tolerance)`. Improvements always pass.
+/// Scenarios only in the candidate are ignored (a new benchmark must
+/// first land its baseline).
+pub fn compare(
+    baseline: &[BenchEntry],
+    candidate: &[BenchEntry],
+    tolerance: f64,
+) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .map(|b| {
+            let cand = candidate.iter().find(|c| c.name == b.name);
+            match cand {
+                None => Comparison {
+                    name: b.name.clone(),
+                    baseline: b.ops_per_mcycle,
+                    candidate: 0.0,
+                    verdict: Verdict::Missing,
+                },
+                Some(c) => {
+                    let ratio = if b.ops_per_mcycle > 0.0 {
+                        c.ops_per_mcycle / b.ops_per_mcycle
+                    } else {
+                        1.0
+                    };
+                    let verdict = if ratio + 1e-9 >= 1.0 - tolerance {
+                        Verdict::Ok(ratio)
+                    } else {
+                        Verdict::Regressed(ratio)
+                    };
+                    Comparison {
+                        name: b.name.clone(),
+                        baseline: b.ops_per_mcycle,
+                        candidate: c.ops_per_mcycle,
+                        verdict,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// `true` when every comparison passed.
+pub fn all_pass(report: &[Comparison]) -> bool {
+    report.iter().all(|c| matches!(c.verdict, Verdict::Ok(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_per_mcycle_is_plain_arithmetic() {
+        // 3_000 ops over 2_000_000 cycles = 1500 ops/Mcycle.
+        assert!((ops_per_mcycle(3_000, 2_000_000) - 1_500.0).abs() < 1e-9);
+        // Zero-cycle guard: no rate, not a NaN/inf.
+        assert_eq!(ops_per_mcycle(3_000, 0), 0.0);
+        assert_eq!(ops_per_mcycle(0, 0), 0.0);
+    }
+
+    #[test]
+    fn ops_per_wall_sec_guards_zero_wall_us() {
+        assert!((ops_per_wall_sec(500, 250_000) - 2_000.0).abs() < 1e-9);
+        // Sub-microsecond runs round wall_us to 0; the rate must not
+        // divide by it.
+        assert_eq!(ops_per_wall_sec(500, 0), 0.0);
+    }
+
+    #[test]
+    fn flat_render_parses_back() {
+        let text = render_flat("e12_cluster", 6_000, 4_000_000);
+        let entries = parse_bench(&text).expect("parses");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "e12_cluster");
+        assert_eq!(entries[0].sim_ops, 6_000);
+        assert_eq!(entries[0].sim_cycles, 4_000_000);
+        assert!((entries[0].ops_per_mcycle - 1_500.0).abs() < 1e-9);
+        // The deterministic part never carries wall-clock fields.
+        assert!(!text.contains("wall"));
+    }
+
+    #[test]
+    fn multi_render_parses_back() {
+        let scenarios = vec![
+            Scenario {
+                name: "e0_stream_nosink".into(),
+                sim_ops: 100,
+                sim_cycles: 1_000_000,
+                trace_events: 0,
+                wall_us: 3_000,
+            },
+            Scenario {
+                name: "e0_stream_sink".into(),
+                sim_ops: 100,
+                sim_cycles: 1_000_000,
+                trace_events: 500,
+                wall_us: 4_000,
+            },
+        ];
+        let text = render_multi("e14_simspeed", &scenarios);
+        let entries = parse_bench(&text).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "e0_stream_nosink");
+        assert_eq!(entries[1].name, "e0_stream_sink");
+        assert_eq!(entries[1].sim_ops, 100);
+        assert!(!text.contains("wall"));
+        // Sidecar carries only the host-dependent fields.
+        let wall = render_multi_wall("e14_simspeed", &scenarios);
+        assert!(wall.contains("\"wall_us\": 3000"));
+        assert!(!wall.contains("sim_cycles"));
+    }
+
+    #[test]
+    fn compare_applies_the_tolerance_band() {
+        let base = vec![BenchEntry {
+            name: "a".into(),
+            sim_ops: 100,
+            sim_cycles: 1_000_000,
+            ops_per_mcycle: 100.0,
+        }];
+        let mut cand = base.clone();
+        // 10% down with 15% tolerance: passes.
+        cand[0].ops_per_mcycle = 90.0;
+        assert!(all_pass(&compare(&base, &cand, 0.15)));
+        // 20% down: fails.
+        cand[0].ops_per_mcycle = 80.0;
+        let report = compare(&base, &cand, 0.15);
+        assert!(!all_pass(&report));
+        assert!(matches!(report[0].verdict, Verdict::Regressed(_)));
+        // Improvements always pass.
+        cand[0].ops_per_mcycle = 500.0;
+        assert!(all_pass(&compare(&base, &cand, 0.15)));
+        // Missing scenario fails.
+        assert!(!all_pass(&compare(&base, &[], 0.15)));
+    }
+}

@@ -31,7 +31,7 @@ pub mod prefetch;
 pub mod setassoc;
 pub mod system;
 
-pub use prefetch::{PrefetchConfig, PrefetcherStats, Prefetchers};
+pub use prefetch::{PrefetchConfig, PrefetcherStats, Prefetchers, SuggestionList};
 pub use setassoc::{Cache, Evicted};
 pub use system::{
     AccessResult, CacheHierarchyStats, CacheLevelStats, CacheParams, CacheSystem, FlushMode,

@@ -87,6 +87,80 @@ const STREAM_GATE_DEN: u64 = 3;
 /// Lines per 4 KB page, the L2 streamer's training scope.
 const LINES_PER_PAGE: u64 = 4096 / CACHELINE_BYTES;
 
+/// Capacity of [`SuggestionList`]: one demand access can suggest at most
+/// one DCU line, an adjacent buddy plus one sector continuation, and up
+/// to three stream lines — six, rounded up for headroom.
+const MAX_SUGGESTIONS: usize = 8;
+
+/// A fixed-capacity list of prefetch target addresses.
+///
+/// Demand accesses are the simulator's hottest path, and most of them
+/// carry at least one prefetch suggestion; an inline array keeps the
+/// suggest-then-filter step free of heap traffic. Dereferences to
+/// `[Addr]`, so call sites treat it like a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuggestionList {
+    items: [Addr; MAX_SUGGESTIONS],
+    len: u8,
+}
+
+impl Default for SuggestionList {
+    fn default() -> Self {
+        SuggestionList {
+            items: [Addr(0); MAX_SUGGESTIONS],
+            len: 0,
+        }
+    }
+}
+
+impl SuggestionList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is full; [`MAX_SUGGESTIONS`] bounds the number
+    /// of suggestions a single access can produce, so a full list means a
+    /// prefetcher model grew past that bound without raising it.
+    #[inline]
+    pub fn push(&mut self, a: Addr) {
+        assert!(
+            (self.len as usize) < MAX_SUGGESTIONS,
+            "suggestion list capacity exceeded"
+        );
+        self.items[self.len as usize] = a;
+        self.len += 1;
+    }
+
+    /// Returns the suggestions as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Addr] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for SuggestionList {
+    type Target = [Addr];
+
+    #[inline]
+    fn deref(&self) -> &[Addr] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a SuggestionList {
+    type Item = &'a Addr;
+    type IntoIter = std::slice::Iter<'a, Addr>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Per-prefetcher issue counters: how many prefetch suggestions each of
 /// the three BIOS-switchable prefetchers produced.
 ///
@@ -158,11 +232,11 @@ impl Prefetchers {
     ///
     /// The caller is responsible for dropping suggestions that are already
     /// resident or in flight.
-    pub fn on_demand_access(&mut self, addr: Addr, l2_miss: bool) -> Vec<Addr> {
+    pub fn on_demand_access(&mut self, addr: Addr, l2_miss: bool) -> SuggestionList {
         let line = addr.cacheline().0 / CACHELINE_BYTES;
         let ascending = self.last_line == Some(line.wrapping_sub(1));
         self.run_len = if ascending { self.run_len + 1 } else { 1 };
-        let mut out = Vec::new();
+        let mut out = SuggestionList::new();
 
         if self.config.dcu_streamer && ascending {
             // DCU streamer: follow any ascending run, one line ahead,

@@ -4,16 +4,30 @@
 //! not stored here — the machine keeps bytes in its volatile overlay and
 //! persistent image; the cache only decides hits, misses, evictions, and
 //! write-backs.
+//!
+//! Storage is a single flat slot table (`num_sets * ways` entries, set-major)
+//! rather than a `Vec` per set: one allocation per cache, and a set lookup is
+//! a bounded scan of `ways` contiguous slots. A live-line counter makes
+//! emptiness checks O(1), which the flush path relies on to skip the many
+//! per-core caches that hold nothing.
 
 use simbase::{Addr, HitMiss, CACHELINE_BYTES};
 
-/// Metadata for one resident cacheline.
+/// Metadata for one resident cacheline slot.
 #[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
-    dirty: bool,
     last_use: u64,
+    dirty: bool,
+    valid: bool,
 }
+
+const EMPTY_LINE: Line = Line {
+    tag: 0,
+    last_use: 0,
+    dirty: false,
+    valid: false,
+};
 
 /// A line evicted to make room.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,11 +41,15 @@ pub struct Evicted {
 /// Set-associative, LRU, write-back cache (metadata only).
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<Line>>,
+    /// Flat slot table: set `s` owns `slots[s*ways .. (s+1)*ways]`.
+    slots: Vec<Line>,
+    num_sets: usize,
     ways: usize,
     tick: u64,
     hits: u64,
     misses: u64,
+    /// Number of valid slots; `is_empty` must stay O(1) for the flush path.
+    live: usize,
 }
 
 impl Cache {
@@ -50,18 +68,25 @@ impl Cache {
         let num_sets = (lines / ways as u64).max(1) as usize;
         assert!(lines >= ways as u64, "capacity smaller than one set");
         Cache {
-            sets: vec![Vec::with_capacity(ways); num_sets],
+            slots: vec![EMPTY_LINE; num_sets * ways],
+            num_sets,
             ways,
             tick: 0,
             hits: 0,
             misses: 0,
+            live: 0,
         }
     }
 
     fn set_and_tag(&self, addr: Addr) -> (usize, u64) {
         let line = addr.cacheline().0 / CACHELINE_BYTES;
-        let num_sets = self.sets.len() as u64;
+        let num_sets = self.num_sets as u64;
         ((line % num_sets) as usize, line / num_sets)
+    }
+
+    #[inline]
+    fn set_slots(&mut self, set_idx: usize) -> &mut [Line] {
+        &mut self.slots[set_idx * self.ways..(set_idx + 1) * self.ways]
     }
 
     /// Looks up `addr`; on a hit, refreshes LRU and optionally marks dirty.
@@ -71,7 +96,11 @@ impl Cache {
         self.tick += 1;
         let (set_idx, tag) = self.set_and_tag(addr);
         let tick = self.tick;
-        if let Some(l) = self.sets[set_idx].iter_mut().find(|l| l.tag == tag) {
+        if let Some(l) = self
+            .set_slots(set_idx)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             l.last_use = tick;
             l.dirty |= mark_dirty;
             self.hits += 1;
@@ -85,7 +114,9 @@ impl Cache {
     /// Returns `true` if `addr` is resident, without touching LRU or stats.
     pub fn peek(&self, addr: Addr) -> bool {
         let (set_idx, tag) = self.set_and_tag(addr);
-        self.sets[set_idx].iter().any(|l| l.tag == tag)
+        self.slots[set_idx * self.ways..(set_idx + 1) * self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Inserts `addr` (refreshing it if already resident), returning the
@@ -94,69 +125,107 @@ impl Cache {
         self.tick += 1;
         let (set_idx, tag) = self.set_and_tag(addr);
         let tick = self.tick;
-        let ways = self.ways;
-        let num_sets = self.sets.len() as u64;
-        let set = &mut self.sets[set_idx];
-        if let Some(l) = set.iter_mut().find(|l| l.tag == tag) {
-            l.last_use = tick;
-            l.dirty |= dirty;
+        let num_sets = self.num_sets as u64;
+        let set = self.set_slots(set_idx);
+        // One pass: find the resident line, a free slot, and the LRU victim.
+        let mut free = None;
+        let mut victim = None;
+        let mut victim_use = u64::MAX;
+        for (i, l) in set.iter_mut().enumerate() {
+            if !l.valid {
+                if free.is_none() {
+                    free = Some(i);
+                }
+                continue;
+            }
+            if l.tag == tag {
+                l.last_use = tick;
+                l.dirty |= dirty;
+                return None;
+            }
+            // LRU timestamps are unique (each touch consumes a fresh tick),
+            // so the victim does not depend on slot order.
+            if l.last_use < victim_use {
+                victim_use = l.last_use;
+                victim = Some(i);
+            }
+        }
+        let fresh = Line {
+            tag,
+            last_use: tick,
+            dirty,
+            valid: true,
+        };
+        if let Some(i) = free {
+            set[i] = fresh;
+            self.live += 1;
             return None;
         }
-        let mut evicted = None;
-        // A full set always yields an LRU victim; the if-let keeps the
-        // invariant local instead of asserting it.
-        let victim = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.last_use)
-            .map(|(i, _)| i)
-            .filter(|_| set.len() >= ways);
-        if let Some(victim_idx) = victim {
-            let v = set.swap_remove(victim_idx);
-            let line_no = v.tag * num_sets + set_idx as u64;
-            evicted = Some(Evicted {
-                addr: Addr(line_no * CACHELINE_BYTES),
-                dirty: v.dirty,
-            });
-        }
-        set.push(Line {
-            tag,
-            dirty,
-            last_use: tick,
-        });
-        evicted
+        // A full set always yields an LRU victim.
+        let victim_idx = victim?;
+        let v = set[victim_idx];
+        set[victim_idx] = fresh;
+        let line_no = v.tag * num_sets + set_idx as u64;
+        Some(Evicted {
+            addr: Addr(line_no * CACHELINE_BYTES),
+            dirty: v.dirty,
+        })
     }
 
     /// Removes `addr` if resident, returning whether it was dirty.
     pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
+        if self.live == 0 {
+            return None;
+        }
         let (set_idx, tag) = self.set_and_tag(addr);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|l| l.tag == tag)?;
-        Some(set.swap_remove(pos).dirty)
+        let l = self
+            .set_slots(set_idx)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)?;
+        let dirty = l.dirty;
+        *l = EMPTY_LINE;
+        self.live -= 1;
+        Some(dirty)
     }
 
     /// Cleans `addr` if resident (write-back without invalidation),
     /// returning whether it was dirty.
     pub fn clean(&mut self, addr: Addr) -> Option<bool> {
+        if self.live == 0 {
+            return None;
+        }
         let (set_idx, tag) = self.set_and_tag(addr);
-        let l = self.sets[set_idx].iter_mut().find(|l| l.tag == tag)?;
+        let l = self
+            .set_slots(set_idx)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)?;
         let was = l.dirty;
         l.dirty = false;
         Some(was)
     }
 
     /// Drains the whole cache, returning the addresses of dirty lines.
+    ///
+    /// Addresses come out in slot order, which is not sorted; callers that
+    /// need a canonical order (power-fail replay) sort them.
     pub fn drain_dirty(&mut self) -> Vec<Addr> {
-        let num_sets = self.sets.len() as u64;
+        let num_sets = self.num_sets as u64;
+        let ways = self.ways;
         let mut dirty = Vec::new();
-        for (set_idx, set) in self.sets.iter_mut().enumerate() {
-            for l in set.drain(..) {
+        if self.live == 0 {
+            return dirty;
+        }
+        for (slot_idx, l) in self.slots.iter_mut().enumerate() {
+            if l.valid {
                 if l.dirty {
-                    let line_no = l.tag * num_sets + set_idx as u64;
+                    let set_idx = (slot_idx / ways) as u64;
+                    let line_no = l.tag * num_sets + set_idx;
                     dirty.push(Addr(line_no * CACHELINE_BYTES));
                 }
+                *l = EMPTY_LINE;
             }
         }
+        self.live = 0;
         dirty
     }
 
@@ -173,12 +242,13 @@ impl Cache {
 
     /// Returns the number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.live
     }
 
-    /// Returns `true` if no lines are resident.
+    /// Returns `true` if no lines are resident. O(1): a counter, not a scan.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.sets.iter().all(Vec::is_empty)
+        self.live == 0
     }
 
     /// Clears hit/miss statistics without disturbing resident lines.
@@ -189,9 +259,10 @@ impl Cache {
 
     /// Clears contents and statistics.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        if self.live > 0 {
+            self.slots.fill(EMPTY_LINE);
         }
+        self.live = 0;
         self.hits = 0;
         self.misses = 0;
         self.tick = 0;
@@ -319,6 +390,45 @@ mod tests {
     }
 
     #[test]
+    fn live_counter_tracks_fills_evictions_and_invalidations() {
+        // Exercise every transition that touches occupancy and check that
+        // the O(1) counter agrees with a slot-by-slot census throughout.
+        let mut c = Cache::new(8 * 64, 2); // 4 sets x 2 ways
+        let census = |c: &Cache| {
+            let mut n = 0;
+            for line in 0..64u64 {
+                if c.peek(Addr(line * 64)) {
+                    n += 1;
+                }
+            }
+            n
+        };
+        assert!(c.is_empty());
+        for i in 0..16u64 {
+            c.fill(Addr(i * 64), i % 3 == 0);
+            assert_eq!(c.len(), census(&c), "after fill {i}");
+        }
+        assert_eq!(c.len(), 8, "evictions keep occupancy at capacity");
+        c.fill(Addr(0), false); // conflict fill: evicts line 8, takes its slot
+        assert_eq!(c.len(), census(&c));
+        c.fill(Addr(0), true); // refill of a resident line: no change
+        assert_eq!(c.len(), census(&c));
+        c.invalidate(Addr(0));
+        for i in 8..16u64 {
+            c.invalidate(Addr(i * 64));
+            assert_eq!(c.len(), census(&c), "after invalidate {i}");
+        }
+        assert!(c.is_empty(), "all residents invalidated");
+        c.fill(Addr(0), true);
+        c.drain_dirty();
+        assert!(c.is_empty());
+        c.fill(Addr(64), true);
+        c.reset();
+        assert!(c.is_empty());
+        assert_eq!(census(&c), 0);
+    }
+
+    #[test]
     fn capacity_behaviour_working_set_sweep() {
         // A working set within capacity hits steadily; beyond capacity with
         // LRU and a sequential scan, it thrashes.
@@ -347,5 +457,22 @@ mod tests {
             "sequential over-capacity scan never hits with LRU"
         );
         assert_eq!(hm.misses, 384);
+    }
+
+    #[test]
+    fn refill_semantics_after_eviction_churn() {
+        // An LRU victim identified by timestamp, not slot position: churn a
+        // set through evictions and check residency plus victim identity.
+        let mut c = Cache::new(2 * 64, 2); // 1 set, 2 ways
+        c.fill(Addr(0), false); // tick 1
+        c.fill(Addr(64), false); // tick 2
+        let ev = c.fill(Addr(128), true).expect("evicts line 0 (LRU)");
+        assert_eq!(ev.addr, Addr(0));
+        c.access(Addr(64), false); // refresh 64 past 128
+        let ev = c.fill(Addr(192), false).expect("now 128 is LRU");
+        assert_eq!(ev.addr, Addr(128));
+        assert!(ev.dirty, "dirtiness rides with the victim");
+        assert!(c.peek(Addr(64)) && c.peek(Addr(192)));
+        assert_eq!(c.len(), 2);
     }
 }

@@ -15,7 +15,7 @@
 
 use simbase::{Addr, Cycles, HitMiss};
 
-use crate::prefetch::{PrefetchConfig, PrefetcherStats, Prefetchers};
+use crate::prefetch::{PrefetchConfig, PrefetcherStats, Prefetchers, SuggestionList};
 use crate::setassoc::Cache;
 
 /// Geometry and latency of the cache hierarchy.
@@ -89,8 +89,9 @@ pub struct AccessResult {
     /// Dirty lines pushed out of the L3 to memory by this access.
     pub writebacks: Vec<Addr>,
     /// Prefetch targets suggested by the core's prefetchers, already
-    /// filtered to lines not resident for this core.
-    pub prefetch: Vec<Addr>,
+    /// filtered to lines not resident for this core. Inline storage: most
+    /// accesses suggest something, and the demand path must not allocate.
+    pub prefetch: SuggestionList,
 }
 
 /// Aggregated counters for one cache level.
@@ -174,6 +175,11 @@ pub struct CacheSystem {
     params: CacheParams,
     /// Prefetched lines installed into L2 via [`CacheSystem::fill_prefetch`].
     prefetch_fills: u64,
+    /// Total lines resident across every core's private L1 and L2.
+    /// Zero means `flush` can skip the per-core scan entirely — the
+    /// common case in streaming-write phases, where nt-stores bypass the
+    /// caches and nothing private is ever filled.
+    private_live: usize,
 }
 
 impl CacheSystem {
@@ -196,6 +202,7 @@ impl CacheSystem {
             l3: Cache::new(params.l3_bytes, params.l3_ways),
             params,
             prefetch_fills: 0,
+            private_live: 0,
         }
     }
 
@@ -243,10 +250,12 @@ impl CacheSystem {
         }
         let l2_miss = matches!(level, HitLevel::L3 | HitLevel::Miss);
         let suggestions = self.cores[core].pf.on_demand_access(addr, l2_miss);
-        let prefetch = suggestions
-            .into_iter()
-            .filter(|&a| self.contains(core, a).is_none())
-            .collect();
+        let mut prefetch = SuggestionList::new();
+        for &a in suggestions.as_slice() {
+            if self.contains(core, a).is_none() {
+                prefetch.push(a);
+            }
+        }
         AccessResult {
             level,
             writebacks,
@@ -255,14 +264,25 @@ impl CacheSystem {
     }
 
     fn promote_to_l1(&mut self, core: usize, addr: Addr, dirty: bool, wb: &mut Vec<Addr>) {
+        // `fill` returning an eviction (or refreshing a resident line)
+        // leaves occupancy unchanged; only a free-slot insert grows it.
+        // The before/after length delta captures exactly that.
+        let before = self.cores[core].l1.len();
         if let Some(ev) = self.cores[core].l1.fill(addr, dirty) {
+            self.private_live += self.cores[core].l1.len() - before;
             self.insert_l2(core, ev.addr, ev.dirty, wb);
+        } else {
+            self.private_live += self.cores[core].l1.len() - before;
         }
     }
 
     fn insert_l2(&mut self, core: usize, addr: Addr, dirty: bool, wb: &mut Vec<Addr>) {
+        let before = self.cores[core].l2.len();
         if let Some(ev) = self.cores[core].l2.fill(addr, dirty) {
+            self.private_live += self.cores[core].l2.len() - before;
             self.insert_l3(ev.addr, ev.dirty, wb);
+        } else {
+            self.private_live += self.cores[core].l2.len() - before;
         }
     }
 
@@ -303,24 +323,49 @@ impl CacheSystem {
     /// Flushes `addr` from every core and the L3.
     ///
     /// Returns `true` if any copy was dirty (a write-back to memory is
-    /// required).
+    /// required). A flush instruction acts on every core's private caches,
+    /// but most of them are empty in single-threaded phases — the O(1)
+    /// emptiness check keeps this hot path from scanning ~2×`num_cores`
+    /// sets per flushed line.
     pub fn flush(&mut self, addr: Addr, mode: FlushMode) -> bool {
         let addr = addr.cacheline();
         let mut dirty = false;
         match mode {
             FlushMode::Invalidate => {
-                for c in &mut self.cores {
-                    dirty |= c.l1.invalidate(addr).unwrap_or(false);
-                    dirty |= c.l2.invalidate(addr).unwrap_or(false);
+                if self.private_live > 0 {
+                    for c in &mut self.cores {
+                        if !c.l1.is_empty() {
+                            if let Some(d) = c.l1.invalidate(addr) {
+                                dirty |= d;
+                                self.private_live -= 1;
+                            }
+                        }
+                        if !c.l2.is_empty() {
+                            if let Some(d) = c.l2.invalidate(addr) {
+                                dirty |= d;
+                                self.private_live -= 1;
+                            }
+                        }
+                    }
                 }
-                dirty |= self.l3.invalidate(addr).unwrap_or(false);
+                if !self.l3.is_empty() {
+                    dirty |= self.l3.invalidate(addr).unwrap_or(false);
+                }
             }
             FlushMode::WriteBackRetain => {
-                for c in &mut self.cores {
-                    dirty |= c.l1.clean(addr).unwrap_or(false);
-                    dirty |= c.l2.clean(addr).unwrap_or(false);
+                if self.private_live > 0 {
+                    for c in &mut self.cores {
+                        if !c.l1.is_empty() {
+                            dirty |= c.l1.clean(addr).unwrap_or(false);
+                        }
+                        if !c.l2.is_empty() {
+                            dirty |= c.l2.clean(addr).unwrap_or(false);
+                        }
+                    }
                 }
-                dirty |= self.l3.clean(addr).unwrap_or(false);
+                if !self.l3.is_empty() {
+                    dirty |= self.l3.clean(addr).unwrap_or(false);
+                }
             }
         }
         dirty
@@ -352,6 +397,7 @@ impl CacheSystem {
         dirty.extend(self.l3.drain_dirty());
         dirty.sort();
         dirty.dedup();
+        self.private_live = 0;
         dirty
     }
 
@@ -505,17 +551,35 @@ mod tests {
     }
 
     #[test]
+    fn flush_finds_lines_after_eviction_churn() {
+        // Stress the private-occupancy accounting: far-past-capacity fills
+        // take the eviction path (occupancy deltas of zero), interleaved
+        // with invalidating flushes. If the live accounting undercounted,
+        // flush would skip the scan and leave the dirty line resident.
+        let mut s = small_system(PrefetchConfig::none());
+        for i in 0..400u64 {
+            s.access(0, Addr(i * 64), i % 7 == 0);
+            if i % 13 == 0 {
+                s.flush(Addr((i / 2) * 64), FlushMode::Invalidate);
+            }
+        }
+        s.access(1, Addr(64 * 1000), true);
+        assert!(s.flush(Addr(64 * 1000), FlushMode::Invalidate));
+        assert_eq!(s.contains(1, Addr(64 * 1000)), None);
+    }
+
+    #[test]
     fn prefetch_suggestions_are_filtered_to_nonresident() {
         let mut s = small_system(PrefetchConfig::dcu_only());
         s.access(0, Addr(0), false);
         let r = s.access(0, Addr(64), false);
-        assert_eq!(r.prefetch, vec![Addr(128)]);
+        assert_eq!(r.prefetch.as_slice(), [Addr(128)]);
         // Fill it; an identical run should not resuggest a resident line.
         let wb = s.fill_prefetch(0, Addr(128));
         assert!(wb.is_empty());
         let r = s.access(0, Addr(128), false);
         assert!(matches!(r.level, HitLevel::L2));
-        assert_eq!(r.prefetch, vec![Addr(192)]);
+        assert_eq!(r.prefetch.as_slice(), [Addr(192)]);
     }
 
     #[test]

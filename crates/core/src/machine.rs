@@ -88,6 +88,9 @@ struct FlushRecord {
 /// Garbage-collection threshold for the transient per-cacheline maps.
 const MAP_GC_THRESHOLD: usize = 1 << 20;
 
+/// Smallest `inflight_fills` length that triggers a prune sweep.
+const INFLIGHT_GC_MIN: usize = 1 << 10;
+
 /// Issue cost of one 512-bit streaming (AVX) load in the paper's
 /// Algorithm 2 copy loop.
 const STREAMING_COPY_LINE_COST: Cycles = 40;
@@ -114,8 +117,26 @@ pub struct Machine {
     /// demand), for prefetch-timing overlap.
     inflight_fills: BTreeMap<u64, Cycles>,
     /// Cacheline -> most recent invalidating flush, for the sfence load
-    /// bypass and persist-wait decisions.
+    /// bypass and persist-wait decisions. Only records with
+    /// `was_flush == true` are stored: an nt-store record is behaviorally
+    /// identical to an absent one (both mean "wait out the full pipeline,
+    /// no load bypass"), so nt-stores *remove* entries instead of
+    /// inserting tombstones — and when `flushes_in_recent` is zero the
+    /// whole map is known empty and the hot paths skip it entirely.
     recent_flush: BTreeMap<u64, FlushRecord>,
+    /// Number of entries in `recent_flush` (all have `was_flush == true`).
+    flushes_in_recent: usize,
+    /// Conservative inclusive bounds on the keys in `recent_flush`:
+    /// widened on insert, left alone on remove, reset on clear. A key
+    /// outside the bounds is provably absent, which lets streaming loads
+    /// (monotonically increasing addresses, flushes always behind the
+    /// read front) skip the map walk entirely.
+    flush_key_bounds: Option<(u64, u64)>,
+    /// Prune `inflight_fills` when it reaches this length. Doubled after
+    /// each sweep (amortized O(1)); only entries already complete for
+    /// *every* thread's clock are dropped, which no lookup can
+    /// distinguish from presence (they all filter on `done > now`).
+    inflight_gc_watermark: usize,
     demand: ByteCounter,
     pm_next: u64,
     dram_next: u64,
@@ -157,6 +178,9 @@ impl Machine {
             next_core: vec![0; 2],
             inflight_fills: BTreeMap::new(),
             recent_flush: BTreeMap::new(),
+            flushes_in_recent: 0,
+            flush_key_bounds: None,
+            inflight_gc_watermark: INFLIGHT_GC_MIN,
             demand: ByteCounter::new(),
             pm_next: PM_BASE,
             dram_next: DRAM_BASE,
@@ -177,6 +201,15 @@ impl Machine {
     /// Detaches and returns the current instruction-stream observer.
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.trace.0.take()
+    }
+
+    /// Whether a trace sink is attached. Every emit call site checks this
+    /// *before* constructing the event, so with no sink the whole hook
+    /// costs one inlined branch — no argument construction, no
+    /// `region_of`/clock reads on the event's behalf.
+    #[inline(always)]
+    fn tracing(&self) -> bool {
+        self.trace.0.is_some()
     }
 
     #[inline]
@@ -383,7 +416,9 @@ impl Machine {
                 MemRegion::Pm => {
                     self.pm.write(now, cl);
                     self.persist_accept(cl);
-                    self.emit(TraceEvent::WriteBack { line: cl, at: now });
+                    if self.tracing() {
+                        self.emit(TraceEvent::WriteBack { line: cl, at: now });
+                    }
                 }
                 MemRegion::Dram => {
                     self.dram.write(now, cl);
@@ -409,16 +444,65 @@ impl Machine {
             self.handle_writebacks(now, &wbs);
             self.inflight_fills.insert(cl.0, completion);
         }
-        if self.inflight_fills.len() >= MAP_GC_THRESHOLD {
-            self.inflight_fills.retain(|_, &mut done| done > now);
+        if self.inflight_fills.len() >= self.inflight_gc_watermark {
+            // Every reader filters on `done > now`, so an entry complete
+            // for the slowest thread's clock is indistinguishable from an
+            // absent one for every thread, forever (clocks only advance).
+            let horizon = self
+                .threads
+                .iter()
+                .map(|t| t.clock.now())
+                .min()
+                .unwrap_or(now);
+            self.inflight_fills.retain(|_, &mut done| done > horizon);
+            self.inflight_gc_watermark = (self.inflight_fills.len() * 2).max(INFLIGHT_GC_MIN);
+            // Same horizon argument holds for the controller's in-flight
+            // write records: every future call passes a thread clock, and
+            // all of those are >= horizon.
+            self.pm.gc_inflight(horizon);
         }
+    }
+
+    /// Offers the PM controller a chance to collect completed in-flight
+    /// write records (see [`imc::PmController::gc_inflight`] for why the
+    /// min-over-clocks horizon is exact). Called from the store-side hot
+    /// paths, which never issue prefetches and would otherwise let the
+    /// map grow for an entire write phase.
+    fn gc_pm_inflight(&mut self) {
+        let Some(horizon) = self.threads.iter().map(|t| t.clock.now()).min() else {
+            return;
+        };
+        self.pm.gc_inflight(horizon);
     }
 
     /// Decides how a PM read is ordered behind an in-flight persist: reads
     /// separated from the flush only by `sfence`s wait for the WPQ drain;
     /// reads ordered by an `mfence` wait out the whole pipeline, as do
     /// reads after non-temporal stores.
+    /// Returns `true` if `recent_flush` could hold `key` — a cheap range
+    /// check against the conservative key bounds, so streaming access
+    /// patterns never walk the map for provably absent keys.
+    #[inline]
+    fn recent_flush_may_contain(&self, key: u64) -> bool {
+        match self.flush_key_bounds {
+            Some((lo, hi)) => (lo..=hi).contains(&key),
+            None => false,
+        }
+    }
+
+    /// Records `key` into the `recent_flush` bounds.
+    #[inline]
+    fn widen_flush_key_bounds(&mut self, key: u64) {
+        self.flush_key_bounds = Some(match self.flush_key_bounds {
+            Some((lo, hi)) => (lo.min(key), hi.max(key)),
+            None => (key, key),
+        });
+    }
+
     fn persist_wait_for(&self, tid: ThreadId, cl: Addr) -> PersistWait {
+        if self.flushes_in_recent == 0 || !self.recent_flush_may_contain(cl.0) {
+            return PersistWait::Full;
+        }
         match self.recent_flush.get(&cl.0) {
             Some(rec) if rec.was_flush && rec.issued > self.threads[tid.0].last_mfence => {
                 PersistWait::Drain
@@ -431,7 +515,10 @@ impl Machine {
     /// `mfence`-ordered behind a very recent invalidating flush can still
     /// be served from the pre-invalidation cached copy.
     fn load_bypasses_flush(&self, tid: ThreadId, cl: Addr, now: Cycles) -> bool {
-        if !self.cfg.sfence_load_bypass {
+        if !self.cfg.sfence_load_bypass
+            || self.flushes_in_recent == 0
+            || !self.recent_flush_may_contain(cl.0)
+        {
             return false;
         }
         match self.recent_flush.get(&cl.0) {
@@ -501,13 +588,15 @@ impl Machine {
     /// Loads `buf.len()` bytes from `addr`.
     pub fn load(&mut self, tid: ThreadId, addr: Addr, buf: &mut [u8]) {
         let len = buf.len() as u64;
-        self.emit(TraceEvent::Load {
-            tid,
-            addr,
-            len,
-            region: self.region_of(addr),
-            at: self.threads[tid.0].clock.now(),
-        });
+        if self.tracing() {
+            self.emit(TraceEvent::Load {
+                tid,
+                addr,
+                len,
+                region: self.region_of(addr),
+                at: self.threads[tid.0].clock.now(),
+            });
+        }
         let mut total = 0;
         for cl in simbase::addr::cachelines_covering(addr, len) {
             total += self.access_line(tid, cl, false);
@@ -534,20 +623,22 @@ impl Machine {
         out_b: &mut [u8],
     ) {
         let start = self.threads[tid.0].clock.now();
-        self.emit(TraceEvent::Load {
-            tid,
-            addr: a,
-            len: out_a.len() as u64,
-            region: self.region_of(a),
-            at: start,
-        });
-        self.emit(TraceEvent::Load {
-            tid,
-            addr: b,
-            len: out_b.len() as u64,
-            region: self.region_of(b),
-            at: start,
-        });
+        if self.tracing() {
+            self.emit(TraceEvent::Load {
+                tid,
+                addr: a,
+                len: out_a.len() as u64,
+                region: self.region_of(a),
+                at: start,
+            });
+            self.emit(TraceEvent::Load {
+                tid,
+                addr: b,
+                len: out_b.len() as u64,
+                region: self.region_of(b),
+                at: start,
+            });
+        }
         let lat_a = {
             let mut total = 0;
             for cl in simbase::addr::cachelines_covering(a, out_a.len() as u64) {
@@ -581,13 +672,15 @@ impl Machine {
     /// (write-allocate: a miss fetches the line first).
     pub fn store(&mut self, tid: ThreadId, addr: Addr, data: &[u8]) {
         let len = data.len() as u64;
-        self.emit(TraceEvent::Store {
-            tid,
-            addr,
-            len,
-            region: self.region_of(addr),
-            at: self.threads[tid.0].clock.now(),
-        });
+        if self.tracing() {
+            self.emit(TraceEvent::Store {
+                tid,
+                addr,
+                len,
+                region: self.region_of(addr),
+                at: self.threads[tid.0].clock.now(),
+            });
+        }
         let mut total = 0;
         for cl in simbase::addr::cachelines_covering(addr, len) {
             total += self.access_line(tid, cl, true);
@@ -624,13 +717,15 @@ impl Machine {
             // Resident: a plain cached store (which emits its own event).
             return self.store(tid, addr, data);
         } else {
-            self.emit(TraceEvent::Store {
-                tid,
-                addr,
-                len: 64,
-                region: self.region_of(addr),
-                at: now,
-            });
+            if self.tracing() {
+                self.emit(TraceEvent::Store {
+                    tid,
+                    addr,
+                    len: 64,
+                    region: self.region_of(addr),
+                    at: now,
+                });
+            }
             let wbs = self.caches[socket].install(core, addr, true);
             self.handle_writebacks(now, &wbs);
             self.cfg.cache.l1_latency + self.ht_extra(socket, core)
@@ -648,58 +743,248 @@ impl Machine {
     /// for WPQ acceptance; a following fence does.
     pub fn nt_store(&mut self, tid: ThreadId, addr: Addr, data: &[u8]) {
         let len = data.len() as u64;
-        self.emit(TraceEvent::NtStore {
-            tid,
-            addr,
-            len,
-            region: self.region_of(addr),
-            at: self.threads[tid.0].clock.now(),
-        });
-        let (socket, core) = {
+        if self.tracing() {
+            self.emit(TraceEvent::NtStore {
+                tid,
+                addr,
+                len,
+                region: self.region_of(addr),
+                at: self.threads[tid.0].clock.now(),
+            });
+        }
+        let (socket, core, start) = {
             let t = &self.threads[tid.0];
-            (t.socket, t.core)
+            (t.socket, t.core, t.clock.now())
         };
+        // Per-line costs that cannot change mid-operation, hoisted out of
+        // the line loop.
+        let per_line = self.cfg.ntstore_issue + self.ht_extra(socket, core);
+        let remote_extra = self.remote_write_extra(socket);
         let mut total = 0;
         let mut max_accept = 0;
         for cl in simbase::addr::cachelines_covering(addr, len) {
-            let now = self.threads[tid.0].clock.now() + total;
+            let now = start + total;
             // Coherence: drop any cached copy (its data is merged through
             // the overlay).
             self.caches[socket].flush(cl, FlushMode::Invalidate);
             match self.region_of(cl) {
                 MemRegion::Pm => {
                     let ticket = self.pm.write(now, cl);
-                    let accept = ticket.accept + self.remote_write_extra(socket);
-                    max_accept = max_accept.max(accept);
-                    self.recent_flush.insert(
-                        cl.0,
-                        FlushRecord {
-                            issued: now,
-                            was_flush: false,
-                        },
-                    );
+                    max_accept = max_accept.max(ticket.accept + remote_extra);
+                    // An nt-store supersedes any earlier flush record for
+                    // the line (no load bypass, full persist wait — the
+                    // same as having no record at all).
+                    if self.flushes_in_recent > 0 && self.recent_flush.remove(&cl.0).is_some() {
+                        self.flushes_in_recent -= 1;
+                    }
                 }
                 MemRegion::Dram => {
                     let (accept, _) = self.dram.write(now, cl);
-                    max_accept = max_accept.max(accept + self.remote_write_extra(socket));
+                    max_accept = max_accept.max(accept + remote_extra);
                 }
             }
-            total += self.cfg.ntstore_issue + self.ht_extra(socket, core);
+            total += per_line;
         }
-        self.threads[tid.0].clock.advance(total);
         let t = &mut self.threads[tid.0];
+        t.clock.advance(total);
         t.outstanding_accept = t.outstanding_accept.max(max_accept);
         self.demand.add_write(len);
         match self.region_of(addr) {
             MemRegion::Pm => {
-                self.overlay_write(addr, data);
-                for cl in simbase::addr::cachelines_covering(addr, len) {
-                    self.persist_accept(cl);
+                if addr.is_cacheline_aligned()
+                    && len.is_multiple_of(CACHELINE_BYTES)
+                    && self.faults.wpq_drop_every_nth.is_none()
+                {
+                    // Full-line persist fast path: the accepted data goes
+                    // straight into the persistent image, skipping the
+                    // overlay round-trip (entry init would read back the
+                    // very bytes the store overwrites).
+                    for (i, cl) in simbase::addr::cachelines_covering(addr, len).enumerate() {
+                        self.fault_stats.wpq_accepts += 1;
+                        self.overlay.remove(&cl.0);
+                        self.persistent
+                            .write(cl, &data[i * CACHELINE_BYTES as usize..][..64]);
+                    }
+                } else {
+                    self.overlay_write(addr, data);
+                    for cl in simbase::addr::cachelines_covering(addr, len) {
+                        self.persist_accept(cl);
+                    }
                 }
             }
             MemRegion::Dram => self.dram_image.write(addr, data),
         }
+    }
+
+    /// Batched non-temporal stores: writes the 64-byte pattern `line` to
+    /// `count` consecutive cachelines starting at `addr`.
+    ///
+    /// Exactly equivalent — in timing, trace events, and functional state —
+    /// to `count` single-cacheline [`Machine::nt_store`] calls, but one
+    /// dispatch covers the whole run: per-line constants (issue cost,
+    /// hyperthread and NUMA penalties, socket lookup) are hoisted out of
+    /// the loop and the clock/fence bookkeeping is settled once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not cacheline-aligned.
+    pub fn nt_store_run(&mut self, tid: ThreadId, addr: Addr, line: &[u8; 64], count: u64) {
+        assert!(
+            addr.is_cacheline_aligned(),
+            "nt-store run must start aligned"
+        );
+        let (socket, core, start) = {
+            let t = &self.threads[tid.0];
+            (t.socket, t.core, t.clock.now())
+        };
+        let per_line = self.cfg.ntstore_issue + self.ht_extra(socket, core);
+        let remote_extra = self.remote_write_extra(socket);
+        let tracing = self.tracing();
+        let fast_persist = self.faults.wpq_drop_every_nth.is_none();
+        let mut total = 0;
+        let mut max_accept = 0;
+        for i in 0..count {
+            let cl = addr.add_cachelines(i);
+            let now = start + total;
+            if tracing {
+                self.emit(TraceEvent::NtStore {
+                    tid,
+                    addr: cl,
+                    len: CACHELINE_BYTES,
+                    region: self.region_of(cl),
+                    at: now,
+                });
+            }
+            self.caches[socket].flush(cl, FlushMode::Invalidate);
+            match self.region_of(cl) {
+                MemRegion::Pm => {
+                    let ticket = self.pm.write(now, cl);
+                    max_accept = max_accept.max(ticket.accept + remote_extra);
+                    if self.flushes_in_recent > 0 && self.recent_flush.remove(&cl.0).is_some() {
+                        self.flushes_in_recent -= 1;
+                    }
+                    if fast_persist {
+                        self.fault_stats.wpq_accepts += 1;
+                        self.overlay.remove(&cl.0);
+                        self.persistent.write(cl, line);
+                    } else {
+                        self.overlay_write(cl, line);
+                        self.persist_accept(cl);
+                    }
+                }
+                MemRegion::Dram => {
+                    let (accept, _) = self.dram.write(now, cl);
+                    max_accept = max_accept.max(accept + remote_extra);
+                    self.dram_image.write(cl, line);
+                }
+            }
+            total += per_line;
+        }
+        let t = &mut self.threads[tid.0];
+        t.clock.advance(total);
+        t.outstanding_accept = t.outstanding_accept.max(max_accept);
+        self.demand.add_write(CACHELINE_BYTES * count);
+        self.gc_pm_inflight();
+    }
+
+    /// Batched touch loads: performs a `u64` demand load at the base of
+    /// each of `count` consecutive cachelines, discarding the data.
+    ///
+    /// Timing, trace events, and counters are exactly those of `count`
+    /// [`Machine::load_u64`] calls; only the functional read-back (which
+    /// has no timing or trace effect) is skipped, since the caller has
+    /// declared the values dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not cacheline-aligned.
+    pub fn load_u64_run(&mut self, tid: ThreadId, addr: Addr, count: u64) {
+        assert!(addr.is_cacheline_aligned(), "load run must start aligned");
+        let tracing = self.tracing();
+        for i in 0..count {
+            let cl = addr.add_cachelines(i);
+            if tracing {
+                self.emit(TraceEvent::Load {
+                    tid,
+                    addr: cl,
+                    len: 8,
+                    region: self.region_of(cl),
+                    at: self.threads[tid.0].clock.now(),
+                });
+            }
+            let latency = self.access_line(tid, cl, false);
+            self.threads[tid.0].clock.advance(latency);
+        }
+        self.demand.add_read(8 * count);
+    }
+
+    /// Batched `clflushopt` over `count` consecutive cachelines.
+    ///
+    /// Equivalent to `count` [`Machine::clflushopt`] calls, with the
+    /// per-line constants hoisted; the transient-map garbage-collection
+    /// check runs once per run instead of once per line (observable only
+    /// past the GC threshold, where the collection point shifts to the
+    /// end of the run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not cacheline-aligned.
+    pub fn clflushopt_run(&mut self, tid: ThreadId, addr: Addr, count: u64) {
+        assert!(addr.is_cacheline_aligned(), "flush run must start aligned");
+        let (socket, core) = {
+            let t = &self.threads[tid.0];
+            (t.socket, t.core)
+        };
+        let issue = self.cfg.flush_issue + self.ht_extra(socket, core);
+        let remote_extra = self.remote_write_extra(socket);
+        let tracing = self.tracing();
+        for i in 0..count {
+            let cl = addr.add_cachelines(i);
+            let now = self.threads[tid.0].clock.now();
+            let dirty = self.caches[socket].flush(cl, FlushMode::Invalidate);
+            if tracing {
+                self.emit(TraceEvent::Flush {
+                    tid,
+                    line: cl,
+                    kind: FlushKind::Clflushopt,
+                    region: self.region_of(cl),
+                    dirty,
+                    at: now,
+                });
+            }
+            let mut accept = None;
+            if dirty {
+                match self.region_of(cl) {
+                    MemRegion::Pm => {
+                        let ticket = self.pm.write(now, cl);
+                        accept = Some(ticket.accept + remote_extra);
+                        self.persist_accept(cl);
+                    }
+                    MemRegion::Dram => {
+                        let (a, _) = self.dram.write(now, cl);
+                        accept = Some(a + remote_extra);
+                    }
+                }
+                let prev = self.recent_flush.insert(
+                    cl.0,
+                    FlushRecord {
+                        issued: now,
+                        was_flush: true,
+                    },
+                );
+                if prev.is_none() {
+                    self.flushes_in_recent += 1;
+                }
+                self.widen_flush_key_bounds(cl.0);
+            }
+            let t = &mut self.threads[tid.0];
+            t.clock.advance(issue);
+            if let Some(a) = accept {
+                t.outstanding_accept = t.outstanding_accept.max(a);
+            }
+        }
         self.gc_recent_flush();
+        self.gc_pm_inflight();
     }
 
     /// `clwb`: writes back the cacheline containing `addr` if dirty. On G1
@@ -731,14 +1016,16 @@ impl Machine {
             (t.socket, t.core, t.clock.now())
         };
         let dirty = self.caches[socket].flush(cl, mode);
-        self.emit(TraceEvent::Flush {
-            tid,
-            line: cl,
-            kind,
-            region: self.region_of(cl),
-            dirty,
-            at: now,
-        });
+        if self.tracing() {
+            self.emit(TraceEvent::Flush {
+                tid,
+                line: cl,
+                kind,
+                region: self.region_of(cl),
+                dirty,
+                at: now,
+            });
+        }
         let mut accept = None;
         if dirty {
             match self.region_of(cl) {
@@ -753,13 +1040,17 @@ impl Machine {
                 }
             }
             if mode == FlushMode::Invalidate {
-                self.recent_flush.insert(
+                let prev = self.recent_flush.insert(
                     cl.0,
                     FlushRecord {
                         issued: now,
                         was_flush: true,
                     },
                 );
+                if prev.is_none() {
+                    self.flushes_in_recent += 1;
+                }
+                self.widen_flush_key_bounds(cl.0);
             }
         }
         let issue = self.cfg.flush_issue + self.ht_extra(socket, core);
@@ -774,6 +1065,8 @@ impl Machine {
     fn gc_recent_flush(&mut self) {
         if self.recent_flush.len() >= MAP_GC_THRESHOLD {
             self.recent_flush.clear();
+            self.flushes_in_recent = 0;
+            self.flush_key_bounds = None;
         }
     }
 
@@ -791,11 +1084,13 @@ impl Machine {
     }
 
     fn fence(&mut self, tid: ThreadId, kind: FenceKind) {
-        self.emit(TraceEvent::Fence {
-            tid,
-            kind,
-            at: self.threads[tid.0].clock.now(),
-        });
+        if self.tracing() {
+            self.emit(TraceEvent::Fence {
+                tid,
+                kind,
+                at: self.threads[tid.0].clock.now(),
+            });
+        }
         let fence_cost = self.cfg.fence_cost;
         let t = &mut self.threads[tid.0];
         t.clock.advance_to(t.outstanding_accept);
@@ -817,13 +1112,15 @@ impl Machine {
     pub fn copy_xpline_streaming(&mut self, tid: ThreadId, src: Addr, dst: Addr) {
         assert!(src.is_xpline_aligned(), "source must be XPLine-aligned");
         assert!(dst.is_cacheline_aligned(), "destination must be aligned");
-        self.emit(TraceEvent::Load {
-            tid,
-            addr: src,
-            len: XPLINE_BYTES,
-            region: self.region_of(src),
-            at: self.threads[tid.0].clock.now(),
-        });
+        if self.tracing() {
+            self.emit(TraceEvent::Load {
+                tid,
+                addr: src,
+                len: XPLINE_BYTES,
+                region: self.region_of(src),
+                at: self.threads[tid.0].clock.now(),
+            });
+        }
         let socket = self.threads[tid.0].socket;
         let mut total = 0;
         for i in 0..4u64 {
@@ -981,7 +1278,10 @@ impl Machine {
         self.pm.power_fail_flush(now);
         self.dram.reset_all();
         self.inflight_fills.clear();
+        self.inflight_gc_watermark = INFLIGHT_GC_MIN;
         self.recent_flush.clear();
+        self.flushes_in_recent = 0;
+        self.flush_key_bounds = None;
         for t in &mut self.threads {
             t.outstanding_accept = 0;
         }
@@ -1004,7 +1304,10 @@ impl Machine {
         self.pm.reset_all();
         self.dram.reset_all();
         self.inflight_fills.clear();
+        self.inflight_gc_watermark = INFLIGHT_GC_MIN;
         self.recent_flush.clear();
+        self.flushes_in_recent = 0;
+        self.flush_key_bounds = None;
         self.demand.reset();
         self.metrics_baseline = MachineMetrics::default();
         for t in &mut self.threads {
@@ -1754,5 +2057,82 @@ mod tests {
         let d = m.metrics().telemetry.delta(&before);
         assert_eq!(d.imc.read, 0, "full-line store skips the fetch");
         assert_eq!(m.peek_u64(b) & 0xFF, 9);
+    }
+
+    #[test]
+    fn batched_runs_match_unbatched_sequences() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Collect(Rc<RefCell<Vec<TraceEvent>>>);
+        impl TraceSink for Collect {
+            fn on_event(&mut self, ev: &TraceEvent) {
+                self.0.borrow_mut().push(*ev);
+            }
+        }
+
+        let run = |batched: bool| {
+            let mut m = g1();
+            let events = Rc::new(RefCell::new(Vec::new()));
+            m.set_trace_sink(Box::new(Collect(Rc::clone(&events))));
+            let t = m.spawn(0);
+            let base = m.alloc_pm(64 * 64, 256);
+            let data = [0xA5u8; 64];
+            if batched {
+                m.nt_store_run(t, base, &data, 16);
+                m.sfence(t);
+                m.load_u64_run(t, base, 16);
+                m.clflushopt_run(t, base, 16);
+                m.sfence(t);
+            } else {
+                for i in 0..16u64 {
+                    m.nt_store(t, base.add_cachelines(i), &data);
+                }
+                m.sfence(t);
+                for i in 0..16u64 {
+                    m.load_u64(t, base.add_cachelines(i));
+                }
+                for i in 0..16u64 {
+                    m.clflushopt(t, base.add_cachelines(i));
+                }
+                m.sfence(t);
+            }
+            let mut bytes = vec![0u8; 64 * 16];
+            m.peek(base, &mut bytes);
+            let wpq = m.fault_stats().wpq_accepts;
+            let demand = m.metrics().telemetry.demand;
+            let evs = events.borrow().clone();
+            (m.now(t), evs, bytes, wpq, demand)
+        };
+        let (t_seq, ev_seq, bytes_seq, wpq_seq, demand_seq) = run(false);
+        let (t_run, ev_run, bytes_run, wpq_run, demand_run) = run(true);
+        assert_eq!(t_run, t_seq, "batched timing matches unbatched");
+        assert_eq!(ev_run, ev_seq, "batched trace events match unbatched");
+        assert_eq!(bytes_run, bytes_seq, "functional state matches");
+        assert_eq!(wpq_run, wpq_seq, "WPQ accepts match");
+        assert_eq!(demand_run, demand_seq, "demand byte taps match");
+    }
+
+    #[test]
+    fn nt_store_run_respects_armed_wpq_drop() {
+        // The full-line persist fast path must stand down when a WPQ-drop
+        // fault is armed: the dropped acceptance leaves the line in the
+        // crash-uncertain overlay, exactly like the unbatched path.
+        use crate::fault::FaultHooks;
+        let mut m = g1();
+        let t = m.spawn(0);
+        m.arm_faults(FaultHooks {
+            wpq_drop_every_nth: Some(2),
+            ..FaultHooks::none()
+        });
+        let a = m.alloc_pm(128, 64);
+        let line = [7u8; 64];
+        m.nt_store_run(t, a, &line, 2);
+        m.sfence(t);
+        assert_eq!(m.fault_stats().wpq_dropped, vec![a.0 + 64]);
+        assert_eq!(m.peek_u64(Addr(a.0 + 64)), 0x0707_0707_0707_0707);
+        m.power_fail(CrashPolicy::LoseUnflushed);
+        assert_eq!(m.peek_u64(a), 0x0707_0707_0707_0707, "accepted line");
+        assert_eq!(m.peek_u64(Addr(a.0 + 64)), 0, "dropped acceptance lost");
     }
 }

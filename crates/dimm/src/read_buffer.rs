@@ -43,6 +43,10 @@ impl ReadEntry {
 }
 
 /// FIFO, CPU-exclusive read buffer.
+///
+/// Entries are small `Copy` records living in one preallocated ring
+/// (`VecDeque::with_capacity(capacity)`), so steady-state operation never
+/// allocates.
 #[derive(Debug, Clone)]
 pub struct ReadBuffer {
     /// Entries in insertion order; front is the FIFO victim.
@@ -50,6 +54,13 @@ pub struct ReadBuffer {
     capacity: usize,
     hits: u64,
     misses: u64,
+    /// Index of the most recently filled/matched entry. Pure search-order
+    /// hint: XPLine addresses are unique among entries, so checking the
+    /// hinted slot first returns the same entry the linear scan would —
+    /// it makes consecutive cacheline reads of one XPLine O(1). A hint
+    /// left stale by `remove`/`pop_front` simply mismatches and falls
+    /// back to the scan.
+    hint: usize,
 }
 
 /// Result of a read-buffer lookup.
@@ -74,14 +85,29 @@ impl ReadBuffer {
             capacity: capacity_lines,
             hits: 0,
             misses: 0,
+            hint: 0,
         }
+    }
+
+    /// Finds the entry for `xpline`, consulting the hint slot first.
+    #[inline]
+    fn find(&mut self, xpline: Addr) -> Option<usize> {
+        if let Some(e) = self.entries.get(self.hint) {
+            if e.xpline == xpline {
+                return Some(self.hint);
+            }
+        }
+        let pos = self.entries.iter().position(|e| e.xpline == xpline)?;
+        self.hint = pos;
+        Some(pos)
     }
 
     /// Looks up (and, on a hit, consumes) the cacheline at `addr`.
     pub fn lookup_consume(&mut self, addr: Addr) -> RbLookup {
         let xpline = addr.xpline();
         let bit = 1u8 << addr.cacheline_in_xpline();
-        if let Some(e) = self.entries.iter_mut().find(|e| e.xpline == xpline) {
+        if let Some(pos) = self.find(xpline) {
+            let e = &mut self.entries[pos];
             if e.valid & bit != 0 {
                 e.valid &= !bit;
                 self.hits += 1;
@@ -110,6 +136,7 @@ impl ReadBuffer {
         let mut e = ReadEntry::fresh(xpline);
         e.valid &= !(1u8 << addr.cacheline_in_xpline());
         self.entries.push_back(e);
+        self.hint = self.entries.len() - 1;
         evicted
     }
 

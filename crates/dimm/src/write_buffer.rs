@@ -66,6 +66,10 @@ pub struct WriteOutcome {
 }
 
 /// Random-eviction write-combining buffer.
+///
+/// Entries are small `Copy` records living in one preallocated slab
+/// (`Vec::with_capacity(capacity)`); slots are recycled in place via
+/// `swap_remove`, so steady-state operation never allocates.
 #[derive(Debug, Clone)]
 pub struct WriteBuffer {
     entries: Vec<WriteEntry>,
@@ -74,6 +78,20 @@ pub struct WriteBuffer {
     seed: u64,
     hits: u64,
     misses: u64,
+    /// Index of the most recently matched entry. Pure search-order hint:
+    /// XPLine addresses are unique among entries, so checking the hinted
+    /// slot first returns the same entry the linear scan would — it just
+    /// makes the common streaming pattern (several consecutive cacheline
+    /// writes into one XPLine) O(1) instead of a scan.
+    hint: usize,
+    /// Number of fully written entries (periodic-sweep candidates).
+    full_candidates: usize,
+    /// Conservative lower bound on `last_write` over the fully written
+    /// entries (`Cycles::MAX` when there are none). Only lowered outside
+    /// the sweep, so `full_since > threshold` proves no entry is old
+    /// enough to flush and the per-operation sweep can skip its scan; the
+    /// sweep itself recomputes the exact value from the survivors.
+    full_since: Cycles,
 }
 
 impl WriteBuffer {
@@ -91,7 +109,39 @@ impl WriteBuffer {
             seed,
             hits: 0,
             misses: 0,
+            hint: 0,
+            full_candidates: 0,
+            full_since: Cycles::MAX,
         }
+    }
+
+    /// Records that `written` just reached the full mask at time `now`.
+    #[inline]
+    fn note_became_full(&mut self, now: Cycles) {
+        self.full_candidates += 1;
+        self.full_since = self.full_since.min(now);
+    }
+
+    /// Records the removal of `entry` from the buffer (the conservative
+    /// `full_since` bound is left alone; it only causes a wasted scan).
+    #[inline]
+    fn note_removed(&mut self, entry: &WriteEntry) {
+        if entry.fully_written() {
+            self.full_candidates -= 1;
+        }
+    }
+
+    /// Finds the entry for `xpline`, consulting the hint slot first.
+    #[inline]
+    fn find(&mut self, xpline: Addr) -> Option<usize> {
+        if let Some(e) = self.entries.get(self.hint) {
+            if e.xpline == xpline {
+                return Some(self.hint);
+            }
+        }
+        let pos = self.entries.iter().position(|e| e.xpline == xpline)?;
+        self.hint = pos;
+        Some(pos)
     }
 
     /// Records a 64 B write to `addr` at time `now`.
@@ -101,9 +151,14 @@ impl WriteBuffer {
     pub fn write(&mut self, now: Cycles, addr: Addr) -> WriteOutcome {
         let xpline = addr.xpline();
         let bit = 1u8 << addr.cacheline_in_xpline();
-        if let Some(e) = self.entries.iter_mut().find(|e| e.xpline == xpline) {
+        if let Some(pos) = self.find(xpline) {
+            let e = &mut self.entries[pos];
+            let was_full = e.fully_written();
             e.written |= bit;
             e.last_write = now;
+            if !was_full && e.fully_written() {
+                self.note_became_full(now);
+            }
             self.hits += 1;
             return WriteOutcome {
                 hit: true,
@@ -114,6 +169,7 @@ impl WriteBuffer {
         let evicted = if self.entries.len() >= self.capacity {
             let victim = self.rng.gen_range(self.entries.len() as u64) as usize;
             let e = self.entries.swap_remove(victim);
+            self.note_removed(&e);
             let kind = if e.write_only_evict() {
                 EvictKind::WriteOnly
             } else {
@@ -129,6 +185,10 @@ impl WriteBuffer {
             backed: false,
             last_write: now,
         });
+        if bit == FULL_MASK {
+            self.note_became_full(now);
+        }
+        self.hint = self.entries.len() - 1;
         WriteOutcome {
             hit: false,
             evicted,
@@ -143,10 +203,15 @@ impl WriteBuffer {
     pub fn install_backed(&mut self, now: Cycles, addr: Addr) -> Option<(Addr, EvictKind)> {
         let xpline = addr.xpline();
         let bit = 1u8 << addr.cacheline_in_xpline();
-        if let Some(e) = self.entries.iter_mut().find(|e| e.xpline == xpline) {
+        if let Some(pos) = self.find(xpline) {
+            let e = &mut self.entries[pos];
+            let was_full = e.fully_written();
             e.written |= bit;
             e.backed = true;
             e.last_write = now;
+            if !was_full && e.fully_written() {
+                self.note_became_full(now);
+            }
             self.hits += 1;
             return None;
         }
@@ -154,6 +219,7 @@ impl WriteBuffer {
         let evicted = if self.entries.len() >= self.capacity {
             let victim = self.rng.gen_range(self.entries.len() as u64) as usize;
             let e = self.entries.swap_remove(victim);
+            self.note_removed(&e);
             let kind = if e.write_only_evict() {
                 EvictKind::WriteOnly
             } else {
@@ -169,6 +235,10 @@ impl WriteBuffer {
             backed: true,
             last_write: now,
         });
+        if bit == FULL_MASK {
+            self.note_became_full(now);
+        }
+        self.hint = self.entries.len() - 1;
         evicted
     }
 
@@ -178,8 +248,9 @@ impl WriteBuffer {
         let xpline = addr.xpline();
         let bit = 1u8 << addr.cacheline_in_xpline();
         self.entries
-            .iter()
-            .find(|e| e.xpline == xpline)
+            .get(self.hint)
+            .filter(|e| e.xpline == xpline)
+            .or_else(|| self.entries.iter().find(|e| e.xpline == xpline))
             .is_some_and(|e| e.backed || e.written & bit != 0)
     }
 
@@ -192,6 +263,8 @@ impl WriteBuffer {
     /// Removes and returns every entry with its eviction kind (power-fail
     /// ADR flush).
     pub fn drain_all(&mut self) -> Vec<(Addr, EvictKind)> {
+        self.full_candidates = 0;
+        self.full_since = Cycles::MAX;
         self.entries
             .drain(..)
             .map(|e| {
@@ -208,6 +281,11 @@ impl WriteBuffer {
     /// Removes and returns fully written entries older than `threshold`
     /// (the G1 periodic write-back sweep).
     pub fn sweep_full_lines(&mut self, threshold: Cycles) -> Vec<Addr> {
+        // This runs on every DIMM operation; the tracker proves the
+        // common case (nothing old enough to flush) without a scan.
+        if self.full_candidates == 0 || self.full_since > threshold {
+            return Vec::new();
+        }
         let mut flushed = Vec::new();
         self.entries.retain(|e| {
             if e.fully_written() && e.last_write <= threshold {
@@ -217,6 +295,14 @@ impl WriteBuffer {
                 true
             }
         });
+        self.full_candidates = 0;
+        self.full_since = Cycles::MAX;
+        for e in &self.entries {
+            if e.fully_written() {
+                self.full_candidates += 1;
+                self.full_since = self.full_since.min(e.last_write);
+            }
+        }
         flushed
     }
 
@@ -263,6 +349,8 @@ impl WriteBuffer {
     pub fn reset(&mut self) {
         self.entries.clear();
         self.rng = SplitMix64::new(self.seed);
+        self.full_candidates = 0;
+        self.full_since = Cycles::MAX;
         self.reset_stats();
     }
 

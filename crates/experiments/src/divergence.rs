@@ -31,7 +31,7 @@ use simlint::witness::{
 };
 
 use crate::common::MetricsSpec;
-use crate::{e0_bandwidth, e12_cluster, e13_rebalance, e3_write_amp};
+use crate::{e0_bandwidth, e12_cluster, e13_rebalance, e14_simspeed, e3_write_amp};
 
 /// The tap an experiment threads through its measurement loops: a shared
 /// op-stream hasher handed to every machine as its TraceSink, plus a
@@ -106,6 +106,7 @@ enum Experiment {
     E3,
     E12,
     E13,
+    E14,
 }
 
 impl Experiment {
@@ -115,6 +116,7 @@ impl Experiment {
             Experiment::E3 => "e3",
             Experiment::E12 => "e12",
             Experiment::E13 => "e13",
+            Experiment::E14 => "e14",
         }
     }
 
@@ -124,6 +126,7 @@ impl Experiment {
             "e3" => Some(Experiment::E3),
             "e12" => Some(Experiment::E12),
             "e13" => Some(Experiment::E13),
+            "e14" => Some(Experiment::E14),
             _ => None,
         }
     }
@@ -221,6 +224,26 @@ fn run_child(opts: &ChildOpts) -> ChildReport {
                 Err(e) => (None, format!("e13 error: {e}\n")),
             }
         }
+        Experiment::E14 => {
+            // The speed suite doubles as a batching witness: the tap
+            // replaces each scenario's own observer, so the hashed op
+            // stream covers all three hot paths (including the batched
+            // ones) under every attachment variant.
+            let params = if opts.smoke {
+                e14_simspeed::E14Params::smoke(opts.seed)
+            } else {
+                e14_simspeed::E14Params {
+                    seed: opts.seed,
+                    ..Default::default()
+                }
+            };
+            let out = e14_simspeed::run_traced(&params, Some(&tap));
+            let mut text = e14_simspeed::bench_json(&out);
+            text.push_str(&out.result.to_table());
+            text.push('\n');
+            text.push_str(&out.result.to_csv());
+            (out.result.metrics_jsonl.clone(), text)
+        }
     };
     tap.report(metrics.as_deref(), &text)
 }
@@ -271,7 +294,7 @@ pub fn child_main(args: &[String]) -> i32 {
         }
     }
     if !exp_set {
-        return child_usage("which experiment? (e0|e3|e12|e13)");
+        return child_usage("which experiment? (e0|e3|e12|e13|e14)");
     }
     print!("{}", run_child(&opts).to_wire());
     0
@@ -402,8 +425,8 @@ fn witness_one(opts: &ParentOpts, exp: Experiment) -> Result<(String, bool), Str
     }
 }
 
-/// Entry point for `repro divergence [e0|e3|e12|all] [--seed N] [--smoke]
-/// [--perturb K] [--out DIR]`.
+/// Entry point for `repro divergence [e0|e3|e12|e13|e14|all] [--seed N]
+/// [--smoke] [--perturb K] [--out DIR]`.
 ///
 /// Exit codes mirror the witness's claim: 0 when every selected
 /// experiment's two fresh-process runs are hash-identical (or, under
@@ -440,6 +463,7 @@ pub fn parent_main(args: &[String]) -> i32 {
                     Experiment::E3,
                     Experiment::E12,
                     Experiment::E13,
+                    Experiment::E14,
                 ]
             }
             other => match Experiment::parse(other) {
@@ -454,6 +478,7 @@ pub fn parent_main(args: &[String]) -> i32 {
             Experiment::E3,
             Experiment::E12,
             Experiment::E13,
+            Experiment::E14,
         ];
     }
 
@@ -510,7 +535,7 @@ pub fn parent_main(args: &[String]) -> i32 {
 fn parent_usage(msg: &str) -> i32 {
     eprintln!("divergence: {msg}");
     eprintln!(
-        "usage: repro divergence [e0|e3|e12|e13|all] [--seed N] [--smoke] [--perturb K] [--out DIR]"
+        "usage: repro divergence [e0|e3|e12|e13|e14|all] [--seed N] [--smoke] [--perturb K] [--out DIR]"
     );
     2
 }

@@ -87,19 +87,15 @@ fn measure(params: &E0Params, threads: usize, write: bool, tap: Option<&WitnessT
         for w in 0..threads {
             let block = regions[w].add_xplines(b);
             if write {
-                for cl in 0..4u64 {
-                    m.nt_store(tids[w], block.add_cachelines(cl), &data);
-                }
+                // Batched: one dispatch per XPLine, byte-identical in
+                // timing and trace to four single-line nt-stores.
+                m.nt_store_run(tids[w], block, &data, 4);
                 if b % 16 == 0 {
                     m.sfence(tids[w]);
                 }
             } else {
-                for cl in 0..4u64 {
-                    m.load_u64(tids[w], block.add_cachelines(cl));
-                }
-                for cl in 0..4u64 {
-                    m.clflushopt(tids[w], block.add_cachelines(cl));
-                }
+                m.load_u64_run(tids[w], block, 4);
+                m.clflushopt_run(tids[w], block, 4);
             }
         }
     }

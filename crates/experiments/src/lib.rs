@@ -24,6 +24,7 @@
 //! | [`e11_faultsim`] | extension: fault injection + crash-state exploration | — |
 //! | [`e12_cluster`] | extension: fault-tolerant sharded cluster under load | — |
 //! | [`e13_rebalance`] | extension: crash-safe keyspace migration + anti-entropy | — |
+//! | [`e14_simspeed`] | extension: simulator speed benchmark + CI gate | — |
 
 #![forbid(unsafe_code)]
 
@@ -34,6 +35,7 @@ pub mod e10_pmcheck;
 pub mod e11_faultsim;
 pub mod e12_cluster;
 pub mod e13_rebalance;
+pub mod e14_simspeed;
 pub mod e1_read_buffer;
 pub mod e2_prefetch;
 pub mod e3_write_amp;

@@ -15,8 +15,11 @@ pub enum JobError {
     Timeout {
         /// How long the attempt had been running when it was killed.
         elapsed: Duration,
-        /// The deadline it exceeded.
-        deadline: Duration,
+        /// The wall-clock deadline it exceeded, when one was configured.
+        /// `None` means the attempt was killed by the simulated-cycle
+        /// watchdog (or a cancel), with no wall-clock bound set — there
+        /// is no wall deadline to report in that case.
+        deadline: Option<Duration>,
     },
     /// The job ran but its cross-validation (pmcheck, faultsim) found a
     /// mismatch between checker verdicts and ground truth.
@@ -46,11 +49,18 @@ impl JobError {
             | JobError::Validation(m)
             | JobError::Io(m)
             | JobError::Failed(m) => m.clone(),
-            JobError::Timeout { elapsed, deadline } => format!(
+            JobError::Timeout {
+                elapsed,
+                deadline: Some(deadline),
+            } => format!(
                 "exceeded {:.1}s deadline after {:.1}s",
                 deadline.as_secs_f64(),
                 elapsed.as_secs_f64()
             ),
+            JobError::Timeout {
+                elapsed,
+                deadline: None,
+            } => format!("timed out after {:.1}s", elapsed.as_secs_f64()),
         }
     }
 
@@ -62,7 +72,7 @@ impl JobError {
             "panic" => JobError::Panic(detail.to_string()),
             "timeout" => JobError::Timeout {
                 elapsed: Duration::ZERO,
-                deadline: Duration::ZERO,
+                deadline: None,
             },
             "validation" => JobError::Validation(detail.to_string()),
             "io" => JobError::Io(detail.to_string()),
@@ -95,7 +105,7 @@ mod tests {
             JobError::Panic("p".into()),
             JobError::Timeout {
                 elapsed: Duration::from_secs(2),
-                deadline: Duration::from_secs(1),
+                deadline: Some(Duration::from_secs(1)),
             },
             JobError::Validation("v".into()),
             JobError::Io("i".into()),
@@ -107,6 +117,20 @@ mod tests {
             let rt = JobError::from_kind(e.kind(), &e.detail());
             assert_eq!(rt.kind(), e.kind());
         }
+    }
+
+    #[test]
+    fn timeout_without_deadline_does_not_fabricate_one() {
+        // Regression: a simulated-cycle timeout has no wall-clock
+        // deadline; the message used to claim the elapsed time WAS the
+        // deadline ("exceeded 3.0s deadline after 3.0s").
+        let e = JobError::Timeout {
+            elapsed: Duration::from_secs(3),
+            deadline: None,
+        };
+        let d = e.detail();
+        assert_eq!(d, "timed out after 3.0s");
+        assert!(!d.contains("deadline"), "no fabricated deadline: {d}");
     }
 
     #[test]

@@ -500,9 +500,11 @@ impl Scheduler {
 }
 
 fn timeout_error(cfg: &RunConfig, elapsed: Duration) -> JobError {
+    // A sim-deadline (or cancel-grace) kill has no wall-clock deadline;
+    // reporting `elapsed` as the deadline fabricated one.
     JobError::Timeout {
         elapsed,
-        deadline: cfg.deadline.unwrap_or(elapsed),
+        deadline: cfg.deadline,
     }
 }
 
@@ -650,6 +652,47 @@ mod tests {
         assert_eq!(failures[0].1.kind(), "timeout");
         // Only one attempt was made.
         assert_eq!(report.jobs[0].attempts, 1);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    /// Reports runaway simulated progress, then hangs cooperatively.
+    struct SimHangJob;
+    impl Job for SimHangJob {
+        fn id(&self) -> String {
+            "sim-hangs".into()
+        }
+        fn run(&self, ctx: &JobCtx) -> Result<JobOutput, JobError> {
+            ctx.report_sim_time(u64::MAX);
+            while !ctx.cancelled() {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Ok(JobOutput::ok("woke up"))
+        }
+    }
+
+    #[test]
+    fn sim_deadline_timeout_reports_no_wall_deadline() {
+        // Regression: with only `sim_deadline` set, the timeout error used
+        // to fabricate a wall-clock deadline equal to the elapsed time.
+        let out = scratch("simdl");
+        let mut cfg = RunConfig::new(&out);
+        cfg.deadline = None;
+        cfg.sim_deadline = Some(1_000);
+        cfg.retry.max_attempts = 3;
+        let report = Scheduler::new(cfg).run(vec![Box::new(SimHangJob)]).unwrap();
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        match &failures[0].1 {
+            JobError::Timeout { deadline, .. } => {
+                assert_eq!(*deadline, None, "no wall deadline was configured")
+            }
+            other => panic!("expected timeout, got {other}"),
+        }
+        assert!(
+            !failures[0].1.detail().contains("deadline"),
+            "message must not claim a deadline: {}",
+            failures[0].1.detail()
+        );
         let _ = std::fs::remove_dir_all(&out);
     }
 

@@ -17,18 +17,63 @@ const PAGE_BYTES: u64 = 4096;
 ///
 /// Used both as the persistent media image (the bytes that survive a crash)
 /// and as the volatile DRAM image in the machine model.
+///
+/// Page buffers live in an arena (`slabs`) addressed through an ordered
+/// index, with a one-slot hint remembering the last page touched. Streaming
+/// access patterns (64 consecutive cacheline writes per page) resolve
+/// through the hint without walking the index; the hint never affects
+/// results, only how fast the page is found.
 #[derive(Debug, Default, Clone)]
 pub struct SparseStore {
-    /// Keyed by page number, ordered so that iteration (snapshot
+    /// Page number → arena slot. Ordered so that iteration (snapshot
     /// encodings, diffs) is identical across processes — the determinism
     /// contract (DESIGN.md) bans unordered maps in serialization paths.
-    pages: BTreeMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    index: BTreeMap<u64, usize>,
+    /// Page buffers, in first-touch order. Never iterated directly:
+    /// everything order-sensitive goes through `index`.
+    slabs: Vec<Box<[u8; PAGE_BYTES as usize]>>,
+    /// `(page_number, slot)` of the most recently touched page.
+    hint: Option<(u64, usize)>,
 }
 
 impl SparseStore {
     /// Creates an empty (all-zero) store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Returns the arena slot of `page` without allocating, consulting the
+    /// hint first.
+    #[inline]
+    fn slot_of(&self, page: u64) -> Option<usize> {
+        if let Some((p, s)) = self.hint {
+            if p == page {
+                return Some(s);
+            }
+        }
+        self.index.get(&page).copied()
+    }
+
+    /// Returns the arena slot of `page`, allocating a zeroed page if
+    /// absent, and remembers it in the hint.
+    #[inline]
+    fn slot_of_mut(&mut self, page: u64) -> usize {
+        if let Some((p, s)) = self.hint {
+            if p == page {
+                return s;
+            }
+        }
+        let slot = match self.index.get(&page) {
+            Some(&s) => s,
+            None => {
+                self.slabs.push(Box::new([0u8; PAGE_BYTES as usize]));
+                let s = self.slabs.len() - 1;
+                self.index.insert(page, s);
+                s
+            }
+        };
+        self.hint = Some((page, slot));
+        slot
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -40,8 +85,8 @@ impl SparseStore {
             let offset = (pos % PAGE_BYTES) as usize;
             let chunk = remaining.len().min(PAGE_BYTES as usize - offset);
             let (head, tail) = remaining.split_at_mut(chunk);
-            match self.pages.get(&page) {
-                Some(p) => head.copy_from_slice(&p[offset..offset + chunk]),
+            match self.slot_of(page) {
+                Some(s) => head.copy_from_slice(&self.slabs[s][offset..offset + chunk]),
                 None => head.fill(0),
             }
             remaining = tail;
@@ -57,11 +102,8 @@ impl SparseStore {
             let page = pos / PAGE_BYTES;
             let offset = (pos % PAGE_BYTES) as usize;
             let chunk = remaining.len().min(PAGE_BYTES as usize - offset);
-            let p = self
-                .pages
-                .entry(page)
-                .or_insert_with(|| Box::new([0u8; PAGE_BYTES as usize]));
-            p[offset..offset + chunk].copy_from_slice(&remaining[..chunk]);
+            let slot = self.slot_of_mut(page);
+            self.slabs[slot][offset..offset + chunk].copy_from_slice(&remaining[..chunk]);
             remaining = &remaining[chunk..];
             pos += chunk as u64;
         }
@@ -81,7 +123,7 @@ impl SparseStore {
 
     /// Returns the number of resident (allocated) pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.index.len()
     }
 
     /// Size in bytes of one allocation unit, for page-level snapshots.
@@ -91,7 +133,10 @@ impl SparseStore {
     /// by page number so snapshot encodings are deterministic (BTreeMap
     /// iteration is already page-number-ordered).
     pub fn sorted_pages(&self) -> Vec<(u64, &[u8])> {
-        self.pages.iter().map(|(&n, p)| (n, p.as_slice())).collect()
+        self.index
+            .iter()
+            .map(|(&n, &s)| (n, self.slabs[s].as_slice()))
+            .collect()
     }
 
     /// Installs a full page at `page_number` (inverse of
@@ -106,14 +151,15 @@ impl SparseStore {
             PAGE_BYTES,
             "a page is exactly {PAGE_BYTES} bytes"
         );
-        let mut boxed = Box::new([0u8; PAGE_BYTES as usize]);
-        boxed.copy_from_slice(contents);
-        self.pages.insert(page_number, boxed);
+        let slot = self.slot_of_mut(page_number);
+        self.slabs[slot].copy_from_slice(contents);
     }
 
     /// Drops all contents, returning the store to all-zero.
     pub fn clear(&mut self) {
-        self.pages.clear();
+        self.index.clear();
+        self.slabs.clear();
+        self.hint = None;
     }
 }
 

@@ -141,7 +141,13 @@ pub struct PmController {
     /// Cacheline address -> `(drained, readable_at)` of the last accepted
     /// write.
     inflight: BTreeMap<u64, (Cycles, Cycles)>,
+    /// Size at which the next [`PmController::gc_inflight`] call actually
+    /// walks the map (amortized: doubles with the surviving population).
+    gc_watermark: usize,
 }
+
+/// Smallest `inflight` population worth garbage-collecting.
+const INFLIGHT_GC_MIN: usize = 1 << 10;
 
 impl PmController {
     /// Creates a controller with `params.num_dimms` DIMMs.
@@ -170,6 +176,7 @@ impl PmController {
             rpq,
             imc,
             inflight: BTreeMap::new(),
+            gc_watermark: INFLIGHT_GC_MIN,
         }
     }
 
@@ -233,6 +240,28 @@ impl PmController {
         if self.inflight.len() >= INFLIGHT_GC_THRESHOLD {
             self.inflight.retain(|_, &mut (_, readable)| readable > now);
         }
+    }
+
+    /// Drops in-flight write records that completed before `horizon`.
+    ///
+    /// The caller must guarantee that every timestamp it will ever pass to
+    /// [`PmController::read`], [`PmController::write`], or the fault
+    /// surveys from here on is `>= horizon` (the machine layer uses the
+    /// minimum over all thread clocks, which only advance). Under that
+    /// contract a record with both `drained` and `readable_at <= horizon`
+    /// behaves exactly like an absent one — reads take `max(barrier, now)
+    /// = now`, write merges take the fresh (larger) timestamps, and
+    /// `undrained_lines` filters it out — so collecting it cannot change
+    /// any result. Amortized: the walk only runs once the map outgrows a
+    /// doubling watermark, so long write phases don't leave a large map
+    /// taxing every subsequent read's lookup.
+    pub fn gc_inflight(&mut self, horizon: Cycles) {
+        if self.inflight.len() < self.gc_watermark {
+            return;
+        }
+        self.inflight
+            .retain(|_, &mut (drained, readable)| drained.max(readable) > horizon);
+        self.gc_watermark = (self.inflight.len() * 2).max(INFLIGHT_GC_MIN);
     }
 
     // ----- fault-injection surveys and UE routing ---------------------
@@ -400,6 +429,7 @@ impl PmController {
             r.reset_stats();
         }
         self.inflight.clear();
+        self.gc_watermark = INFLIGHT_GC_MIN;
     }
 }
 
