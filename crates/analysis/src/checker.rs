@@ -305,14 +305,17 @@ impl Checker {
         }
     }
 
-    fn on_fence(&mut self, tid: usize, kind: FenceKind, at: Cycles) {
-        self.fences += 1;
+    /// The drain half of a fence (or locked RMW): completes in-flight
+    /// persists, advances the thread's epoch, and (for full barriers)
+    /// records the load-ordering point. Returns how many persists were
+    /// pending, for the caller's redundancy diagnostics.
+    fn drain_thread(&mut self, tid: usize, full_barrier: bool, at: Cycles) -> u64 {
         let t = self.thread(tid);
         let pending = t.pending_persists;
         let unfenced = std::mem::take(&mut t.unfenced_lines);
         t.pending_persists = 0;
         t.epoch += 1;
-        if kind == FenceKind::Mfence {
+        if full_barrier {
             t.last_mfence_at = at;
         }
         for l in unfenced {
@@ -325,6 +328,12 @@ impl Checker {
                 }
             }
         }
+        pending
+    }
+
+    fn on_fence(&mut self, tid: usize, kind: FenceKind, at: Cycles) {
+        self.fences += 1;
+        let pending = self.drain_thread(tid, kind == FenceKind::Mfence, at);
         if pending == 0 {
             let name = match kind {
                 FenceKind::Sfence => "sfence",
@@ -338,6 +347,26 @@ impl Checker {
                 format!("{name} with no flush or nt-store outstanding since the previous fence"),
                 false,
             );
+        }
+    }
+
+    /// A locked RMW (`cas`/`xadd`): a full barrier that is *never*
+    /// redundant (the lock prefix's ordering is inherent, not a persist
+    /// directive the programmer chose), followed — when the RMW wrote —
+    /// by a cached 8-byte store. Draining first mirrors x86: an earlier
+    /// flush of the same line *is* ordered by the lock prefix, so the
+    /// re-store must not be flagged as fence-less.
+    fn on_locked_rmw(
+        &mut self,
+        tid: usize,
+        addr: Addr,
+        region: MemRegion,
+        wrote: bool,
+        at: Cycles,
+    ) {
+        self.drain_thread(tid, true, at);
+        if wrote && region == MemRegion::Pm {
+            self.on_store(tid, addr, 8, at, false);
         }
     }
 
@@ -527,6 +556,20 @@ impl Checker {
             }
             TraceEvent::WriteBack { line, .. } => self.on_writeback(line),
             TraceEvent::PowerFail { at } => self.on_power_fail(at),
+            TraceEvent::Cas {
+                tid,
+                addr,
+                region,
+                success,
+                at,
+            } => self.on_locked_rmw(tid.0, addr, region, success, at),
+            TraceEvent::FetchAdd {
+                tid,
+                addr,
+                region,
+                at,
+                ..
+            } => self.on_locked_rmw(tid.0, addr, region, true, at),
         }
         self.lines_ever = self.lines_ever.max(self.lines.len() as u64);
     }

@@ -234,12 +234,6 @@ impl Cache {
         HitMiss::of(self.hits, self.misses)
     }
 
-    /// Returns `(hits, misses)` observed so far.
-    #[deprecated(since = "0.1.0", note = "use `counters()`, which returns named fields")]
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
     /// Returns the number of resident lines.
     pub fn len(&self) -> usize {
         self.live
@@ -280,17 +274,6 @@ mod tests {
         c.fill(Addr(0), false);
         assert!(c.access(Addr(0), false));
         assert_eq!(c.counters(), HitMiss::of(1, 1));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn stats_shim_agrees_with_counters() {
-        let mut c = Cache::new(4096, 4);
-        c.access(Addr(0), false);
-        c.fill(Addr(0), false);
-        c.access(Addr(0), false);
-        let hm = c.counters();
-        assert_eq!(c.stats(), (hm.hits, hm.misses));
     }
 
     #[test]

@@ -431,20 +431,6 @@ impl CacheSystem {
         self.l3.reset_stats();
         self.prefetch_fills = 0;
     }
-
-    /// Returns `(l1, l2, l3)` hit/miss pairs aggregated over all cores.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `hierarchy_stats()`, which returns named fields"
-    )]
-    pub fn stats(&self) -> [(u64, u64); 3] {
-        let s = self.hierarchy_stats();
-        [
-            (s.l1.hits, s.l1.misses),
-            (s.l2.hits, s.l2.misses),
-            (s.l3.hits, s.l3.misses),
-        ]
-    }
 }
 
 #[cfg(test)]
@@ -637,19 +623,6 @@ mod tests {
             Some(HitLevel::L1),
             "stats reset keeps contents"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn stats_shim_agrees_with_hierarchy_stats() {
-        let mut s = small_system(PrefetchConfig::none());
-        s.access(0, Addr(0), false);
-        s.access(0, Addr(0), false);
-        let named = s.hierarchy_stats();
-        let [l1, l2, l3] = s.stats();
-        assert_eq!(l1, (named.l1.hits, named.l1.misses));
-        assert_eq!(l2, (named.l2.hits, named.l2.misses));
-        assert_eq!(l3, (named.l3.hits, named.l3.misses));
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! The deterministic multi-thread executor.
+//!
+//! Every experiment that drives several simulated hardware threads used to
+//! hand-roll its own per-`ThreadId` loop, which meant every experiment
+//! *was* its own (implicit, round-robin) scheduler. This module makes the
+//! interleaving an explicit, seeded, swappable object: a workload is a
+//! [`ThreadProgram`] — a bag of per-lane state machines advanced one
+//! *step* at a time — and an [`Interleaver`] owns the decision of which
+//! lane steps next.
+//!
+//! A *step* is whatever slice of work the program wants scheduled
+//! atomically with respect to other lanes: one insert, one block of
+//! nt-stores, one CAS retry loop iteration. Between steps the interleaver
+//! may run any other lane; within a step the lane runs alone (the
+//! simulation is single-threaded — concurrency is modelled, not real).
+//!
+//! Determinism is the whole point: given the same machine, program, and
+//! [`SchedPolicy`], the executed instruction stream is byte-identical
+//! across processes. [`SchedPolicy::RoundRobin`] reproduces the legacy
+//! hand-rolled loops exactly (lane 0, lane 1, …, wrap), so migrated
+//! experiments keep their pinned results; [`SchedPolicy::SeededRandom`]
+//! explores adversarial interleavings reproducibly; and
+//! [`SchedPolicy::ClockFair`] steps whichever lane's simulated clock is
+//! furthest behind, modelling hardware threads that retire at their own
+//! pace instead of in lockstep.
+
+use simbase::SplitMix64;
+
+use crate::machine::{Machine, ThreadId};
+
+/// What a [`ThreadProgram`] reports after one step of one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The lane did work and may be scheduled again.
+    Ran,
+    /// The lane is finished; the executor will not step it again.
+    Done,
+}
+
+/// A multi-lane workload the [`Interleaver`] can schedule.
+///
+/// `lane` is the dense index into the `tids` slice passed to
+/// [`Interleaver::run`] (0-based); `tid` is the corresponding simulated
+/// hardware thread. Programs that share state across lanes (a common
+/// table, one key stream) simply keep it in `self` — the executor hands
+/// out steps one at a time, so no synchronization is needed.
+pub trait ThreadProgram {
+    /// Advances lane `lane` (running as `tid`) by one step.
+    ///
+    /// Returning [`Step::Done`] retires the lane: `step` will never be
+    /// called for it again. A retired lane must not have consumed shared
+    /// work it did not process.
+    fn step(&mut self, m: &mut Machine, tid: ThreadId, lane: usize) -> Step;
+}
+
+/// Closures are programs: `FnMut(&mut Machine, ThreadId, usize) -> Step`.
+impl<F> ThreadProgram for F
+where
+    F: FnMut(&mut Machine, ThreadId, usize) -> Step,
+{
+    fn step(&mut self, m: &mut Machine, tid: ThreadId, lane: usize) -> Step {
+        self(m, tid, lane)
+    }
+}
+
+/// Which lane runs next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Lanes step in index order, wrapping; retired lanes are skipped.
+    /// Byte-identical to the legacy hand-rolled `for round { for lane }`
+    /// experiment loops.
+    RoundRobin,
+    /// Each slot picks a uniformly random *live* lane from a
+    /// [`SplitMix64`] stream seeded here. Same seed ⇒ same schedule,
+    /// in this process and any other.
+    SeededRandom {
+        /// The schedule seed.
+        seed: u64,
+    },
+    /// Each slot steps the live lane whose simulated clock is furthest
+    /// behind (ties break toward the lowest lane index). Models threads
+    /// that issue as soon as the hardware lets them rather than in
+    /// program-order lockstep.
+    ClockFair,
+}
+
+/// What an [`Interleaver`] run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Steps executed per lane (retirement probes are not counted).
+    pub steps_per_lane: Vec<u64>,
+    /// Total steps executed.
+    pub total_steps: u64,
+    /// Whether every lane retired (false only when a step budget ran out).
+    pub completed: bool,
+}
+
+/// The deterministic scheduler: owns the lane-selection policy and the
+/// run loop.
+#[derive(Debug, Clone, Copy)]
+pub struct Interleaver {
+    policy: SchedPolicy,
+}
+
+impl Interleaver {
+    /// Creates an interleaver with the given policy.
+    pub fn new(policy: SchedPolicy) -> Self {
+        Interleaver { policy }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Runs `prog` across `tids` until every lane retires.
+    pub fn run<P: ThreadProgram + ?Sized>(
+        &self,
+        m: &mut Machine,
+        tids: &[ThreadId],
+        prog: &mut P,
+    ) -> ExecReport {
+        self.run_steps(m, tids, prog, u64::MAX)
+    }
+
+    /// Runs `prog` across `tids` until every lane retires or `budget`
+    /// steps have executed, whichever comes first. A step that returns
+    /// [`Step::Done`] without doing work still retires the lane but does
+    /// not count against the budget, so crash-point sweeps indexed by
+    /// executed-step count land on real work.
+    pub fn run_steps<P: ThreadProgram + ?Sized>(
+        &self,
+        m: &mut Machine,
+        tids: &[ThreadId],
+        prog: &mut P,
+        budget: u64,
+    ) -> ExecReport {
+        let lanes = tids.len();
+        let mut report = ExecReport {
+            steps_per_lane: vec![0; lanes],
+            total_steps: 0,
+            completed: lanes == 0,
+        };
+        if lanes == 0 {
+            return report;
+        }
+        let mut done = vec![false; lanes];
+        let mut alive = lanes;
+        let mut cursor = 0usize; // next lane RoundRobin considers
+        let mut rng = match self.policy {
+            SchedPolicy::SeededRandom { seed } => Some(SplitMix64::new(seed)),
+            _ => None,
+        };
+        while alive > 0 && report.total_steps < budget {
+            let lane = match self.policy {
+                SchedPolicy::RoundRobin => {
+                    while done[cursor % lanes] {
+                        cursor += 1;
+                    }
+                    let lane = cursor % lanes;
+                    cursor += 1;
+                    lane
+                }
+                SchedPolicy::SeededRandom { .. } => {
+                    // simlint::allow(unwrap-in-lib, rng is Some exactly
+                    // when the policy is SeededRandom)
+                    #[allow(clippy::unwrap_used)]
+                    let pick = rng.as_mut().unwrap().gen_range(alive as u64) as usize;
+                    match (0..lanes).filter(|&l| !done[l]).nth(pick) {
+                        Some(lane) => lane,
+                        None => break, // unreachable: alive > 0
+                    }
+                }
+                SchedPolicy::ClockFair => {
+                    let mut best = usize::MAX;
+                    let mut best_now = u64::MAX;
+                    for (l, &tid) in tids.iter().enumerate() {
+                        if done[l] {
+                            continue;
+                        }
+                        let now = m.now(tid);
+                        if now < best_now {
+                            best_now = now;
+                            best = l;
+                        }
+                    }
+                    best
+                }
+            };
+            match prog.step(m, tids[lane], lane) {
+                Step::Ran => {
+                    report.steps_per_lane[lane] += 1;
+                    report.total_steps += 1;
+                }
+                Step::Done => {
+                    done[lane] = true;
+                    alive -= 1;
+                }
+            }
+        }
+        report.completed = alive == 0;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use cpucache::PrefetchConfig;
+
+    fn machine_with(threads: usize) -> (Machine, Vec<ThreadId>) {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let tids = (0..threads).map(|_| m.spawn(0)).collect();
+        (m, tids)
+    }
+
+    /// A program whose schedule is observable: each step appends its lane.
+    struct Recorder {
+        remaining: Vec<u64>,
+        order: Vec<usize>,
+    }
+
+    impl ThreadProgram for Recorder {
+        fn step(&mut self, _m: &mut Machine, _tid: ThreadId, lane: usize) -> Step {
+            if self.remaining[lane] == 0 {
+                return Step::Done;
+            }
+            self.remaining[lane] -= 1;
+            self.order.push(lane);
+            Step::Ran
+        }
+    }
+
+    #[test]
+    fn round_robin_matches_legacy_nested_loop_order() {
+        let (mut m, tids) = machine_with(3);
+        let mut prog = Recorder {
+            remaining: vec![2, 2, 2],
+            order: Vec::new(),
+        };
+        let report = Interleaver::new(SchedPolicy::RoundRobin).run(&mut m, &tids, &mut prog);
+        assert_eq!(prog.order, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(report.steps_per_lane, vec![2, 2, 2]);
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn round_robin_skips_retired_lanes() {
+        let (mut m, tids) = machine_with(3);
+        let mut prog = Recorder {
+            remaining: vec![1, 3, 1],
+            order: Vec::new(),
+        };
+        Interleaver::new(SchedPolicy::RoundRobin).run(&mut m, &tids, &mut prog);
+        assert_eq!(prog.order, vec![0, 1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn seeded_random_is_reproducible_and_seed_sensitive() {
+        let runs: Vec<Vec<usize>> = [7, 7, 8]
+            .iter()
+            .map(|&seed| {
+                let (mut m, tids) = machine_with(4);
+                let mut prog = Recorder {
+                    remaining: vec![5; 4],
+                    order: Vec::new(),
+                };
+                Interleaver::new(SchedPolicy::SeededRandom { seed }).run(&mut m, &tids, &mut prog);
+                prog.order
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "same seed, same schedule");
+        assert_ne!(runs[0], runs[2], "different seed, different schedule");
+        assert_eq!(runs[2].len(), 20, "all work still executes");
+    }
+
+    #[test]
+    fn clock_fair_steps_the_lagging_thread() {
+        let (mut m, tids) = machine_with(2);
+        // Lane 1 starts far ahead in simulated time; ClockFair must keep
+        // stepping lane 0 until it catches up.
+        m.advance(tids[1], 1_000_000);
+        let a = m.alloc_pm(64 * 64, 64);
+        let mut steps = vec![0u64; 2];
+        let mut order = Vec::new();
+        let mut prog = |mm: &mut Machine, tid: ThreadId, lane: usize| {
+            if steps[lane] == 8 {
+                return Step::Done;
+            }
+            steps[lane] += 1;
+            order.push(lane);
+            mm.nt_store_run(tid, a.add_cachelines(lane as u64 * 32), &[0u8; 64], 4);
+            mm.sfence(tid);
+            Step::Ran
+        };
+        Interleaver::new(SchedPolicy::ClockFair).run(&mut m, &tids, &mut prog);
+        assert_eq!(order[..4], [0, 0, 0, 0], "lagging lane runs first");
+        assert_eq!(steps, vec![8, 8]);
+    }
+
+    #[test]
+    fn budget_stops_midway_and_done_probes_are_free() {
+        let (mut m, tids) = machine_with(2);
+        let mut prog = Recorder {
+            remaining: vec![3, 3],
+            order: Vec::new(),
+        };
+        let iv = Interleaver::new(SchedPolicy::RoundRobin);
+        let report = iv.run_steps(&mut m, &tids, &mut prog, 4);
+        assert_eq!(report.total_steps, 4);
+        assert!(!report.completed);
+        // Resuming with the remaining budget finishes the work.
+        let report = iv.run(&mut m, &tids, &mut prog);
+        assert!(report.completed);
+        assert_eq!(prog.order.len(), 6);
+    }
+
+    #[test]
+    fn empty_lane_set_is_a_completed_noop() {
+        let (mut m, _) = machine_with(1);
+        let mut prog = |_: &mut Machine, _: ThreadId, _: usize| Step::Done;
+        let report = Interleaver::new(SchedPolicy::RoundRobin).run(&mut m, &[], &mut prog);
+        assert!(report.completed);
+        assert_eq!(report.total_steps, 0);
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod config;
 pub mod crash;
+pub mod exec;
 pub mod fault;
 pub mod machine;
 pub mod metrics;
@@ -62,11 +63,12 @@ pub mod trace;
 
 pub use config::{Generation, MachineConfig};
 pub use crash::CrashImage;
+pub use exec::{ExecReport, Interleaver, SchedPolicy, Step, ThreadProgram};
 pub use fault::{FaultHooks, FaultStats, PartialDrain, ReadError, ScrubOutcome};
 pub use imc::ImcQueueStats;
 pub use machine::{CrashPolicy, Machine, MemRegion, ThreadId};
 pub use metrics::{
-    machine_registry, machine_row, machine_schema_json, MachineMetrics, MachineSampler,
+    machine_registry, machine_row, machine_schema_json, MachineMetrics, MachineSampler, MtStats,
 };
 pub use snapshot::{MachineSnapshot, SnapshotError, ThreadSnapshot};
 pub use telemetry::TelemetrySnapshot;

@@ -28,7 +28,7 @@ use xpmedia::SparseStore;
 use crate::config::MachineConfig;
 use crate::crash::CrashImage;
 use crate::fault::{FaultHooks, FaultStats, ReadError, ScrubOutcome};
-use crate::metrics::MachineMetrics;
+use crate::metrics::{MachineMetrics, MtStats};
 use crate::snapshot::{MachineSnapshot, SnapshotError, ThreadSnapshot};
 use crate::telemetry::TelemetrySnapshot;
 use crate::trace::{FenceKind, FlushKind, TraceEvent, TraceSink, TraceSlot};
@@ -74,6 +74,40 @@ struct HwThread {
     outstanding_accept: Cycles,
     /// Time of the thread's most recent `mfence`.
     last_mfence: Cycles,
+    /// Simulated store-buffer occupancy: cachelines flushed or nt-stored
+    /// since the last drain point (fence or locked RMW). Purely
+    /// observational — timing flows through `outstanding_accept`.
+    sb_pending: u64,
+    /// High-water mark of `sb_pending` since the last metrics reset.
+    sb_max: u64,
+    /// Completed persist epochs: drain points that retired at least one
+    /// pending store-buffer entry.
+    persist_epochs: u64,
+    /// Locked compare-and-swap operations issued.
+    cas_ops: u64,
+    /// CAS operations whose compare failed (no write happened).
+    cas_failures: u64,
+    /// Locked fetch-add operations issued.
+    fetch_adds: u64,
+}
+
+impl HwThread {
+    /// Records one more unfenced persist-pipeline entry.
+    #[inline]
+    fn sb_push(&mut self, n: u64) {
+        self.sb_pending += n;
+        self.sb_max = self.sb_max.max(self.sb_pending);
+    }
+
+    /// Drains the store buffer at a fence or locked RMW; counts an epoch
+    /// only when the drain actually retired something.
+    #[inline]
+    fn sb_drain(&mut self) {
+        if self.sb_pending > 0 {
+            self.persist_epochs += 1;
+            self.sb_pending = 0;
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +128,12 @@ const INFLIGHT_GC_MIN: usize = 1 << 10;
 /// Issue cost of one 512-bit streaming (AVX) load in the paper's
 /// Algorithm 2 copy loop.
 const STREAMING_COPY_LINE_COST: Cycles = 40;
+
+/// Execution cost of the locked read-modify-write micro-op itself
+/// (`lock cmpxchg` / `lock xadd`), on top of the cacheline ownership
+/// access. Module constant, not a config knob: it does not enter the
+/// snapshot config fingerprint.
+const LOCKED_RMW_COST: Cycles = 24;
 
 /// The simulated machine.
 #[derive(Debug)]
@@ -252,6 +292,12 @@ impl Machine {
             core,
             outstanding_accept: 0,
             last_mfence: 0,
+            sb_pending: 0,
+            sb_max: 0,
+            persist_epochs: 0,
+            cas_ops: 0,
+            cas_failures: 0,
+            fetch_adds: 0,
         });
         ThreadId(self.threads.len() - 1)
     }
@@ -762,7 +808,9 @@ impl Machine {
         let remote_extra = self.remote_write_extra(socket);
         let mut total = 0;
         let mut max_accept = 0;
+        let mut nlines = 0u64;
         for cl in simbase::addr::cachelines_covering(addr, len) {
+            nlines += 1;
             let now = start + total;
             // Coherence: drop any cached copy (its data is merged through
             // the overlay).
@@ -788,6 +836,7 @@ impl Machine {
         let t = &mut self.threads[tid.0];
         t.clock.advance(total);
         t.outstanding_accept = t.outstanding_accept.max(max_accept);
+        t.sb_push(nlines);
         self.demand.add_write(len);
         match self.region_of(addr) {
             MemRegion::Pm => {
@@ -883,6 +932,7 @@ impl Machine {
         let t = &mut self.threads[tid.0];
         t.clock.advance(total);
         t.outstanding_accept = t.outstanding_accept.max(max_accept);
+        t.sb_push(count);
         self.demand.add_write(CACHELINE_BYTES * count);
         self.gc_pm_inflight();
     }
@@ -981,6 +1031,7 @@ impl Machine {
             t.clock.advance(issue);
             if let Some(a) = accept {
                 t.outstanding_accept = t.outstanding_accept.max(a);
+                t.sb_push(1);
             }
         }
         self.gc_recent_flush();
@@ -1058,6 +1109,7 @@ impl Machine {
         t.clock.advance(issue);
         if let Some(a) = accept {
             t.outstanding_accept = t.outstanding_accept.max(a);
+            t.sb_push(1);
         }
         self.gc_recent_flush();
     }
@@ -1096,8 +1148,106 @@ impl Machine {
         t.clock.advance_to(t.outstanding_accept);
         t.clock.advance(fence_cost);
         t.outstanding_accept = 0;
+        t.sb_drain();
         if kind == FenceKind::Mfence {
             t.last_mfence = t.clock.now();
+        }
+    }
+
+    // ----- locked read-modify-write atomics ---------------------------
+
+    /// Simulated `lock cmpxchg` on the aligned `u64` at `addr`: atomically
+    /// compares the current value with `expected` and, on match, writes
+    /// `new`. Returns the *old* value (compare succeeded iff it equals
+    /// `expected`).
+    ///
+    /// Semantics follow x86: the locked RMW takes the line for ownership
+    /// even when the compare fails, and acts as a full barrier — the
+    /// thread waits out its outstanding flush/nt-store acceptances and
+    /// drains its store buffer, exactly like `mfence`. The written value
+    /// lands in the cache (PM overlay): durability still requires an
+    /// explicit flush + fence, as on real hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn cas_u64(&mut self, tid: ThreadId, addr: Addr, expected: u64, new: u64) -> u64 {
+        let old = self.locked_rmw_begin(tid, addr);
+        let success = old == expected;
+        if self.tracing() {
+            self.emit(TraceEvent::Cas {
+                tid,
+                addr,
+                region: self.region_of(addr),
+                success,
+                at: self.threads[tid.0].clock.now(),
+            });
+        }
+        self.locked_rmw_finish(tid, addr, if success { Some(new) } else { None });
+        let t = &mut self.threads[tid.0];
+        t.cas_ops += 1;
+        if !success {
+            t.cas_failures += 1;
+        }
+        old
+    }
+
+    /// Simulated `lock xadd` on the aligned `u64` at `addr`: atomically
+    /// adds `delta` (wrapping) and returns the old value. Same barrier
+    /// and durability semantics as [`Machine::cas_u64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn fetch_add_u64(&mut self, tid: ThreadId, addr: Addr, delta: u64) -> u64 {
+        let old = self.locked_rmw_begin(tid, addr);
+        if self.tracing() {
+            self.emit(TraceEvent::FetchAdd {
+                tid,
+                addr,
+                region: self.region_of(addr),
+                delta,
+                at: self.threads[tid.0].clock.now(),
+            });
+        }
+        self.locked_rmw_finish(tid, addr, Some(old.wrapping_add(delta)));
+        self.threads[tid.0].fetch_adds += 1;
+        old
+    }
+
+    /// Common locked-RMW prologue: alignment check and the functional
+    /// read of the current value (timing is charged in the epilogue).
+    fn locked_rmw_begin(&mut self, _tid: ThreadId, addr: Addr) -> u64 {
+        assert!(
+            addr.0.is_multiple_of(8),
+            "locked RMW target must be u64-aligned"
+        );
+        let mut b = [0u8; 8];
+        self.functional_read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Common locked-RMW epilogue: ownership access (paid whether or not
+    /// the compare succeeded — the lock prefix takes the line either
+    /// way), RMW issue cost, full-barrier drain, and the functional
+    /// write when `write` carries a value.
+    fn locked_rmw_finish(&mut self, tid: ThreadId, addr: Addr, write: Option<u64>) {
+        let line_latency = self.access_line(tid, addr.cacheline(), true);
+        let t = &mut self.threads[tid.0];
+        t.clock.advance(line_latency + LOCKED_RMW_COST);
+        // Full barrier: subsequent loads are ordered behind prior persists.
+        t.clock.advance_to(t.outstanding_accept);
+        t.outstanding_accept = 0;
+        t.sb_drain();
+        t.last_mfence = t.clock.now();
+        self.demand.add_read(8);
+        if let Some(value) = write {
+            self.demand.add_write(8);
+            let data = value.to_le_bytes();
+            match self.region_of(addr) {
+                MemRegion::Pm => self.overlay_write(addr, &data),
+                MemRegion::Dram => self.dram_image.write(addr, &data),
+            }
         }
     }
 
@@ -1147,6 +1297,14 @@ impl Machine {
     /// Counters accumulated since construction, before any checkpoint
     /// baseline is folded in.
     fn live_metrics(&self) -> MachineMetrics {
+        let mut mt = MtStats::default();
+        for t in &self.threads {
+            mt.cas_ops += t.cas_ops;
+            mt.cas_failures += t.cas_failures;
+            mt.fetch_adds += t.fetch_adds;
+            mt.persist_epochs += t.persist_epochs;
+            mt.sb_max_depth = mt.sb_max_depth.max(t.sb_max);
+        }
         MachineMetrics {
             telemetry: TelemetrySnapshot {
                 imc: self.pm.imc_counters(),
@@ -1161,6 +1319,7 @@ impl Machine {
                 .collect(),
             dimms: self.pm.dimm_stats(),
             queues: self.pm.queue_stats(),
+            mt,
         }
     }
 
@@ -1187,30 +1346,15 @@ impl Machine {
         for c in &mut self.caches {
             c.reset_stats();
         }
-    }
-
-    /// Returns the current traffic counters.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `metrics()`, whose `.telemetry` field carries the byte taps"
-    )]
-    pub fn telemetry(&self) -> TelemetrySnapshot {
-        self.metrics().telemetry
-    }
-
-    /// Returns per-DIMM statistics.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `metrics()`, whose `.dimms` field carries per-DIMM stats"
-    )]
-    pub fn dimm_stats(&self) -> Vec<xpdimm::DimmStats> {
-        self.metrics().dimms
-    }
-
-    /// Resets traffic counters, keeping all cache/buffer contents warm.
-    #[deprecated(since = "0.1.0", note = "use `reset_metrics()`")]
-    pub fn reset_counters(&mut self) {
-        self.reset_metrics();
+        for t in &mut self.threads {
+            // `sb_pending` is live pipeline state, not a counter: keep it,
+            // and restart the high-water mark from it.
+            t.sb_max = t.sb_pending;
+            t.persist_epochs = 0;
+            t.cas_ops = 0;
+            t.cas_failures = 0;
+            t.fetch_adds = 0;
+        }
     }
 
     /// Simulates a power failure.
@@ -1284,6 +1428,9 @@ impl Machine {
         self.flush_key_bounds = None;
         for t in &mut self.threads {
             t.outstanding_accept = 0;
+            // Power loss empties the store buffers without completing an
+            // epoch; the cumulative counters survive the reboot.
+            t.sb_pending = 0;
         }
     }
 
@@ -1312,6 +1459,12 @@ impl Machine {
         self.metrics_baseline = MachineMetrics::default();
         for t in &mut self.threads {
             t.outstanding_accept = 0;
+            t.sb_pending = 0;
+            t.sb_max = 0;
+            t.persist_epochs = 0;
+            t.cas_ops = 0;
+            t.cas_failures = 0;
+            t.fetch_adds = 0;
         }
     }
 

@@ -21,6 +21,35 @@ use xpdimm::DimmStats;
 
 use crate::telemetry::TelemetrySnapshot;
 
+/// Multi-thread execution counters, aggregated over the machine's
+/// simulated hardware threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MtStats {
+    /// Locked compare-and-swap operations issued.
+    pub cas_ops: u64,
+    /// CAS operations whose compare failed (no write happened).
+    pub cas_failures: u64,
+    /// Locked fetch-add operations issued.
+    pub fetch_adds: u64,
+    /// Completed persist epochs: fences or locked RMWs that retired at
+    /// least one pending store-buffer entry, summed over threads.
+    pub persist_epochs: u64,
+    /// Deepest any single thread's simulated store buffer got.
+    pub sb_max_depth: u64,
+}
+
+impl MtStats {
+    /// Folds another window of observations into this one. Counters add;
+    /// the depth high-water mark takes the max.
+    pub fn merge(&mut self, other: &MtStats) {
+        self.cas_ops += other.cas_ops;
+        self.cas_failures += other.cas_failures;
+        self.fetch_adds += other.fetch_adds;
+        self.persist_epochs += other.persist_epochs;
+        self.sb_max_depth = self.sb_max_depth.max(other.sb_max_depth);
+    }
+}
+
 /// Every counter the machine exposes, in one named structure.
 ///
 /// Counters are cumulative since machine construction (or the last
@@ -37,6 +66,9 @@ pub struct MachineMetrics {
     pub dimms: Vec<DimmStats>,
     /// iMC RPQ/WPQ occupancy, one entry per DIMM.
     pub queues: Vec<ImcQueueStats>,
+    /// Multi-thread execution counters (CAS, persist epochs, store-buffer
+    /// depth), aggregated over threads.
+    pub mt: MtStats,
 }
 
 fn merge_vecs<T: Default + Clone>(into: &mut Vec<T>, from: &[T], merge: impl Fn(&mut T, &T)) {
@@ -56,6 +88,7 @@ impl MachineMetrics {
         merge_vecs(&mut self.sockets, &other.sockets, |a, b| a.merge(b));
         merge_vecs(&mut self.dimms, &other.dimms, |a, b| a.merge(b));
         merge_vecs(&mut self.queues, &other.queues, |a, b| a.merge(b));
+        self.mt.merge(&other.mt);
     }
 
     /// Cache counters summed over both sockets.
@@ -148,6 +181,13 @@ pub fn machine_registry() -> Registry {
     c("rpq_accepts", "reads accepted into any RPQ");
     c("wpq_accepts", "writes accepted into any WPQ");
     c("wpq_stall_cycles", "cycles writes stalled on a full WPQ");
+    c("cas_ops", "locked compare-and-swap operations issued");
+    c("cas_failures", "CAS operations whose compare failed");
+    c("fetch_adds", "locked fetch-add operations issued");
+    c(
+        "persist_epochs",
+        "drain points (fence or locked RMW) that retired pending persists",
+    );
     r.register(
         "rpq_max_depth",
         MetricKind::Gauge,
@@ -157,6 +197,11 @@ pub fn machine_registry() -> Registry {
         "wpq_max_depth",
         MetricKind::Gauge,
         "deepest single-DIMM WPQ backlog",
+    );
+    r.register(
+        "sb_max_depth",
+        MetricKind::Gauge,
+        "deepest single-thread simulated store buffer",
     );
     r.register(
         "read_amp",
@@ -234,8 +279,13 @@ pub fn machine_row(m: &MachineMetrics) -> Vec<Value> {
         Value::U64(queue.rpq.accepts),
         Value::U64(queue.wpq.accepts),
         Value::U64(queue.wpq.stall_cycles),
+        Value::U64(m.mt.cas_ops),
+        Value::U64(m.mt.cas_failures),
+        Value::U64(m.mt.fetch_adds),
+        Value::U64(m.mt.persist_epochs),
         Value::U64(queue.rpq.max_depth),
         Value::U64(queue.wpq.max_depth),
+        Value::U64(m.mt.sb_max_depth),
         ratio_or_null(tel.media.read, tel.imc.read),
         ratio_or_null(tel.media.write, tel.imc.write),
         ratio_or_null(dimm.read_buffer.hits, dimm.read_buffer.total()),

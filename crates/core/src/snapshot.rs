@@ -46,10 +46,11 @@ use crate::telemetry::TelemetrySnapshot;
 
 /// Magic + version prefix of an encoded snapshot.
 ///
-/// `02` added the folded metrics baseline; `01` snapshots are rejected
+/// `03` added the multi-thread execution counters to the folded metrics
+/// baseline; `02` added the baseline itself. Older snapshots are rejected
 /// (jobs restart from scratch rather than resume with silently dropped
 /// counters).
-const MAGIC: &[u8; 8] = b"OPSNAP02";
+const MAGIC: &[u8; 8] = b"OPSNAP03";
 
 /// A malformed, truncated, or mismatched snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -222,6 +223,11 @@ fn encode_metrics(w: &mut WireWriter, m: &MachineMetrics) {
         put_queue_stats(w, &q.rpq);
         put_queue_stats(w, &q.wpq);
     }
+    w.put_u64(m.mt.cas_ops);
+    w.put_u64(m.mt.cas_failures);
+    w.put_u64(m.mt.fetch_adds);
+    w.put_u64(m.mt.persist_epochs);
+    w.put_u64(m.mt.sb_max_depth);
 }
 
 fn decode_metrics(r: &mut WireReader<'_>) -> Result<MachineMetrics, SnapshotError> {
@@ -266,11 +272,19 @@ fn decode_metrics(r: &mut WireReader<'_>) -> Result<MachineMetrics, SnapshotErro
             wpq: get_queue_stats(r)?,
         });
     }
+    let mt = crate::metrics::MtStats {
+        cas_ops: r.get_u64()?,
+        cas_failures: r.get_u64()?,
+        fetch_adds: r.get_u64()?,
+        persist_epochs: r.get_u64()?,
+        sb_max_depth: r.get_u64()?,
+    };
     Ok(MachineMetrics {
         telemetry,
         sockets,
         dimms,
         queues,
+        mt,
     })
 }
 

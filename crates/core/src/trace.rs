@@ -104,6 +104,36 @@ pub enum TraceEvent {
         /// Issue time.
         at: Cycles,
     },
+    /// A simulated `lock cmpxchg` on an aligned `u64`. Atomicity is free
+    /// in the sequential simulation; the event records whether the
+    /// compare succeeded. Locked RMWs drain the issuing thread's store
+    /// buffer (like `mfence`), which analyses must mirror.
+    Cas {
+        /// Issuing thread.
+        tid: ThreadId,
+        /// Address of the target `u64`.
+        addr: Addr,
+        /// Backing device.
+        region: MemRegion,
+        /// Whether the compare matched and the new value was written.
+        success: bool,
+        /// Issue time.
+        at: Cycles,
+    },
+    /// A simulated `lock xadd` on an aligned `u64`. Always writes; drains
+    /// the issuing thread's store buffer like [`TraceEvent::Cas`].
+    FetchAdd {
+        /// Issuing thread.
+        tid: ThreadId,
+        /// Address of the target `u64`.
+        addr: Addr,
+        /// Backing device.
+        region: MemRegion,
+        /// The addend.
+        delta: u64,
+        /// Issue time.
+        at: Cycles,
+    },
     /// A dirty PM cacheline left the hierarchy by capacity eviction and
     /// was written back (and therefore persisted) by the hardware, not by
     /// program order. Analyses use this to tell "durable by discipline"

@@ -1,0 +1,172 @@
+//! Detectable-recovery plumbing shared by the lock-free structures.
+//!
+//! The persistent Treiber stack ([`crate::treiber`]) and Michael-Scott
+//! queue ([`crate::msqueue`]) follow the Memento recipe for *detectable*
+//! operations: every thread owns one persistent operation descriptor, and
+//! every value-moving CAS writes a unique per-operation *tag* into the
+//! node it claims. After a crash, recovery reads the descriptor and the
+//! tagged node and can always answer "did my in-flight operation take
+//! effect, and with which result?" — exactly once, no lost or duplicated
+//! values.
+//!
+//! The descriptor occupies one cacheline:
+//!
+//! | offset | field | meaning |
+//! |---|---|---|
+//! | 0 | `seq` | per-thread operation sequence number |
+//! | 8 | `kind` | [`OpKind`] code |
+//! | 16 | `node` | node the op targets (push: allocated; pop: candidate) |
+//! | 24 | `state` | 0 = started, 1 = committed |
+//! | 32 | `result` | committed result ([`EMPTY_RESULT`] for empty pops) |
+//!
+//! Writes to the descriptor are individually persisted in an order that
+//! makes each crash state unambiguous; see the structure modules for the
+//! per-phase persist discipline.
+
+use pmem::PmemEnv;
+use simbase::{Addr, CACHELINE_BYTES};
+
+/// Result slot value recording "the structure was empty".
+///
+/// Pushed values must therefore be in `1..u64::MAX`: nonzero (0 reads as
+/// an absent field after a crash) and below the empty marker.
+pub const EMPTY_RESULT: u64 = u64::MAX;
+
+/// Byte offset of `seq` in a descriptor.
+pub const DESC_SEQ: u64 = 0;
+/// Byte offset of `kind` in a descriptor.
+pub const DESC_KIND: u64 = 8;
+/// Byte offset of `node` in a descriptor.
+pub const DESC_NODE: u64 = 16;
+/// Byte offset of `state` in a descriptor.
+pub const DESC_STATE: u64 = 24;
+/// Byte offset of `result` in a descriptor.
+pub const DESC_RESULT: u64 = 32;
+
+/// `state` value while an operation is in flight.
+pub const STATE_STARTED: u64 = 0;
+/// `state` value once the result is durably recorded.
+pub const STATE_COMMITTED: u64 = 1;
+
+/// What kind of operation a descriptor records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// No operation has used this descriptor yet.
+    None,
+    /// A push (stack) or enqueue (queue).
+    Insert,
+    /// A pop (stack) or dequeue (queue).
+    Remove,
+}
+
+impl OpKind {
+    /// Wire encoding stored in the descriptor's `kind` slot.
+    pub fn code(self) -> u64 {
+        match self {
+            OpKind::None => 0,
+            OpKind::Insert => 1,
+            OpKind::Remove => 2,
+        }
+    }
+
+    /// Decodes a `kind` slot; unknown codes read as [`OpKind::None`]
+    /// (a torn descriptor is an op that never started).
+    pub fn from_code(code: u64) -> OpKind {
+        match code {
+            1 => OpKind::Insert,
+            2 => OpKind::Remove,
+            _ => OpKind::None,
+        }
+    }
+}
+
+/// The unique tag operation `seq` of lane `lane` stamps into nodes it
+/// claims. Lane 0's tag is nonzero (`lane + 1` in the high half), so a
+/// zero claim slot always means "unclaimed".
+pub fn op_tag(lane: u64, seq: u64) -> u64 {
+    ((lane + 1) << 32) | (seq & 0xFFFF_FFFF)
+}
+
+/// Allocates one descriptor cacheline, zero-initialized and persisted.
+pub fn alloc_desc<E: PmemEnv>(env: &mut E) -> Addr {
+    let d = env.alloc(CACHELINE_BYTES, CACHELINE_BYTES);
+    env.store_full_line(d, &[0u8; 64]);
+    env.persist(d, CACHELINE_BYTES);
+    d
+}
+
+/// A descriptor's durable contents, as recovery reads them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DescView {
+    /// Sequence number of the last started operation.
+    pub seq: u64,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Target node recorded by the operation (0 if not yet recorded).
+    pub node: Addr,
+    /// Whether the result was durably committed.
+    pub committed: bool,
+    /// The committed result slot.
+    pub result: u64,
+}
+
+/// Reads a descriptor through `env`.
+pub fn read_desc<E: PmemEnv>(env: &mut E, desc: Addr) -> DescView {
+    DescView {
+        seq: env.load_u64(desc.add(DESC_SEQ)),
+        kind: OpKind::from_code(env.load_u64(desc.add(DESC_KIND))),
+        node: Addr(env.load_u64(desc.add(DESC_NODE))),
+        committed: env.load_u64(desc.add(DESC_STATE)) == STATE_COMMITTED,
+        result: env.load_u64(desc.add(DESC_RESULT)),
+    }
+}
+
+/// What recovery concluded about one thread's last operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// The descriptor's sequence number.
+    pub seq: u64,
+    /// The operation kind.
+    pub kind: OpKind,
+    /// Whether the operation's effect is durably applied.
+    pub applied: bool,
+    /// The operation's value, when determinable: the pushed/enqueued
+    /// value, the popped/dequeued value, or [`EMPTY_RESULT`].
+    pub value: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::HostEnv;
+
+    #[test]
+    fn tags_are_nonzero_and_unique_across_lanes_and_seqs() {
+        let mut seen = std::collections::BTreeSet::new();
+        for lane in 0..4 {
+            for seq in 0..4 {
+                let t = op_tag(lane, seq);
+                assert_ne!(t, 0);
+                assert!(seen.insert(t), "tag collision at lane {lane} seq {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn desc_round_trip() {
+        let mut env = HostEnv::new();
+        let d = alloc_desc(&mut env);
+        let v = read_desc(&mut env, d);
+        assert_eq!(v.kind, OpKind::None);
+        assert!(!v.committed);
+        env.store_u64(d.add(DESC_SEQ), 3);
+        env.store_u64(d.add(DESC_KIND), OpKind::Remove.code());
+        env.store_u64(d.add(DESC_STATE), STATE_COMMITTED);
+        env.store_u64(d.add(DESC_RESULT), EMPTY_RESULT);
+        let v = read_desc(&mut env, d);
+        assert_eq!(v.seq, 3);
+        assert_eq!(v.kind, OpKind::Remove);
+        assert!(v.committed);
+        assert_eq!(v.result, EMPTY_RESULT);
+    }
+}

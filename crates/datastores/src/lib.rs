@@ -10,6 +10,10 @@
 //!   optimization (§4.2, Figure 12).
 //! - [`chase`]: the 256-byte-element circular linked list that drives the
 //!   latency study of §3.6 (Figure 8).
+//! - [`treiber`] / [`msqueue`]: lock-free persistent stack and queue with
+//!   Memento-style detectable recovery ([`detect`]), driven concurrently
+//!   by the deterministic executor in the e15 contention sweep and cut at
+//!   arbitrary interleaving points by the faultsim crash explorer.
 //!
 //! All structures are written against [`pmem::PmemEnv`], so they run both
 //! on the simulator (timed, crash-aware) and on plain host memory for
@@ -23,10 +27,16 @@
 
 pub mod cceh;
 pub mod chase;
+pub mod detect;
 pub mod fastfair;
 pub mod inject;
+pub mod msqueue;
+pub mod treiber;
 
 pub use cceh::{Cceh, InsertBreakdown};
 pub use chase::{ChaseList, WriteKind};
+pub use detect::{OpKind, RecoveryOutcome, EMPTY_RESULT};
 pub use fastfair::{FastFair, UpdateStrategy};
 pub use inject::{FaultPlan, FaultyEnv};
+pub use msqueue::{MsQueue, MsQueueThread};
+pub use treiber::{OpResult, TreiberStack, TreiberThread};

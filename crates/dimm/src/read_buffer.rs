@@ -177,12 +177,6 @@ impl ReadBuffer {
         HitMiss::of(self.hits, self.misses)
     }
 
-    /// Returns `(hits, misses)` observed so far.
-    #[deprecated(since = "0.1.0", note = "use `counters()`, which returns named fields")]
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
     /// Clears statistics only; buffered contents stay warm.
     pub fn reset_stats(&mut self) {
         self.hits = 0;

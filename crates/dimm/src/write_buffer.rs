@@ -335,12 +335,6 @@ impl WriteBuffer {
         HitMiss::of(self.hits, self.misses)
     }
 
-    /// Returns `(hits, misses)` observed so far.
-    #[deprecated(since = "0.1.0", note = "use `counters()`, which returns named fields")]
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
     /// Clears contents and statistics and rewinds the victim-selection
     /// RNG to its seed, so a reset buffer is indistinguishable from a
     /// freshly constructed one. Checkpoint/restore relies on this: a

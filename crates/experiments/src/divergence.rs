@@ -31,7 +31,7 @@ use simlint::witness::{
 };
 
 use crate::common::MetricsSpec;
-use crate::{e0_bandwidth, e12_cluster, e13_rebalance, e14_simspeed, e3_write_amp};
+use crate::{e0_bandwidth, e12_cluster, e13_rebalance, e14_simspeed, e15_mt, e3_write_amp};
 
 /// The tap an experiment threads through its measurement loops: a shared
 /// op-stream hasher handed to every machine as its TraceSink, plus a
@@ -107,6 +107,7 @@ enum Experiment {
     E12,
     E13,
     E14,
+    E15,
 }
 
 impl Experiment {
@@ -117,6 +118,7 @@ impl Experiment {
             Experiment::E12 => "e12",
             Experiment::E13 => "e13",
             Experiment::E14 => "e14",
+            Experiment::E15 => "e15",
         }
     }
 
@@ -127,6 +129,7 @@ impl Experiment {
             "e12" => Some(Experiment::E12),
             "e13" => Some(Experiment::E13),
             "e14" => Some(Experiment::E14),
+            "e15" => Some(Experiment::E15),
             _ => None,
         }
     }
@@ -244,6 +247,39 @@ fn run_child(opts: &ChildOpts) -> ChildReport {
             text.push_str(&out.result.to_csv());
             (out.result.metrics_jsonl.clone(), text)
         }
+        Experiment::E15 => {
+            // Exercises the executor under BOTH scheduler policies (the
+            // structure sweep runs round-robin and seeded-random per
+            // point), the locked-RMW trace events, and the detectable
+            // stack/queue step machines — all folded into one witness.
+            let params = e15_mt::E15Params {
+                threads: if opts.smoke {
+                    vec![1, 2]
+                } else {
+                    vec![1, 2, 4]
+                },
+                blocks_per_thread: if opts.smoke { 200 } else { 800 },
+                rap_iters_per_thread: if opts.smoke { 100 } else { 400 },
+                ops_per_thread: if opts.smoke { 24 } else { 80 },
+                sched_seed: opts.seed,
+                ..Default::default()
+            };
+            match e15_mt::run_traced(&params, Some(&tap)) {
+                Ok(results) => {
+                    let mut text = String::new();
+                    for r in &results {
+                        text.push_str(&r.to_table());
+                        text.push('\n');
+                        text.push_str(&r.to_csv());
+                    }
+                    let metrics = results.iter().find_map(|r| r.metrics_jsonl.clone());
+                    (metrics, text)
+                }
+                // A typed failure still yields a deterministic report:
+                // both children fail identically or the witness flags it.
+                Err(e) => (None, format!("e15 error: {e}\n")),
+            }
+        }
     };
     tap.report(metrics.as_deref(), &text)
 }
@@ -294,7 +330,7 @@ pub fn child_main(args: &[String]) -> i32 {
         }
     }
     if !exp_set {
-        return child_usage("which experiment? (e0|e3|e12|e13|e14)");
+        return child_usage("which experiment? (e0|e3|e12|e13|e14|e15)");
     }
     print!("{}", run_child(&opts).to_wire());
     0
@@ -425,7 +461,7 @@ fn witness_one(opts: &ParentOpts, exp: Experiment) -> Result<(String, bool), Str
     }
 }
 
-/// Entry point for `repro divergence [e0|e3|e12|e13|e14|all] [--seed N]
+/// Entry point for `repro divergence [e0|e3|e12|e13|e14|e15|all] [--seed N]
 /// [--smoke] [--perturb K] [--out DIR]`.
 ///
 /// Exit codes mirror the witness's claim: 0 when every selected
@@ -464,6 +500,7 @@ pub fn parent_main(args: &[String]) -> i32 {
                     Experiment::E12,
                     Experiment::E13,
                     Experiment::E14,
+                    Experiment::E15,
                 ]
             }
             other => match Experiment::parse(other) {
@@ -479,6 +516,7 @@ pub fn parent_main(args: &[String]) -> i32 {
             Experiment::E12,
             Experiment::E13,
             Experiment::E14,
+            Experiment::E15,
         ];
     }
 
@@ -535,7 +573,7 @@ pub fn parent_main(args: &[String]) -> i32 {
 fn parent_usage(msg: &str) -> i32 {
     eprintln!("divergence: {msg}");
     eprintln!(
-        "usage: repro divergence [e0|e3|e12|e13|e14|all] [--seed N] [--smoke] [--perturb K] [--out DIR]"
+        "usage: repro divergence [e0|e3|e12|e13|e14|e15|all] [--seed N] [--smoke] [--perturb K] [--out DIR]"
     );
     2
 }

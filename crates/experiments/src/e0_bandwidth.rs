@@ -4,7 +4,7 @@
 //! a small thread count while read bandwidth scales further.
 
 use cpucache::PrefetchConfig;
-use optane_core::{Generation, Machine, MachineConfig, ThreadId};
+use optane_core::{Generation, Interleaver, Machine, MachineConfig, SchedPolicy, Step, ThreadId};
 use simbase::XPLINE_BYTES;
 
 use crate::common::{Curve, ExpResult};
@@ -83,22 +83,34 @@ fn measure(params: &E0Params, threads: usize, write: bool, tap: Option<&WitnessT
         .map(|_| m.alloc_pm(params.blocks_per_thread * XPLINE_BYTES, 4096))
         .collect();
     let data = [0x5Au8; 64];
-    for b in 0..params.blocks_per_thread {
-        for w in 0..threads {
-            let block = regions[w].add_xplines(b);
+    // One XPLine per executor step; round-robin visits every lane once
+    // per block index, reproducing the legacy `for b { for w }` nesting
+    // byte-for-byte (see `executor_matches_legacy_nested_loops`).
+    let mut issued = vec![0u64; threads];
+    Interleaver::new(SchedPolicy::RoundRobin).run(
+        &mut m,
+        &tids,
+        &mut |mm: &mut Machine, tid, lane: usize| {
+            let b = issued[lane];
+            if b == params.blocks_per_thread {
+                return Step::Done;
+            }
+            issued[lane] = b + 1;
+            let block = regions[lane].add_xplines(b);
             if write {
                 // Batched: one dispatch per XPLine, byte-identical in
                 // timing and trace to four single-line nt-stores.
-                m.nt_store_run(tids[w], block, &data, 4);
-                if b % 16 == 0 {
-                    m.sfence(tids[w]);
+                mm.nt_store_run(tid, block, &data, 4);
+                if b.is_multiple_of(16) {
+                    mm.sfence(tid);
                 }
             } else {
-                m.load_u64_run(tids[w], block, 4);
-                m.clflushopt_run(tids[w], block, 4);
+                mm.load_u64_run(tid, block, 4);
+                mm.clflushopt_run(tid, block, 4);
             }
-        }
-    }
+            Step::Ran
+        },
+    );
     for &t in &tids {
         m.sfence(t);
     }
@@ -113,6 +125,60 @@ fn measure(params: &E0Params, threads: usize, write: bool, tap: Option<&WitnessT
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The legacy hand-rolled nesting this module used before the
+    /// executor migration, kept verbatim as the byte-identity reference.
+    fn measure_legacy(params: &E0Params, threads: usize, write: bool) -> f64 {
+        let mut cfg =
+            MachineConfig::for_generation(params.generation, PrefetchConfig::all(), params.dimms);
+        cfg.crash_seed ^= params.seed;
+        let mut m = Machine::new(cfg);
+        let tids: Vec<ThreadId> = (0..threads).map(|_| m.spawn(0)).collect();
+        let regions: Vec<_> = (0..threads)
+            .map(|_| m.alloc_pm(params.blocks_per_thread * XPLINE_BYTES, 4096))
+            .collect();
+        let data = [0x5Au8; 64];
+        for b in 0..params.blocks_per_thread {
+            for w in 0..threads {
+                let block = regions[w].add_xplines(b);
+                if write {
+                    m.nt_store_run(tids[w], block, &data, 4);
+                    if b.is_multiple_of(16) {
+                        m.sfence(tids[w]);
+                    }
+                } else {
+                    m.load_u64_run(tids[w], block, 4);
+                    m.clflushopt_run(tids[w], block, 4);
+                }
+            }
+        }
+        for &t in &tids {
+            m.sfence(t);
+        }
+        let makespan = tids.iter().map(|&t| m.now(t)).max().expect("threads") as f64;
+        let bytes = (params.blocks_per_thread * threads as u64 * XPLINE_BYTES) as f64;
+        bytes / makespan * params.ghz
+    }
+
+    #[test]
+    fn executor_matches_legacy_nested_loops() {
+        let params = E0Params {
+            blocks_per_thread: 500,
+            ..E0Params::default()
+        };
+        for &threads in &[1usize, 3, 4] {
+            for &write in &[false, true] {
+                let exec = measure(&params, threads, write, None);
+                let legacy = measure_legacy(&params, threads, write);
+                assert_eq!(
+                    exec.to_bits(),
+                    legacy.to_bits(),
+                    "round-robin executor must be byte-identical to the \
+                     legacy `for b {{ for w }}` loop ({threads} threads, write={write})"
+                );
+            }
+        }
+    }
 
     #[test]
     fn read_write_asymmetry_and_saturation() {

@@ -9,7 +9,7 @@
 //! pollution make it a small loss.
 
 use cpucache::PrefetchConfig;
-use optane_core::{Generation, Machine, MachineConfig, ThreadId};
+use optane_core::{Generation, Interleaver, Machine, MachineConfig, SchedPolicy, Step, ThreadId};
 use pmds::Cceh;
 use pmem::SimEnv;
 use workloads::YcsbGenerator;
@@ -153,19 +153,30 @@ fn measure_case(params: &E7Params, backing: Backing, workers: usize, helper: boo
     let mut hpos = vec![0usize; workers];
     let mut total_cycles = 0u64;
     let start_times: Vec<u64> = worker_tids.iter().map(|&t| m.now(t)).collect();
-    for i in 0..n as usize {
-        for w in 0..workers {
+    // One insert (plus helper catch-up) per executor step; round-robin
+    // reproduces the legacy `for i { for w }` nesting byte-for-byte
+    // (see `executor_matches_legacy_nested_loops`).
+    let mut issued = vec![0usize; workers];
+    Interleaver::new(SchedPolicy::RoundRobin).run(
+        &mut m,
+        &worker_tids,
+        &mut |mm: &mut Machine, tid, w: usize| {
+            let i = issued[w];
+            if i == n as usize {
+                return Step::Done;
+            }
+            issued[w] = i + 1;
             if helper {
                 // The helper runs on its own clock: it prefetches ahead
                 // only while it is not behind the worker's time, up to
                 // `depth` keys ahead.
-                let worker_now = m.now(worker_tids[w]);
-                m.advance_to(helper_tids[w], worker_now.saturating_sub(1));
+                let worker_now = mm.now(tid);
+                mm.advance_to(helper_tids[w], worker_now.saturating_sub(1));
                 while hpos[w] < (i + params.depth as usize).min(streams[w].len())
-                    && m.now(helper_tids[w]) <= worker_now
+                    && mm.now(helper_tids[w]) <= worker_now
                 {
                     let key = streams[w][hpos[w]];
-                    let mut henv = mk_env(&mut m, helper_tids[w], backing);
+                    let mut henv = mk_env(mm, helper_tids[w], backing);
                     table.prefetch_for_key(&mut henv, key);
                     hpos[w] += 1;
                 }
@@ -173,12 +184,13 @@ fn measure_case(params: &E7Params, backing: Backing, workers: usize, helper: boo
                 hpos[w] = hpos[w].max(i + 1);
             }
             let key = streams[w][i];
-            let t0 = m.now(worker_tids[w]);
-            let mut env = mk_env(&mut m, worker_tids[w], backing);
+            let t0 = mm.now(tid);
+            let mut env = mk_env(mm, tid, backing);
             table.insert(&mut env, key, key);
-            total_cycles += m.now(worker_tids[w]) - t0;
-        }
-    }
+            total_cycles += mm.now(tid) - t0;
+            Step::Ran
+        },
+    );
     let ops = n * workers as u64;
     let latency = total_cycles as f64 / ops as f64;
     // `run` validated that the worker sweep has no zero entries, so the
@@ -214,6 +226,95 @@ mod tests {
             ..E7Params::default()
         })
         .expect("valid params")
+    }
+
+    /// The legacy hand-rolled nesting this module used before the
+    /// executor migration, kept verbatim as the byte-identity reference.
+    fn measure_legacy(
+        params: &E7Params,
+        backing: Backing,
+        workers: usize,
+        helper: bool,
+    ) -> RunStats {
+        let cfg =
+            MachineConfig::for_generation(params.generation, PrefetchConfig::all(), params.dimms);
+        let mut m = Machine::new(cfg);
+        let worker_tids: Vec<ThreadId> = (0..workers).map(|_| m.spawn(0)).collect();
+        let mut table = {
+            let mut env = mk_env(&mut m, worker_tids[0], backing);
+            Cceh::create(&mut env, params.initial_depth)
+        };
+        let helper_tids: Vec<ThreadId> = if helper {
+            worker_tids.iter().map(|&w| m.spawn_sibling(w)).collect()
+        } else {
+            Vec::new()
+        };
+        let n = params.inserts_per_worker;
+        let streams: Vec<Vec<u64>> = (0..workers)
+            .map(|w| {
+                YcsbGenerator::load_keys(n * workers as u64)
+                    .skip(w)
+                    .step_by(workers)
+                    .map(|k| k.max(1))
+                    .collect()
+            })
+            .collect();
+        let mut hpos = vec![0usize; workers];
+        let mut total_cycles = 0u64;
+        let start_times: Vec<u64> = worker_tids.iter().map(|&t| m.now(t)).collect();
+        for i in 0..n as usize {
+            for w in 0..workers {
+                if helper {
+                    let worker_now = m.now(worker_tids[w]);
+                    m.advance_to(helper_tids[w], worker_now.saturating_sub(1));
+                    while hpos[w] < (i + params.depth as usize).min(streams[w].len())
+                        && m.now(helper_tids[w]) <= worker_now
+                    {
+                        let key = streams[w][hpos[w]];
+                        let mut henv = mk_env(&mut m, helper_tids[w], backing);
+                        table.prefetch_for_key(&mut henv, key);
+                        hpos[w] += 1;
+                    }
+                    hpos[w] = hpos[w].max(i + 1);
+                }
+                let key = streams[w][i];
+                let t0 = m.now(worker_tids[w]);
+                let mut env = mk_env(&mut m, worker_tids[w], backing);
+                table.insert(&mut env, key, key);
+                total_cycles += m.now(worker_tids[w]) - t0;
+            }
+        }
+        let ops = n * workers as u64;
+        let latency = total_cycles as f64 / ops as f64;
+        let makespan = worker_tids
+            .iter()
+            .zip(&start_times)
+            .map(|(&t, &s)| m.now(t) - s)
+            .max()
+            .unwrap_or(1);
+        let throughput = ops as f64 / makespan as f64 * params.ghz * 1e3;
+        RunStats {
+            latency,
+            throughput,
+        }
+    }
+
+    #[test]
+    fn executor_matches_legacy_nested_loops() {
+        let params = E7Params {
+            inserts_per_worker: 800,
+            ..E7Params::default()
+        };
+        for &(workers, helper) in &[(1usize, false), (3, false), (3, true)] {
+            let exec = measure_case(&params, Backing::Pm, workers, helper);
+            let legacy = measure_legacy(&params, Backing::Pm, workers, helper);
+            assert_eq!(
+                (exec.latency.to_bits(), exec.throughput.to_bits()),
+                (legacy.latency.to_bits(), legacy.throughput.to_bits()),
+                "round-robin executor must be byte-identical to the legacy \
+                 `for i {{ for w }}` loop ({workers} workers, helper={helper})"
+            );
+        }
     }
 
     #[test]

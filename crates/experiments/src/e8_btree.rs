@@ -7,7 +7,7 @@
 //! variant paying slightly for its extra log writes at high thread counts.
 
 use cpucache::PrefetchConfig;
-use optane_core::{Generation, Machine, MachineConfig, ThreadId};
+use optane_core::{Generation, Interleaver, Machine, MachineConfig, SchedPolicy, Step, ThreadId};
 use pmds::{FastFair, UpdateStrategy};
 use pmem::SimEnv;
 use workloads::YcsbGenerator;
@@ -93,18 +93,26 @@ fn measure_case(
     let mut keys = YcsbGenerator::load_keys(params.inserts);
     let mut total_cycles = 0u64;
     let mut ops = 0u64;
-    'outer: loop {
-        for &tid in &tids {
+    // Lanes drain one shared key stream, one insert per executor step;
+    // round-robin draws keys in the same order as the legacy
+    // `loop { for tid }` nesting, and a lane that finds the stream empty
+    // retires without touching the machine, so the two are byte-identical
+    // (see `executor_matches_legacy_round_robin`).
+    Interleaver::new(SchedPolicy::RoundRobin).run(
+        &mut m,
+        &tids,
+        &mut |mm: &mut Machine, tid, _lane: usize| {
             let Some(key) = keys.next() else {
-                break 'outer;
+                return Step::Done;
             };
-            let t0 = m.now(tid);
-            let mut env = SimEnv::new(&mut m, tid);
+            let t0 = mm.now(tid);
+            let mut env = SimEnv::new(mm, tid);
             tree.insert(&mut env, key.max(1), key);
-            total_cycles += m.now(tid) - t0;
+            total_cycles += mm.now(tid) - t0;
             ops += 1;
-        }
-    }
+            Step::Ran
+        },
+    );
     let latency = total_cycles as f64 / ops as f64;
     let makespan = tids.iter().map(|&t| m.now(t)).max().expect("threads");
     let throughput = ops as f64 / makespan as f64 * ghz * 1e3; // Mops/s
@@ -114,6 +122,75 @@ fn measure_case(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The legacy hand-rolled nesting this module used before the
+    /// executor migration, kept verbatim as the byte-identity reference.
+    fn measure_legacy(
+        params: &E8Params,
+        gen: Generation,
+        ghz: f64,
+        strategy: UpdateStrategy,
+        threads: usize,
+    ) -> (f64, f64) {
+        let cfg = MachineConfig::for_generation(gen, PrefetchConfig::all(), params.dimms);
+        let mut m = Machine::new(cfg);
+        let tids: Vec<ThreadId> = (0..threads).map(|_| m.spawn(0)).collect();
+        let mut tree = {
+            let mut env = SimEnv::new(&mut m, tids[0]);
+            FastFair::create(&mut env, strategy)
+        };
+        let mut keys = YcsbGenerator::load_keys(params.inserts);
+        let mut total_cycles = 0u64;
+        let mut ops = 0u64;
+        'outer: loop {
+            for &tid in &tids {
+                let Some(key) = keys.next() else {
+                    break 'outer;
+                };
+                let t0 = m.now(tid);
+                let mut env = SimEnv::new(&mut m, tid);
+                tree.insert(&mut env, key.max(1), key);
+                total_cycles += m.now(tid) - t0;
+                ops += 1;
+            }
+        }
+        let latency = total_cycles as f64 / ops as f64;
+        let makespan = tids.iter().map(|&t| m.now(t)).max().expect("threads");
+        let throughput = ops as f64 / makespan as f64 * ghz * 1e3;
+        (latency, throughput)
+    }
+
+    #[test]
+    fn executor_matches_legacy_round_robin() {
+        let params = E8Params {
+            inserts: 1000,
+            ..E8Params::default()
+        };
+        // 3 threads with 1000 keys ends mid-round, covering the
+        // partial-final-round retirement path.
+        for &threads in &[1usize, 3] {
+            let exec = measure_case(
+                &params,
+                Generation::G1,
+                2.1,
+                UpdateStrategy::RedoLog,
+                threads,
+            );
+            let legacy = measure_legacy(
+                &params,
+                Generation::G1,
+                2.1,
+                UpdateStrategy::RedoLog,
+                threads,
+            );
+            assert_eq!(
+                (exec.0.to_bits(), exec.1.to_bits()),
+                (legacy.0.to_bits(), legacy.1.to_bits()),
+                "round-robin executor must be byte-identical to the legacy \
+                 shared-stream loop ({threads} threads)"
+            );
+        }
+    }
 
     #[test]
     fn redo_wins_on_g1_converges_on_g2() {

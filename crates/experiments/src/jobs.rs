@@ -19,7 +19,7 @@ use optane_core::Generation;
 
 use crate::common::{log_sweep, ExpError, ExpResult, MetricsSpec};
 use crate::{
-    e0_bandwidth, e10_pmcheck, e11_faultsim, e12_cluster, e13_rebalance, e14_simspeed,
+    e0_bandwidth, e10_pmcheck, e11_faultsim, e12_cluster, e13_rebalance, e14_simspeed, e15_mt,
     e1_read_buffer, e2_prefetch, e3_write_amp, e4_wb_hit, e5_rap, e6_latency, e7_cceh, e8_btree,
     e9_redirect, ext_mixes, table1,
 };
@@ -73,6 +73,7 @@ pub const EXPERIMENT_NAMES: &[&str] = &[
     "cluster",
     "rebalance",
     "bench",
+    "e15",
 ];
 
 fn gen_suffix(gen: Generation) -> String {
@@ -602,6 +603,30 @@ pub fn matrix(
             }),
         ));
     }
+    if wants("e15") {
+        for &gen in gens {
+            let out = out.clone();
+            jobs.push(ExperimentJob::boxed(
+                format!("e15:{}", gen_suffix(gen)),
+                Box::new(move |_ctx| {
+                    let r = e15_mt::run(&e15_mt::E15Params {
+                        generation: gen,
+                        threads: if scale.smoke() {
+                            vec![1, 2, 4]
+                        } else {
+                            vec![1, 2, 4, 8, 16]
+                        },
+                        blocks_per_thread: if scale.full() { 4000 } else { 800 },
+                        rap_iters_per_thread: if scale.full() { 2000 } else { 400 },
+                        ops_per_thread: if scale.full() { 400 } else { 80 },
+                        ..Default::default()
+                    })
+                    .map_err(|e| exp_err("e15", e))?;
+                    finish(&out, &r)
+                }),
+            ));
+        }
+    }
     jobs
 }
 
@@ -676,7 +701,9 @@ mod tests {
         assert!(ids.contains(&"cluster".to_string()));
         assert!(ids.contains(&"rebalance".to_string()));
         assert!(ids.contains(&"bench".to_string()));
-        assert_eq!(ids.len(), 27, "10 per-gen × 2 + 7 singletons: {ids:?}");
+        assert!(ids.contains(&"e15:g1".to_string()));
+        assert!(ids.contains(&"e15:g2".to_string()));
+        assert_eq!(ids.len(), 29, "11 per-gen × 2 + 7 singletons: {ids:?}");
         // Canonical order: e0 before e9, pmcheck before faultsim.
         let pos = |id: &str| ids.iter().position(|x| x == id).unwrap();
         assert!(pos("e0:g1") < pos("e9:g1"));
@@ -684,6 +711,7 @@ mod tests {
         assert!(pos("e9:g1") < pos("cluster"));
         assert!(pos("cluster") < pos("rebalance"));
         assert!(pos("rebalance") < pos("bench"));
+        assert!(pos("bench") < pos("e15:g1"));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`e12_cluster`] | extension: fault-tolerant sharded cluster under load | — |
 //! | [`e13_rebalance`] | extension: crash-safe keyspace migration + anti-entropy | — |
 //! | [`e14_simspeed`] | extension: simulator speed benchmark + CI gate | — |
+//! | [`e15_mt`] | extension: multi-thread contention on the deterministic executor | — |
 
 #![forbid(unsafe_code)]
 
@@ -36,6 +37,7 @@ pub mod e11_faultsim;
 pub mod e12_cluster;
 pub mod e13_rebalance;
 pub mod e14_simspeed;
+pub mod e15_mt;
 pub mod e1_read_buffer;
 pub mod e2_prefetch;
 pub mod e3_write_amp;

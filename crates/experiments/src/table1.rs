@@ -9,7 +9,7 @@
 //! `EXPERIMENTS.md`.
 
 use cpucache::PrefetchConfig;
-use optane_core::{Generation, Machine, MachineConfig};
+use optane_core::{Generation, Interleaver, Machine, MachineConfig, SchedPolicy, Step};
 use pmds::{cceh::InsertBreakdown, Cceh};
 use pmem::SimEnv;
 use workloads::YcsbGenerator;
@@ -104,16 +104,23 @@ fn measure_case(inserts: u64, threads: usize, dimms: usize, depth: u64) -> Table
     };
     let mut keys = YcsbGenerator::load_keys(inserts);
     let mut total = InsertBreakdown::default();
-    'outer: loop {
-        for &tid in &tids {
+    // Lanes drain one shared key stream, one instrumented insert per
+    // executor step; round-robin draws keys in the same order as the
+    // legacy `loop { for tid }` nesting (see
+    // `executor_matches_legacy_round_robin`).
+    Interleaver::new(SchedPolicy::RoundRobin).run(
+        &mut m,
+        &tids,
+        &mut |mm: &mut Machine, tid, _lane: usize| {
             let Some(key) = keys.next() else {
-                break 'outer;
+                return Step::Done;
             };
-            let mut env = SimEnv::new(&mut m, tid);
+            let mut env = SimEnv::new(mm, tid);
             let bd = table.insert_instrumented(&mut env, key.max(1), key);
             total.add(&bd);
-        }
-    }
+            Step::Ran
+        },
+    );
     let sum = total.total().max(1) as f64;
     Table1Row {
         threads,
@@ -128,6 +135,65 @@ fn measure_case(inserts: u64, threads: usize, dimms: usize, depth: u64) -> Table
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The legacy hand-rolled nesting this module used before the
+    /// executor migration, kept verbatim as the byte-identity reference.
+    fn measure_legacy(inserts: u64, threads: usize, dimms: usize, depth: u64) -> Table1Row {
+        let cfg = MachineConfig::for_generation(Generation::G1, PrefetchConfig::all(), dimms);
+        let mut m = Machine::new(cfg);
+        let tids: Vec<_> = (0..threads).map(|_| m.spawn(0)).collect();
+        let mut table = {
+            let mut env = SimEnv::new(&mut m, tids[0]);
+            Cceh::create(&mut env, depth)
+        };
+        let mut keys = YcsbGenerator::load_keys(inserts);
+        let mut total = InsertBreakdown::default();
+        'outer: loop {
+            for &tid in &tids {
+                let Some(key) = keys.next() else {
+                    break 'outer;
+                };
+                let mut env = SimEnv::new(&mut m, tid);
+                let bd = table.insert_instrumented(&mut env, key.max(1), key);
+                total.add(&bd);
+            }
+        }
+        let sum = total.total().max(1) as f64;
+        Table1Row {
+            threads,
+            dimms,
+            segment_meta: total.segment_meta as f64 / sum,
+            bucket: total.bucket as f64 / sum,
+            persists: total.persists as f64 / sum,
+            misc: (total.directory + total.misc) as f64 / sum,
+        }
+    }
+
+    #[test]
+    fn executor_matches_legacy_round_robin() {
+        // 1000 keys over 3 threads ends mid-round, covering the
+        // partial-final-round retirement path.
+        for &threads in &[1usize, 3] {
+            let exec = measure_case(1000, threads, 1, 12);
+            let legacy = measure_legacy(1000, threads, 1, 12);
+            assert_eq!(
+                (
+                    exec.segment_meta.to_bits(),
+                    exec.bucket.to_bits(),
+                    exec.persists.to_bits(),
+                    exec.misc.to_bits()
+                ),
+                (
+                    legacy.segment_meta.to_bits(),
+                    legacy.bucket.to_bits(),
+                    legacy.persists.to_bits(),
+                    legacy.misc.to_bits()
+                ),
+                "round-robin executor must be byte-identical to the legacy \
+                 shared-stream loop ({threads} threads)"
+            );
+        }
+    }
 
     #[test]
     fn segment_metadata_dominates_regardless_of_config() {

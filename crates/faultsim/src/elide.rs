@@ -171,6 +171,16 @@ impl<E: PmemEnv> PmemEnv for FaultyEnv<E> {
         self.inner.mfence();
     }
 
+    fn cas_u64(&mut self, addr: Addr, expected: u64, new: u64) -> u64 {
+        // Never elided: the lock prefix's barrier is inherent to the
+        // instruction, not a separately issued persist.
+        self.inner.cas_u64(addr, expected, new)
+    }
+
+    fn fetch_add_u64(&mut self, addr: Addr, delta: u64) -> u64 {
+        self.inner.fetch_add_u64(addr, delta)
+    }
+
     fn alloc(&mut self, len: u64, align: u64) -> Addr {
         self.inner.alloc(len, align)
     }

@@ -1,0 +1,334 @@
+//! Crash-at-interleaving-point exploration.
+//!
+//! The plain [`Explorer`](crate::Explorer) answers "what are the legal
+//! post-crash states *at this one persist boundary*?" For concurrent
+//! workloads that is not enough: the dangerous states live at specific
+//! interleavings — thread A has claimed a node, thread B has helped
+//! unlink it, nobody has persisted the claim yet. This module sweeps the
+//! *other* axis: it replays a deterministic multi-lane workload (an
+//! `optane_core::Interleaver` schedule) from scratch, cuts it after every
+//! chosen number of executor steps, and hands each cut's crash image to
+//! the explorer. The composition visits `(interleaving point) × (crash
+//! subset)` states, each judged by a caller-supplied recovery oracle.
+//!
+//! The workload is supplied as a *replay closure*: given a step budget it
+//! must rebuild the machine and program from nothing, run exactly that
+//! many executor steps, and return the crash image plus the oracle for
+//! that cut (the oracle captures what the program acknowledged before the
+//! cut). Replaying from scratch is what makes the sweep sound — every cut
+//! sees the exact prefix of the same deterministic schedule, and
+//! allocation addresses line up across cuts.
+//!
+//! Everything is seeded; the same config and workload yield a
+//! byte-identical [`InterleaveSweep`] report.
+
+use optane_core::{CrashImage, Machine};
+use simbase::SplitMix64;
+
+use crate::explore::{Exploration, Explorer, ExplorerConfig, StateOutcome, StateVerdict};
+
+/// Strategy knobs for the interleaving-point sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct InterleaveConfig {
+    /// Visit at most this many crash points (≥ 2: step 0 and the final
+    /// step are always included; interior points are seeded-sampled when
+    /// the run is longer than the budget).
+    pub max_crash_points: u64,
+    /// Seed for interior crash-point sampling.
+    pub seed: u64,
+    /// Per-point crash-subset exploration strategy.
+    pub explorer: ExplorerConfig,
+}
+
+impl Default for InterleaveConfig {
+    fn default() -> Self {
+        InterleaveConfig {
+            max_crash_points: 32,
+            seed: 0x1A7E_0001,
+            explorer: ExplorerConfig::default(),
+        }
+    }
+}
+
+/// One workload replay cut at a crash point, as the replay closure
+/// returns it.
+pub struct CutRun<F> {
+    /// The crash image captured after the cut's last executor step.
+    pub image: CrashImage,
+    /// Executor steps actually taken (may be below the requested budget
+    /// when the workload finished early).
+    pub steps_taken: u64,
+    /// The recovery oracle for this cut, capturing what the program had
+    /// acknowledged by the cut point.
+    pub oracle: F,
+}
+
+/// The exploration of one crash point.
+#[derive(Debug, Clone)]
+pub struct CrashPointOutcome {
+    /// Executor steps taken before the crash.
+    pub steps: u64,
+    /// The crash-subset exploration at this point.
+    pub exploration: Exploration,
+}
+
+/// The full sweep report: every visited crash point with its explored
+/// crash states, plus cross-point aggregates.
+#[derive(Debug, Clone)]
+pub struct InterleaveSweep {
+    /// Workload label.
+    pub workload: String,
+    /// Executor steps in the complete (uncut) run.
+    pub total_steps: u64,
+    /// Crash states visited over all points.
+    pub states_explored: u64,
+    /// States where a recovery invariant broke.
+    pub failing_states: u64,
+    /// States that lost at least one acknowledged item.
+    pub lossy_states: u64,
+    /// Worst-case acknowledged loss over all states at all points.
+    pub max_lost_keys: u64,
+    /// Per-point outcomes, in ascending step order.
+    pub points: Vec<CrashPointOutcome>,
+}
+
+impl InterleaveSweep {
+    /// `true` if every crash state at every point recovered intact.
+    pub fn all_states_ok(&self) -> bool {
+        self.failing_states == 0
+    }
+
+    /// `true` if some state at some point lost acknowledged data.
+    pub fn any_data_loss(&self) -> bool {
+        self.lossy_states > 0
+    }
+
+    /// The first failing state in sweep order, with its crash point.
+    pub fn first_failure(&self) -> Option<(u64, &StateOutcome)> {
+        self.points.iter().find_map(|p| {
+            p.exploration
+                .outcomes
+                .iter()
+                .find(|o| !o.ok)
+                .map(|o| (p.steps, o))
+        })
+    }
+
+    /// Deterministic JSON summary (per-point aggregates; per-state detail
+    /// stays in memory).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"workload\": \"{}\",\n",
+            escape(&self.workload)
+        ));
+        s.push_str(&format!("  \"total_steps\": {},\n", self.total_steps));
+        s.push_str(&format!(
+            "  \"states_explored\": {},\n",
+            self.states_explored
+        ));
+        s.push_str(&format!("  \"failing_states\": {},\n", self.failing_states));
+        s.push_str(&format!("  \"lossy_states\": {},\n", self.lossy_states));
+        s.push_str(&format!("  \"max_lost_keys\": {},\n", self.max_lost_keys));
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"steps\": {}, \"uncertain\": {}, \"states\": {}, \"failing\": {}, \"lossy\": {}, \"max_lost_keys\": {}}}{}\n",
+                p.steps,
+                p.exploration.uncertain_lines.len(),
+                p.exploration.states_explored,
+                p.exploration.failing_states,
+                p.exploration.lossy_states,
+                p.exploration.max_lost_keys,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push('}');
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The crash points to visit for a run of `total` steps: always 0 (crash
+/// before any work) and `total` (crash at the end-of-run persist
+/// boundary), plus either every interior point or a seeded sample of
+/// them, ascending and deduplicated.
+fn crash_points(total: u64, cfg: &InterleaveConfig) -> Vec<u64> {
+    let budget = cfg.max_crash_points.max(2);
+    if total < budget {
+        return (0..=total).collect();
+    }
+    let mut points = vec![0, total];
+    let mut rng = SplitMix64::new(cfg.seed);
+    while (points.len() as u64) < budget {
+        points.push(1 + rng.gen_range(total - 1));
+    }
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// Sweeps crash points over a deterministic multi-lane workload.
+///
+/// `replay` is called once with `u64::MAX` to learn the complete run's
+/// step count, then once per chosen crash point `k` — it must rebuild
+/// the workload from scratch, run exactly `min(k, total)` executor steps
+/// (e.g. via `Interleaver::run_steps`), and return the [`CutRun`] for
+/// that prefix. Each cut's crash image is explored per
+/// [`InterleaveConfig::explorer`] and judged by the cut's oracle.
+pub fn sweep_crash_points<F, R>(
+    workload: &str,
+    cfg: &InterleaveConfig,
+    mut replay: R,
+) -> InterleaveSweep
+where
+    F: FnMut(&mut Machine, &[bool]) -> StateVerdict,
+    R: FnMut(u64) -> CutRun<F>,
+{
+    let probe = replay(u64::MAX);
+    let total = probe.steps_taken;
+    let explorer = Explorer::new(cfg.explorer);
+    let mut points = Vec::new();
+    let mut states = 0u64;
+    let mut failing = 0u64;
+    let mut lossy = 0u64;
+    let mut max_lost = 0u64;
+    for k in crash_points(total, cfg) {
+        let mut cut = replay(k);
+        debug_assert_eq!(cut.steps_taken, k, "replay must honor the step budget");
+        let label = format!("{workload}@{k}");
+        let exploration = explorer.explore(&label, &cut.image, &mut cut.oracle);
+        states += exploration.states_explored;
+        failing += exploration.failing_states;
+        lossy += exploration.lossy_states;
+        max_lost = max_lost.max(exploration.max_lost_keys);
+        points.push(CrashPointOutcome {
+            steps: k,
+            exploration,
+        });
+    }
+    InterleaveSweep {
+        workload: workload.to_string(),
+        total_steps: total,
+        states_explored: states,
+        failing_states: failing,
+        lossy_states: lossy,
+        max_lost_keys: max_lost,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpucache::PrefetchConfig;
+    use optane_core::{Interleaver, MachineConfig, SchedPolicy, Step};
+    use simbase::Addr;
+
+    const LANES: usize = 2;
+    const OPS_PER_LANE: u64 = 4;
+
+    /// Two lanes each persist a run of values into their own cachelines,
+    /// acknowledging each value after its persist barrier (`correct`) or
+    /// before it (`!correct` — the seeded bug the sweep must catch).
+    fn replay(
+        budget: u64,
+        correct: bool,
+    ) -> CutRun<impl FnMut(&mut Machine, &[bool]) -> StateVerdict> {
+        let mut m = Machine::new(MachineConfig::g1(PrefetchConfig::none(), 1));
+        let tids: Vec<_> = (0..LANES).map(|_| m.spawn(0)).collect();
+        let base = m.alloc_pm(64 * (LANES as u64) * OPS_PER_LANE, 64);
+        let line = move |lane: usize, i: u64| Addr(base.0 + 64 * (lane as u64 * OPS_PER_LANE + i));
+        // Per-lane phase cursors: each op is two steps (store, persist).
+        let mut issued = [0u64; LANES];
+        let mut persisted = [false; LANES];
+        let mut acked: Vec<(usize, u64)> = Vec::new();
+        let report = Interleaver::new(SchedPolicy::RoundRobin).run_steps(
+            &mut m,
+            &tids,
+            &mut |mm: &mut Machine, tid, lane: usize| {
+                if issued[lane] == OPS_PER_LANE {
+                    return Step::Done;
+                }
+                let i = issued[lane];
+                let a = line(lane, i);
+                if !persisted[lane] {
+                    mm.store_u64(tid, a, 100 + i);
+                    persisted[lane] = true;
+                    if !correct {
+                        acked.push((lane, i)); // ack before durability: bug
+                    }
+                } else {
+                    mm.clwb(tid, a);
+                    mm.sfence(tid);
+                    persisted[lane] = false;
+                    issued[lane] += 1;
+                    if correct {
+                        acked.push((lane, i));
+                    }
+                }
+                Step::Ran
+            },
+            budget,
+        );
+        let image = m.capture_crash_image();
+        CutRun {
+            image,
+            steps_taken: report.total_steps,
+            oracle: move |pm: &mut Machine, _mask: &[bool]| {
+                let lost = acked
+                    .iter()
+                    .filter(|&&(lane, i)| pm.peek_u64(line(lane, i)) != 100 + i)
+                    .count() as u64;
+                StateVerdict {
+                    ok: lost == 0,
+                    lost_keys: lost,
+                    detail: format!("lost {lost} acked values"),
+                }
+            },
+        }
+    }
+
+    #[test]
+    fn correct_workload_survives_every_point_and_state() {
+        let cfg = InterleaveConfig::default();
+        let sweep = sweep_crash_points("persist-then-ack", &cfg, |k| replay(k, true));
+        assert_eq!(sweep.total_steps, (LANES as u64) * OPS_PER_LANE * 2);
+        assert_eq!(sweep.points.len(), sweep.total_steps as usize + 1);
+        assert!(sweep.all_states_ok(), "{}", sweep.to_json());
+        assert!(!sweep.any_data_loss());
+    }
+
+    #[test]
+    fn ack_before_persist_is_caught_at_some_interleaving_point() {
+        let cfg = InterleaveConfig::default();
+        let sweep = sweep_crash_points("ack-then-persist", &cfg, |k| replay(k, false));
+        assert!(!sweep.all_states_ok(), "the seeded bug must be found");
+        let (steps, state) = sweep.first_failure().expect("a failing state");
+        assert!(steps > 0, "step 0 has nothing acked yet");
+        assert!(state.lost_keys > 0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_samples_when_capped() {
+        let cfg = InterleaveConfig {
+            max_crash_points: 5,
+            ..InterleaveConfig::default()
+        };
+        let a = sweep_crash_points("det", &cfg, |k| replay(k, true)).to_json();
+        let b = sweep_crash_points("det", &cfg, |k| replay(k, true)).to_json();
+        assert_eq!(a, b, "same config, byte-identical report");
+        let sweep = sweep_crash_points("det", &cfg, |k| replay(k, true));
+        assert!(sweep.points.len() <= 5);
+        assert_eq!(sweep.points.first().map(|p| p.steps), Some(0));
+        assert_eq!(
+            sweep.points.last().map(|p| p.steps),
+            Some(sweep.total_steps)
+        );
+    }
+}

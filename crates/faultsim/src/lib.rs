@@ -17,6 +17,12 @@
 //!    seeded-sampled (always including the all-lost and all-survived
 //!    extremes) when it is not — materializes a fresh machine for each,
 //!    and runs a caller-supplied recovery oracle against it.
+//! 3. **Crash-at-interleaving-point sweeps** ([`interleave`]): for
+//!    concurrent workloads driven by the deterministic executor, the
+//!    dangerous crash states live at specific interleavings. The sweep
+//!    replays the workload from scratch, cuts it after every chosen
+//!    executor step, and explores each cut's crash states — covering the
+//!    `(interleaving point) × (crash subset)` product.
 //!
 //! The explorer is deliberately generic over the oracle (a closure from
 //! post-crash [`Machine`] to a [`StateVerdict`]): datastore-specific
@@ -32,10 +38,14 @@
 
 pub mod elide;
 pub mod explore;
+pub mod interleave;
 pub mod plan;
 
 pub use elide::{ElisionPlan, FaultyEnv};
 pub use explore::{Exploration, Explorer, ExplorerConfig, StateOutcome, StateVerdict};
+pub use interleave::{
+    sweep_crash_points, CrashPointOutcome, CutRun, InterleaveConfig, InterleaveSweep,
+};
 pub use plan::{
     FaultPlan, FaultRegistry, Layer, MediaPoisonPlan, WpqDropPlan, WpqPartialDrainPlan,
     XpBufferPartialDrainPlan,

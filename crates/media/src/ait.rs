@@ -90,12 +90,6 @@ impl AitCache {
         HitMiss::of(self.hits, self.misses)
     }
 
-    /// Returns `(hits, misses)` observed so far.
-    #[deprecated(since = "0.1.0", note = "use `counters()`, which returns named fields")]
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
     /// Clears statistics only; cached entries (and their LRU ordering)
     /// stay warm.
     pub fn reset_stats(&mut self) {

@@ -169,16 +169,6 @@ impl XpMedia {
         self.ait.counters()
     }
 
-    /// Returns AIT cache `(hits, misses)`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ait_counters()`, which returns named fields"
-    )]
-    pub fn ait_stats(&self) -> (u64, u64) {
-        let hm = self.ait.counters();
-        (hm.hits, hm.misses)
-    }
-
     /// Returns the configured parameters.
     pub fn params(&self) -> &MediaParams {
         self.params_ref()

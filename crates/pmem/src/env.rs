@@ -54,6 +54,17 @@ pub trait PmemEnv {
     /// Full fence.
     fn mfence(&mut self);
 
+    /// Atomic compare-and-swap on the aligned `u64` at `addr`: writes
+    /// `new` iff the current value equals `expected`. Returns the old
+    /// value. A full barrier on timed backends (x86 `lock cmpxchg`); the
+    /// written value is *not* durable until explicitly persisted.
+    fn cas_u64(&mut self, addr: Addr, expected: u64, new: u64) -> u64;
+
+    /// Atomic wrapping fetch-add on the aligned `u64` at `addr`. Returns
+    /// the old value. Same barrier and durability caveats as
+    /// [`PmemEnv::cas_u64`].
+    fn fetch_add_u64(&mut self, addr: Addr, delta: u64) -> u64;
+
     /// Allocates persistent memory.
     fn alloc(&mut self, len: u64, align: u64) -> Addr;
 
@@ -179,6 +190,14 @@ impl PmemEnv for SimEnv<'_> {
         self.machine.mfence(self.tid);
     }
 
+    fn cas_u64(&mut self, addr: Addr, expected: u64, new: u64) -> u64 {
+        self.machine.cas_u64(self.tid, addr, expected, new)
+    }
+
+    fn fetch_add_u64(&mut self, addr: Addr, delta: u64) -> u64 {
+        self.machine.fetch_add_u64(self.tid, addr, delta)
+    }
+
     fn alloc(&mut self, len: u64, align: u64) -> Addr {
         if self.volatile_backing {
             self.machine.alloc_dram(len, align)
@@ -270,6 +289,28 @@ impl PmemEnv for HostEnv {
     fn sfence(&mut self) {}
 
     fn mfence(&mut self) {}
+
+    fn cas_u64(&mut self, addr: Addr, expected: u64, new: u64) -> u64 {
+        assert!(
+            addr.0.is_multiple_of(8),
+            "locked RMW target must be u64-aligned"
+        );
+        let old = self.load_u64(addr);
+        if old == expected {
+            self.store_u64(addr, new);
+        }
+        old
+    }
+
+    fn fetch_add_u64(&mut self, addr: Addr, delta: u64) -> u64 {
+        assert!(
+            addr.0.is_multiple_of(8),
+            "locked RMW target must be u64-aligned"
+        );
+        let old = self.load_u64(addr);
+        self.store_u64(addr, old.wrapping_add(delta));
+        old
+    }
 
     fn alloc(&mut self, len: u64, align: u64) -> Addr {
         assert!(align.is_power_of_two(), "alignment must be a power of two");

@@ -102,6 +102,31 @@ fn canon(ev: &TraceEvent) -> ([u64; 7], usize) {
         } => ([5, tid.0 as u64, addr.0, len, region(r), at, 0], 6),
         TraceEvent::WriteBack { line, at } => ([6, line.0, at, 0, 0, 0, 0], 3),
         TraceEvent::PowerFail { at } => ([7, at, 0, 0, 0, 0, 0], 2),
+        TraceEvent::Cas {
+            tid,
+            addr,
+            region: r,
+            success,
+            at,
+        } => (
+            [
+                8,
+                tid.0 as u64,
+                addr.0,
+                region(r),
+                u64::from(success),
+                at,
+                0,
+            ],
+            6,
+        ),
+        TraceEvent::FetchAdd {
+            tid,
+            addr,
+            region: r,
+            delta,
+            at,
+        } => ([9, tid.0 as u64, addr.0, region(r), delta, at, 0], 6),
     }
 }
 
@@ -156,6 +181,26 @@ fn render(ev: &TraceEvent) -> String {
             format!("wb      line={:#x} at={}", line.0, at)
         }
         TraceEvent::PowerFail { at } => format!("powerfail at={}", at),
+        TraceEvent::Cas {
+            tid,
+            addr,
+            region,
+            success,
+            at,
+        } => format!(
+            "cas     tid={} addr={:#x} {:?} success={} at={}",
+            tid.0, addr.0, region, success, at
+        ),
+        TraceEvent::FetchAdd {
+            tid,
+            addr,
+            region,
+            delta,
+            at,
+        } => format!(
+            "xadd    tid={} addr={:#x} {:?} delta={} at={}",
+            tid.0, addr.0, region, delta, at
+        ),
     }
 }
 
